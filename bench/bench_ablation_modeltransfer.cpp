@@ -1,0 +1,90 @@
+// Ablation — cache-parameterized model transfer (paper §6 future work,
+// implemented): calibrate a CacheAwareModel for the States kernel from
+// measured timings + simulated work counts, then retarget it to machines
+// with half/double the cache without re-measuring. "The coefficients
+// should be parameterized by processor speed and a cache model."
+
+#include "bench_common.hpp"
+#include "core/cache_model.hpp"
+
+namespace {
+
+/// Work counts of one States invocation (X+Y sweep average) at a shape,
+/// replayed through a given L2 size.
+core::WorkCounts count_work(const bench::PatchShape& shape, std::size_t l2_bytes,
+                            const euler::GasModel& gas) {
+  hwc::CacheSim l2(l2_bytes, 64, 8);
+  hwc::CacheSim l1(8 * 1024, 64, 4);
+  l1.set_lower(&l2);
+  hwc::CacheProbe probe(&l1);
+  const auto u = bench::workload_patch(shape.interior, gas, 3);
+  for (euler::Dir dir : {euler::Dir::x, euler::Dir::y}) {
+    int nx = 0, ny = 0;
+    euler::face_dims(shape.interior, dir, nx, ny);
+    euler::Array2 l(nx, ny, euler::kNcomp), r(nx, ny, euler::kNcomp);
+    euler::compute_states(u, shape.interior, dir, gas, l, r, probe);
+  }
+  core::WorkCounts w;
+  w.q = static_cast<double>(shape.q);
+  w.flops = static_cast<double>(probe.counts().flops) / 2.0;  // per invocation
+  w.accesses =
+      static_cast<double>(probe.counts().loads + probe.counts().stores) / 2.0;
+  w.misses = static_cast<double>(l2.counters().misses) / 2.0;
+  return w;
+}
+
+std::vector<core::WorkCounts> work_table(std::size_t l2_bytes,
+                                         const euler::GasModel& gas) {
+  std::vector<core::WorkCounts> t;
+  for (const auto& shape : bench::paper_q_sweep())
+    t.push_back(count_work(shape, l2_bytes, gas));
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const euler::GasModel gas;
+
+  std::cout << "calibrating: measuring States and simulating its work "
+               "counts at the 512 kB reference cache...\n";
+  const auto sweep = bench::sweep_component("states", 1, 4);
+  const auto reference = work_table(512 * 1024, gas);
+  const auto model = core::fit_cache_aware(sweep.all, reference);
+  std::cout << "  T(Q) = " << model->formula() << "   [R^2 "
+            << ccaperf::fmt_double(model->r2, 4) << "]\n\n";
+
+  const auto half = core::retarget(*model, work_table(256 * 1024, gas));
+  const auto twice = core::retarget(*model, work_table(1024 * 1024, gas));
+
+  std::cout << "predicted States time (us) per cache size — no re-measurement "
+               "for the 256 kB / 1 MB columns:\n\n";
+  ccaperf::TextTable t;
+  t.set_header({"Q", "measured mean (512kB host sim)", "predict 512kB",
+                "predict 256kB", "predict 1MB"});
+  const auto bins = core::bin_by_q(sweep.all);
+  for (const auto& b : bins) {
+    t.add_row({ccaperf::fmt_double(b.q, 7), ccaperf::fmt_double(b.mean, 5),
+               ccaperf::fmt_double(model->predict(b.q), 5),
+               ccaperf::fmt_double(half->predict(b.q), 5),
+               ccaperf::fmt_double(twice->predict(b.q), 5)});
+  }
+  t.render(std::cout);
+
+  const double q_big = bins.back().q;
+  bench::print_comparison(
+      "model transfer (paper Section 6)",
+      {
+          {"parameterize coefficients by a cache model", "future work",
+           "CacheAwareModel: " + model->formula()},
+          {"halving the cache", "large effect on coefficients",
+           "predicted T(" + ccaperf::fmt_double(q_big, 6) + ") grows " +
+               ccaperf::fmt_double(half->predict(q_big) / model->predict(q_big), 4) +
+               "x at 256 kB"},
+          {"doubling the cache", "-",
+           "predicted T shrinks to " +
+               ccaperf::fmt_double(twice->predict(q_big) / model->predict(q_big), 4) +
+               "x at 1 MB"},
+      });
+  return 0;
+}

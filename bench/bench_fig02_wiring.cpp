@@ -1,0 +1,48 @@
+// Fig. 2 — "Snapshot of the component application, as assembled for
+// execution. We see three proxies (for AMRMesh, EFMFlux and States), as
+// well as the TauMeasurement and Mastermind components."
+//
+// Prints the wiring diagram of both the plain and the instrumented
+// assembly, plus GraphViz dot output.
+
+#include "bench_common.hpp"
+#include "components/app_assembly.hpp"
+
+int main() {
+  components::AppConfig cfg = components::AppConfig::case_study();
+  cfg.flux_impl = "EFMFlux";  // the figure shows the EFMFlux variant
+
+  std::size_t plain_nodes = 0, inst_nodes = 0, proxies = 0;
+  mpp::Runtime::run(1, [&](mpp::Comm& world) {
+    {
+      auto fw = components::assemble_app(world, cfg);
+      const auto w = fw->wiring();
+      plain_nodes = w.nodes.size();
+      std::cout << "=== plain assembly ===\n";
+      w.print(std::cout);
+    }
+    {
+      auto app = core::assemble_instrumented_app(world, cfg);
+      const auto w = app.fw().wiring();
+      inst_nodes = w.nodes.size();
+      std::cout << "\n=== instrumented assembly (Fig. 2) ===\n";
+      w.print(std::cout);
+      std::cout << "\nGraphViz:\n" << w.to_dot();
+      for (const auto& n : w.nodes)
+        if (n.instance.find("proxy") != std::string::npos) ++proxies;
+    }
+  });
+
+  bench::print_comparison(
+      "Fig. 2 (component wiring)",
+      {
+          {"proxies interposed", "3 (AMRMesh, EFMFlux, States)",
+           std::to_string(proxies)},
+          {"PMM components", "TauMeasurement + Mastermind",
+           std::to_string(inst_nodes - plain_nodes - proxies) +
+               " added beyond proxies"},
+          {"application unchanged", "proxies share the component interfaces",
+           "wiring redirected only (see diagram)"},
+      });
+  return 0;
+}

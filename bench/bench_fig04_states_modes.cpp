@@ -1,0 +1,76 @@
+// Fig. 4 — "Execution time for the States component ... invoked in two
+// modes, one which requires sequential and the other strided access of
+// arrays. For small array sizes, which are largely cache-resident, the two
+// different modes of access do not result in a large difference in
+// execution time"; for large arrays the strided mode grows more expensive
+// and the timings spread.
+//
+// Emits the (Q, mode, proc, time) series the figure plots, then the
+// shape comparison.
+
+#include "bench_common.hpp"
+
+#include <map>
+
+int main() {
+  constexpr int kProcs = 3;
+  const auto sweep = bench::sweep_component("states", kProcs, 4);
+
+  // Aggregate by mode over all procs (the figure overlays the three
+  // processors' points; "similar trends are seen on all processors").
+  std::map<double, ccaperf::RunningStats> seq, strided;
+  for (const core::Sample& s : sweep.by_mode[0]) seq[s.q].add(s.t);
+  for (const core::Sample& s : sweep.by_mode[1]) strided[s.q].add(s.t);
+
+  std::cout << "Fig. 4: States execution time vs array size (Q = cells incl. "
+               "ghosts), sequential (X) vs strided (Y) mode\n\n";
+  ccaperf::TextTable t;
+  t.set_header({"Q", "seq mean us", "seq sd", "strided mean us", "strided sd",
+                "strided/seq"});
+  double small_ratio = 0.0, large_ratio = 0.0;
+  double first_q = 0.0, last_q = 0.0;
+  for (const auto& [q, stats] : seq) {
+    const auto& st = strided.at(q);
+    const double ratio = st.mean() / stats.mean();
+    t.add_row({ccaperf::fmt_double(q, 7), ccaperf::fmt_double(stats.mean(), 5),
+               ccaperf::fmt_double(stats.sample_stddev(), 3),
+               ccaperf::fmt_double(st.mean(), 5),
+               ccaperf::fmt_double(st.sample_stddev(), 3),
+               ccaperf::fmt_double(ratio, 3)});
+    if (first_q == 0.0) {
+      first_q = q;
+      small_ratio = ratio;
+    }
+    last_q = q;
+    large_ratio = ratio;
+  }
+  t.render(std::cout);
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& [q, stats] : seq) {
+    const auto& st = strided.at(q);
+    csv_rows.push_back({ccaperf::fmt_double(q, 9),
+                        ccaperf::fmt_double(stats.mean(), 9),
+                        ccaperf::fmt_double(stats.sample_stddev(), 9),
+                        ccaperf::fmt_double(st.mean(), 9),
+                        ccaperf::fmt_double(st.sample_stddev(), 9)});
+  }
+  bench::write_series_csv("fig04_states_modes.csv",
+                          {"q", "seq_mean_us", "seq_sd", "strided_mean_us",
+                           "strided_sd"},
+                          csv_rows);
+
+  bench::print_comparison(
+      "Fig. 4 (States, two access modes)",
+      {
+          {"modes comparable at small Q",
+           "ratio ~ 1 for cache-resident arrays",
+           "ratio = " + ccaperf::fmt_double(small_ratio, 3) + " at Q = " +
+               ccaperf::fmt_double(first_q, 6)},
+          {"strided slower at large Q", "visible spread, strided > sequential",
+           "ratio = " + ccaperf::fmt_double(large_ratio, 3) + " at Q = " +
+               ccaperf::fmt_double(last_q, 6)},
+          {"procs measured", "3", std::to_string(kProcs)},
+      });
+  return 0;
+}

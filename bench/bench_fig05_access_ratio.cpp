@@ -1,0 +1,86 @@
+// Fig. 5 — "Ratio of strided versus sequential access timings for States.
+// The ratio varies from around 1 for small array sizes to around 4 for the
+// largest arrays considered; the ratios show variability which tend to
+// increase with array size."
+//
+// Reports the ratio two ways:
+//  * wall-clock, on this host's real cache (noisy, host-dependent);
+//  * deterministic, via the hwc cache simulator configured as the paper's
+//    512 kB Xeon L2 — miss-count ratio of the same kernel sweeps.
+
+#include "bench_common.hpp"
+
+#include <map>
+
+namespace {
+
+/// Cache-sim misses of one States sweep at the paper's 512 kB geometry.
+std::uint64_t traced_misses(const amr::Box& interior, euler::Dir dir,
+                            const euler::GasModel& gas) {
+  hwc::XeonHierarchy xeon;
+  hwc::CacheProbe probe(&xeon.l1);
+  const auto u = bench::workload_patch(interior, gas, 42);
+  int nx = 0, ny = 0;
+  euler::face_dims(interior, dir, nx, ny);
+  euler::Array2 l(nx, ny, euler::kNcomp), r(nx, ny, euler::kNcomp);
+  euler::compute_states(u, interior, dir, gas, l, r, probe);
+  return xeon.l2.counters().misses;
+}
+
+}  // namespace
+
+int main() {
+  const euler::GasModel gas;
+
+  // Wall-clock ratios from the instrumented sweep.
+  const auto sweep = bench::sweep_component("states", 3, 4);
+  std::map<double, ccaperf::RunningStats> seq, strided;
+  for (const core::Sample& s : sweep.by_mode[0]) seq[s.q].add(s.t);
+  for (const core::Sample& s : sweep.by_mode[1]) strided[s.q].add(s.t);
+
+  std::cout << "Fig. 5: strided/sequential ratio for States vs array size\n\n";
+  ccaperf::TextTable t;
+  t.set_header({"Q", "wall ratio", "wall ratio sd", "L2-miss ratio (512kB sim)"});
+  double first_sim = 0.0, last_sim = 0.0, last_wall = 0.0;
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& shape : bench::paper_q_sweep()) {
+    const double q = static_cast<double>(shape.q);
+    const auto& s = seq.at(q);
+    const auto& d = strided.at(q);
+    const double wall_ratio = d.mean() / s.mean();
+    // Ratio-of-means spread proxy: combine relative sds.
+    const double rel_sd = std::sqrt(
+        std::pow(d.sample_stddev() / d.mean(), 2) +
+        std::pow(s.sample_stddev() / s.mean(), 2));
+    const std::uint64_t m_seq = traced_misses(shape.interior, euler::Dir::x, gas);
+    const std::uint64_t m_str = traced_misses(shape.interior, euler::Dir::y, gas);
+    const double sim_ratio =
+        static_cast<double>(m_str) / static_cast<double>(std::max<std::uint64_t>(1, m_seq));
+    t.add_row({ccaperf::fmt_double(q, 7), ccaperf::fmt_double(wall_ratio, 4),
+               ccaperf::fmt_double(wall_ratio * rel_sd, 3),
+               ccaperf::fmt_double(sim_ratio, 4)});
+    if (first_sim == 0.0) first_sim = sim_ratio;
+    last_sim = sim_ratio;
+    last_wall = wall_ratio;
+    csv_rows.push_back({ccaperf::fmt_double(q, 9),
+                        ccaperf::fmt_double(wall_ratio, 9),
+                        ccaperf::fmt_double(wall_ratio * rel_sd, 9),
+                        ccaperf::fmt_double(sim_ratio, 9)});
+  }
+  t.render(std::cout);
+  bench::write_series_csv("fig05_access_ratio.csv",
+                          {"q", "wall_ratio", "wall_ratio_sd", "sim_miss_ratio"},
+                          csv_rows);
+
+  bench::print_comparison(
+      "Fig. 5 (strided/sequential ratio)",
+      {
+          {"ratio at small Q", "~1", ccaperf::fmt_double(first_sim, 3) +
+                                         " (sim miss ratio)"},
+          {"ratio at largest Q", "~4",
+           ccaperf::fmt_double(last_sim, 3) + " (sim), " +
+               ccaperf::fmt_double(last_wall, 3) + " (wall, host cache)"},
+          {"variability", "grows with array size", "see wall ratio sd column"},
+      });
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 6 + Eq. 1/2 — States performance model: the paper fits
+// T = exp(1.19 log(Q) - 3.68) us for the mean and an exponential for the
+// (large, dual-mode-driven) standard deviation.
+
+#include "bench_models.hpp"
+
+int main() {
+  return bench::run_model_bench(bench::ModelBenchSpec{
+      "Fig. 6",
+      "States",
+      "states",
+      "T = exp(1.19 log(Q) - 3.68)  [us]",
+      "sigma = exp(1.29 + k Q)",
+      "large (dual sequential/strided mode mixed into the mean)",
+      2,
+      "fig06_states_model.csv",
+  });
+}

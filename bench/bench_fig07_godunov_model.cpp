@@ -1,0 +1,19 @@
+// Fig. 7 + Eq. 1/2 — GodunovFlux performance model: the paper fits
+// T = -963 + 0.315 Q us; the standard deviation *grows* with Q because the
+// component "involves an internal iterative solution for every element of
+// the data array".
+
+#include "bench_models.hpp"
+
+int main() {
+  return bench::run_model_bench(bench::ModelBenchSpec{
+      "Fig. 7",
+      "GodunovFlux",
+      "godunov",
+      "T = -963 + 0.315 Q  [us]",
+      "sigma = -526 + 0.152 Q  (grows with Q)",
+      "variability increases with Q (per-element iterative Riemann solve)",
+      2,
+      "fig07_godunov_model.csv",
+  });
+}

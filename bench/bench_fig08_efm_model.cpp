@@ -1,0 +1,19 @@
+// Fig. 8 + Eq. 1/2 — EFMFlux performance model: the paper fits
+// T = -8.13 + 0.16 Q us (about half GodunovFlux's slope) with a
+// small/shrinking standard deviation (closed-form flux, constant cost per
+// element) modeled as a quartic.
+
+#include "bench_models.hpp"
+
+int main() {
+  return bench::run_model_bench(bench::ModelBenchSpec{
+      "Fig. 8",
+      "EFMFlux",
+      "efm",
+      "T = -8.13 + 0.16 Q  [us]",
+      "sigma = 66.7 - 0.015 Q + 9.24e-7 Q^2 - 1.12e-11 Q^3 + 3.85e-17 Q^4",
+      "small relative to GodunovFlux; does not grow with Q",
+      4,
+      "fig08_efm_model.csv",
+  });
+}

@@ -1,0 +1,80 @@
+#pragma once
+// Shared driver for Figs. 6-8: sweep one component, bin by Q, fit mean and
+// standard-deviation models (the paper's Eq. 1-2), print the series and
+// the formula comparison.
+
+#include "bench_common.hpp"
+
+namespace bench {
+
+struct ModelBenchSpec {
+  std::string figure;        // "Fig. 6"
+  std::string component;     // "States"
+  std::string sweep_key;     // "states" | "godunov" | "efm"
+  std::string paper_mean;    // Eq. 1 text
+  std::string paper_sigma;   // Eq. 2 text
+  std::string sigma_trend;   // paper's qualitative claim
+  int sigma_poly_degree = 4;
+  std::string csv_name;      // output series file, e.g. "fig06_states_model.csv"
+};
+
+inline int run_model_bench(const ModelBenchSpec& spec) {
+  std::cout << spec.figure << ": average execution time for " << spec.component
+            << " vs array size (both access modes averaged, as in the paper)\n\n";
+
+  const auto sweep = sweep_component(spec.sweep_key, 3, 5);
+  const auto models = core::build_mean_sigma_models(sweep.all, spec.sigma_poly_degree);
+
+  ccaperf::TextTable t;
+  t.set_header({"Q", "mean us", "stddev us", "mean fit", "sigma fit"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const core::Bin& b : models.bins) {
+    t.add_row({ccaperf::fmt_double(b.q, 7), ccaperf::fmt_double(b.mean, 5),
+               ccaperf::fmt_double(b.stddev, 4),
+               ccaperf::fmt_double(models.mean->predict(b.q), 5),
+               models.sigma ? ccaperf::fmt_double(models.sigma->predict(b.q), 4)
+                            : "-"});
+    csv_rows.push_back(
+        {ccaperf::fmt_double(b.q, 9), ccaperf::fmt_double(b.mean, 9),
+         ccaperf::fmt_double(b.stddev, 9),
+         ccaperf::fmt_double(models.mean->predict(b.q), 9),
+         models.sigma ? ccaperf::fmt_double(models.sigma->predict(b.q), 9) : "0"});
+  }
+  t.render(std::cout);
+  write_series_csv(spec.csv_name, {"q", "mean_us", "sd_us", "fit_mean", "fit_sd"},
+                   csv_rows);
+
+  std::cout << "\nfitted mean model  : T(Q) = " << models.mean->formula()
+            << "   [family " << models.mean->family()
+            << ", R^2 = " << ccaperf::fmt_double(models.mean->r2, 4) << "]\n";
+  if (models.sigma)
+    std::cout << "fitted sigma model : s(Q) = " << models.sigma->formula()
+              << "   [family " << models.sigma->family()
+              << ", R^2 = " << ccaperf::fmt_double(models.sigma->r2, 4) << "]\n";
+
+  const double q_lo = models.bins.front().q, q_hi = models.bins.back().q;
+  const double sigma_lo = models.bins.front().stddev;
+  const double sigma_hi = models.bins.back().stddev;
+  bench::print_comparison(
+      spec.figure + " (" + spec.component + " performance model)",
+      {
+          {"mean model (paper Eq. 1)", spec.paper_mean,
+           models.mean->formula() + " (R^2 " +
+               ccaperf::fmt_double(models.mean->r2, 3) + ")"},
+          {"sigma model (paper Eq. 2)", spec.paper_sigma,
+           models.sigma ? models.sigma->formula() : "n/a"},
+          {"mean scales ~linearly with Q",
+           "linear once cache effects average out",
+           "measured T(" + ccaperf::fmt_double(q_hi, 6) + ")/T(" +
+               ccaperf::fmt_double(q_lo, 6) + ") = " +
+               ccaperf::fmt_double(models.bins.back().mean / models.bins.front().mean,
+                                   4) +
+               " for Q ratio " + ccaperf::fmt_double(q_hi / q_lo, 4)},
+          {"sigma trend", spec.sigma_trend,
+           "sigma(Qmin) = " + ccaperf::fmt_double(sigma_lo, 3) +
+               ", sigma(Qmax) = " + ccaperf::fmt_double(sigma_hi, 3)},
+      });
+  return 0;
+}
+
+}  // namespace bench

@@ -1,0 +1,77 @@
+// Explore the cache behaviour behind the paper's Figs. 4-5 with the hwc
+// cache simulator: run the States kernel over growing arrays in both
+// access modes on a configurable two-level hierarchy and print hit/miss
+// statistics per level.
+//
+//   ./examples/cache_explorer [l2_kb] [assoc]
+
+#include <iostream>
+
+#include "euler/kernels.hpp"
+#include "hwc/cache_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct TraceResult {
+  double l1_miss_rate;
+  double l2_miss_rate;
+  std::uint64_t l2_misses;
+  std::uint64_t flops;
+};
+
+TraceResult trace(const amr::Box& interior, euler::Dir dir, std::size_t l2_bytes,
+                  std::size_t assoc) {
+  const euler::GasModel gas;
+  hwc::CacheSim l2(l2_bytes, 64, assoc);
+  hwc::CacheSim l1(8 * 1024, 64, 4);
+  l1.set_lower(&l2);
+  hwc::CacheProbe probe(&l1);
+
+  amr::PatchData<double> u(interior, 2, euler::kNcomp, 1.0);
+  // A simple smooth field (content does not affect memory behaviour).
+  const amr::Box g = u.grown_box();
+  for (int j = g.lo().j; j <= g.hi().j; ++j)
+    for (int i = g.lo().i; i <= g.hi().i; ++i) {
+      u(i, j, euler::kRho) = 1.0 + 0.001 * i;
+      u(i, j, euler::kE) = 2.5;
+    }
+
+  int nx = 0, ny = 0;
+  euler::face_dims(interior, dir, nx, ny);
+  euler::Array2 l(nx, ny, euler::kNcomp), r(nx, ny, euler::kNcomp);
+  euler::compute_states(u, interior, dir, gas, l, r, probe);
+  return TraceResult{l1.counters().miss_rate(), l2.counters().miss_rate(),
+                     l2.counters().misses, probe.counts().flops};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t l2_kb = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 512;
+  const std::size_t assoc = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  std::cout << "States kernel through a simulated 8kB L1 + " << l2_kb << "kB "
+            << assoc << "-way L2 (64B lines)\n\n";
+
+  ccaperf::TextTable t;
+  t.set_header({"cells", "working set", "mode", "L1 miss%", "L2 miss%",
+                "L2 misses", "flops"});
+  for (int h = 16; h <= 512; h *= 2) {
+    const amr::Box interior{0, 0, 2 * h - 1, h - 1};
+    const double mb = static_cast<double>((2 * h + 4)) * (h + 4) *
+                      euler::kNcomp * sizeof(double) / 1048576.0;
+    for (euler::Dir dir : {euler::Dir::x, euler::Dir::y}) {
+      const TraceResult r = trace(interior, dir, l2_kb * 1024, assoc);
+      t.add_row({std::to_string(2L * h * h), ccaperf::fmt_double(mb, 3) + " MB",
+                 dir == euler::Dir::x ? "sequential" : "strided",
+                 ccaperf::fmt_double(100.0 * r.l1_miss_rate, 3),
+                 ccaperf::fmt_double(100.0 * r.l2_miss_rate, 3),
+                 std::to_string(r.l2_misses), std::to_string(r.flops)});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: once the working set exceeds the L2 capacity the "
+               "strided sweep's L2 misses explode while the sequential sweep "
+               "stays at one miss per line (the Fig. 4-5 crossover).\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+# Fig. 1 — level-0 density field with patch outlines.
+set terminal pngcairo size 1200,640
+set output 'fig01.png'
+set datafile separator ','
+set title 'Density field, Mach 1.5 shock vs Air/Freon interface (cf. paper Fig. 1)'
+set xlabel 'x'
+set ylabel 'y'
+set view map
+set palette rgbformulae 33,13,10
+set cblabel 'rho'
+plot 'fig01_density.rank0.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle, \
+     'fig01_density.rank1.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle, \
+     'fig01_density.rank2.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle

@@ -1,0 +1,11 @@
+# Fig. 4 — States execution time vs array size, sequential vs strided.
+set terminal pngcairo size 900,600
+set output 'fig04.png'
+set datafile separator ','
+set title 'States: execution time vs array size (cf. paper Fig. 4)'
+set xlabel 'array size Q (cells)'
+set ylabel 'time (us)'
+set key top left
+set logscale y
+plot 'fig04_states_modes.csv' skip 1 using 1:2:3 with yerrorlines title 'sequential (X)', \
+     ''                       skip 1 using 1:4:5 with yerrorlines title 'strided (Y)'

@@ -1,0 +1,17 @@
+# Figs. 6-8 — mean execution time and standard deviation vs Q with fits.
+set terminal pngcairo size 900,600
+set datafile separator ','
+set xlabel 'array size Q (cells)'
+set ylabel 'mean time (us)'
+set y2label 'std deviation (us)'
+set y2tics
+set key top left
+
+do for [fig in "06_states 07_godunov 08_efm"] {
+  set output sprintf('fig%s.png', fig)
+  set title sprintf('fig%s: mean and sigma vs Q (cf. paper Figs. 6-8)', fig)
+  plot sprintf('fig%s_model.csv', fig) skip 1 using 1:2 with points title 'measured mean', \
+       '' skip 1 using 1:4 with lines title 'fitted mean model', \
+       '' skip 1 using 1:3 axes x1y2 with points title 'measured sigma', \
+       '' skip 1 using 1:5 axes x1y2 with lines title 'fitted sigma model'
+}

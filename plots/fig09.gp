@@ -1,0 +1,14 @@
+# Fig. 9 — per-ghost-update MPI time by hierarchy level (scatter).
+set terminal pngcairo size 900,600
+set output 'fig09.png'
+set datafile separator ','
+set title 'Ghost-update message time by level, 3 ranks (cf. paper Fig. 9)'
+set xlabel 'hierarchy level'
+set ylabel 'MPI time per update (us)'
+set logscale y
+set xrange [-0.5:2.5]
+set xtics 0,1,2
+# Jitter points horizontally by rank for readability.
+plot for [r=0:2] 'fig09_message_passing.csv' skip 1 \
+     using ($2 + 0.12*(column(1)-1)):(column(1)==r ? $4 : 1/0) \
+     with points pointtype 7 pointsize 0.6 title sprintf('rank %d', r)

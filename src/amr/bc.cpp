@@ -1,0 +1,57 @@
+#include "amr/bc.hpp"
+
+namespace amr {
+
+namespace {
+
+/// Maps an out-of-domain index to its source index and sign for one axis.
+/// `lo_type`/`hi_type` are the boundary types at domain.lo/hi on the axis.
+struct AxisMap {
+  int src;
+  bool reflected;
+};
+
+AxisMap map_axis(int idx, int dlo, int dhi, BcType lo_type, BcType hi_type) {
+  if (idx < dlo) {
+    if (lo_type == BcType::reflecting) return {2 * dlo - 1 - idx, true};
+    return {dlo, false};
+  }
+  if (idx > dhi) {
+    if (hi_type == BcType::reflecting) return {2 * dhi + 1 - idx, true};
+    return {dhi, false};
+  }
+  return {idx, false};
+}
+
+}  // namespace
+
+void fill_physical_bc(PatchData<double>& p, const Box& domain, const BcSpec& bc) {
+  const Box g = p.grown_box();
+  if (domain.contains(g)) return;  // nothing outside
+
+  const int ncomp = p.ncomp();
+  auto sign_of = [](const std::vector<double>& signs, int c) {
+    return c < static_cast<int>(signs.size()) ? signs[static_cast<std::size_t>(c)] : 1.0;
+  };
+
+  for (int j = g.lo().j; j <= g.hi().j; ++j) {
+    for (int i = g.lo().i; i <= g.hi().i; ++i) {
+      if (domain.contains(IntVect{i, j})) continue;
+      const AxisMap mx = map_axis(i, domain.lo().i, domain.hi().i, bc.xlo, bc.xhi);
+      const AxisMap my = map_axis(j, domain.lo().j, domain.hi().j, bc.ylo, bc.yhi);
+      // Clamp mapped index into the patch's grown box (the mirror source
+      // is in the interior for ghost widths <= patch width; clamp guards
+      // degenerate thin patches).
+      const int si = std::clamp(mx.src, g.lo().i, g.hi().i);
+      const int sj = std::clamp(my.src, g.lo().j, g.hi().j);
+      for (int c = 0; c < ncomp; ++c) {
+        double v = p(si, sj, c);
+        if (mx.reflected) v *= sign_of(bc.reflect_sign_x, c);
+        if (my.reflected) v *= sign_of(bc.reflect_sign_y, c);
+        p(i, j, c) = v;
+      }
+    }
+  }
+}
+
+}  // namespace amr

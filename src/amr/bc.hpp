@@ -1,0 +1,36 @@
+#pragma once
+// Physical boundary fill for patch ghost cells outside the problem domain.
+//
+// Two classic hyperbolic boundary types:
+//  * transmissive (zero-gradient outflow): ghost = nearest interior cell;
+//  * reflecting (slip wall): ghost = mirrored interior cell with a
+//    per-component sign (normal velocity components flip).
+//
+// Physics-agnostic: the solver supplies the per-component signs.
+
+#include <vector>
+
+#include "amr/patch_data.hpp"
+
+namespace amr {
+
+enum class BcType { transmissive, reflecting };
+
+struct BcSpec {
+  BcType xlo = BcType::transmissive;
+  BcType xhi = BcType::transmissive;
+  BcType ylo = BcType::transmissive;
+  BcType yhi = BcType::transmissive;
+  /// Sign applied per component when reflecting across an x boundary
+  /// (e.g. -1 for x-momentum). Defaults to +1 for all components.
+  std::vector<double> reflect_sign_x;
+  /// Same for y boundaries (e.g. -1 for y-momentum).
+  std::vector<double> reflect_sign_y;
+};
+
+/// Fills every ghost cell of `p` that lies outside `domain` (the problem
+/// domain in this level's index space). Interior-of-domain ghost cells are
+/// untouched (they are exchange/prolongation targets).
+void fill_physical_bc(PatchData<double>& p, const Box& domain, const BcSpec& bc);
+
+}  // namespace amr

@@ -1,0 +1,81 @@
+#pragma once
+// Berger–Rigoutsos point clustering.
+//
+// Turns the set of flagged (error-tagged) cells produced by the regrid
+// error estimator into a small set of rectangular patches with a minimum
+// fill efficiency — the grid-generation step of Berger-Collela SAMR
+// ("regions requiring further refinement are identified, the grid points
+// flagged and collated into rectangular children patches", paper §5).
+//
+// Algorithm: compute row/column signatures of the flags inside the
+// bounding box; if efficiency >= threshold accept the bounding box;
+// otherwise split at a signature hole if one exists, else at the strongest
+// inflection of the second derivative of the signature, else bisect;
+// recurse. Boxes are never split below `min_width` cells per side.
+
+#include <span>
+#include <vector>
+
+#include "amr/box.hpp"
+
+namespace amr {
+
+struct ClusterParams {
+  double efficiency = 0.8;  ///< min flagged fraction to accept a box
+  int min_width = 4;        ///< min cells per side of an accepted box
+  int max_width = 0;        ///< if >0, force-split boxes wider than this
+};
+
+/// A binary flag field over `region` (true = needs refinement).
+class FlagField {
+ public:
+  explicit FlagField(const Box& region)
+      : region_(region),
+        flags_(static_cast<std::size_t>(region.num_pts()), 0) {}
+
+  const Box& region() const { return region_; }
+
+  void set(IntVect p) {
+    if (region_.contains(p)) flags_[index(p)] = 1;
+  }
+  bool get(IntVect p) const {
+    return region_.contains(p) && flags_[index(p)] != 0;
+  }
+  void set_box(const Box& b) {
+    const Box clipped = b & region_;
+    for (int j = clipped.lo().j; j <= clipped.hi().j; ++j)
+      for (int i = clipped.lo().i; i <= clipped.hi().i; ++i)
+        flags_[index({i, j})] = 1;
+  }
+
+  /// Dilates the flag set by `n` cells (the regrid "buffer" ensuring
+  /// features stay inside fine patches until the next regrid).
+  void buffer(int n);
+
+  /// Clears every flag outside the union of `keep` (used to confine
+  /// buffered flags to where level data actually exists).
+  void clip_to(const std::vector<Box>& keep);
+
+  long count() const;
+  long count_in(const Box& b) const;
+
+  /// Raw flag bytes (row-major over region), for cross-rank merging.
+  std::span<char> raw() { return flags_; }
+  std::span<const char> raw() const { return flags_; }
+
+ private:
+  std::size_t index(IntVect p) const {
+    return static_cast<std::size_t>(p.j - region_.lo().j) *
+               static_cast<std::size_t>(region_.width()) +
+           static_cast<std::size_t>(p.i - region_.lo().i);
+  }
+  Box region_;
+  std::vector<char> flags_;
+};
+
+/// Clusters the flagged cells into boxes covering all flags with the
+/// requested efficiency. Returns disjoint boxes in `flags.region()` index
+/// space; empty when nothing is flagged.
+std::vector<Box> berger_rigoutsos(const FlagField& flags, const ClusterParams& params);
+
+}  // namespace amr

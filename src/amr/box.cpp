@@ -1,0 +1,67 @@
+#include "amr/box.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace amr {
+
+std::string Box::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  if (b.empty()) return os << "[empty]";
+  return os << "[(" << b.lo().i << ',' << b.lo().j << ")..(" << b.hi().i << ','
+            << b.hi().j << ")]";
+}
+
+std::vector<Box> box_subtract(const Box& a, const Box& b) {
+  std::vector<Box> out;
+  const Box overlap = a & b;
+  if (overlap.empty()) {
+    if (!a.empty()) out.push_back(a);
+    return out;
+  }
+  if (overlap == a) return out;  // fully covered
+
+  // Slice `a` into (up to) four disjoint pieces around the overlap:
+  // bottom and top strips span the full width; left and right fill the
+  // middle band.
+  const IntVect alo = a.lo(), ahi = a.hi();
+  const IntVect olo = overlap.lo(), ohi = overlap.hi();
+
+  if (olo.j > alo.j)  // bottom strip
+    out.emplace_back(IntVect{alo.i, alo.j}, IntVect{ahi.i, olo.j - 1});
+  if (ohi.j < ahi.j)  // top strip
+    out.emplace_back(IntVect{alo.i, ohi.j + 1}, IntVect{ahi.i, ahi.j});
+  if (olo.i > alo.i)  // left band
+    out.emplace_back(IntVect{alo.i, olo.j}, IntVect{olo.i - 1, ohi.j});
+  if (ohi.i < ahi.i)  // right band
+    out.emplace_back(IntVect{ohi.i + 1, olo.j}, IntVect{ahi.i, ohi.j});
+  return out;
+}
+
+std::vector<Box> box_subtract_all(const Box& a, const std::vector<Box>& bs) {
+  std::vector<Box> remaining;
+  if (!a.empty()) remaining.push_back(a);
+  for (const Box& b : bs) {
+    std::vector<Box> next;
+    for (const Box& r : remaining) {
+      auto pieces = box_subtract(r, b);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    remaining.swap(next);
+    if (remaining.empty()) break;
+  }
+  return remaining;
+}
+
+long total_pts(const std::vector<Box>& bs) {
+  long total = 0;
+  for (const Box& b : bs) total += b.num_pts();
+  return total;
+}
+
+}  // namespace amr

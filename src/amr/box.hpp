@@ -1,0 +1,123 @@
+#pragma once
+// 2-D structured-AMR index calculus: IntVect and Box.
+//
+// A Box is a rectangle of cell indices, inclusive on both ends, on the
+// index space of one refinement level (Berger-Collela SAMR [21,22] in the
+// paper's references). All patch geometry — intersection, growth for ghost
+// regions, refinement/coarsening between levels, subtraction for
+// uncovered-region computation — is done with these two types.
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace amr {
+
+struct IntVect {
+  int i = 0;
+  int j = 0;
+
+  friend IntVect operator+(IntVect a, IntVect b) { return {a.i + b.i, a.j + b.j}; }
+  friend IntVect operator-(IntVect a, IntVect b) { return {a.i - b.i, a.j - b.j}; }
+  friend IntVect operator*(IntVect a, int s) { return {a.i * s, a.j * s}; }
+  friend bool operator==(IntVect a, IntVect b) { return a.i == b.i && a.j == b.j; }
+  friend bool operator!=(IntVect a, IntVect b) { return !(a == b); }
+};
+
+/// Floor division (rounds toward -infinity), the correct coarsening map
+/// for negative indices.
+constexpr int floor_div(int a, int b) {
+  const int q = a / b;
+  return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+
+class Box {
+ public:
+  /// Default: the canonical empty box.
+  Box() : lo_{0, 0}, hi_{-1, -1} {}
+  Box(IntVect lo, IntVect hi) : lo_(lo), hi_(hi) {}
+  Box(int ilo, int jlo, int ihi, int jhi) : lo_{ilo, jlo}, hi_{ihi, jhi} {}
+
+  IntVect lo() const { return lo_; }
+  IntVect hi() const { return hi_; }
+
+  bool empty() const { return hi_.i < lo_.i || hi_.j < lo_.j; }
+  int width() const { return empty() ? 0 : hi_.i - lo_.i + 1; }
+  int height() const { return empty() ? 0 : hi_.j - lo_.j + 1; }
+  /// Number of cells.
+  long num_pts() const { return static_cast<long>(width()) * height(); }
+
+  bool contains(IntVect p) const {
+    return p.i >= lo_.i && p.i <= hi_.i && p.j >= lo_.j && p.j <= hi_.j;
+  }
+  bool contains(const Box& b) const {
+    return b.empty() || (contains(b.lo_) && contains(b.hi_));
+  }
+  bool intersects(const Box& b) const { return !(*this & b).empty(); }
+
+  /// Intersection (empty box if disjoint).
+  friend Box operator&(const Box& a, const Box& b) {
+    if (a.empty() || b.empty()) return Box{};
+    return Box{{std::max(a.lo_.i, b.lo_.i), std::max(a.lo_.j, b.lo_.j)},
+               {std::min(a.hi_.i, b.hi_.i), std::min(a.hi_.j, b.hi_.j)}};
+  }
+
+  /// Grown by `n` cells on every side (ghost region construction).
+  Box grown(int n) const {
+    if (empty()) return *this;
+    return Box{{lo_.i - n, lo_.j - n}, {hi_.i + n, hi_.j + n}};
+  }
+  Box grown(int nx, int ny) const {
+    if (empty()) return *this;
+    return Box{{lo_.i - nx, lo_.j - ny}, {hi_.i + nx, hi_.j + ny}};
+  }
+
+  /// Index mapping to the next finer level (each cell becomes r x r cells).
+  Box refined(int r) const {
+    CCAPERF_REQUIRE(r >= 1, "Box::refined: ratio must be >= 1");
+    if (empty()) return *this;
+    return Box{{lo_.i * r, lo_.j * r}, {hi_.i * r + r - 1, hi_.j * r + r - 1}};
+  }
+
+  /// Index mapping to the next coarser level (covers every coarse cell
+  /// touched by this box).
+  Box coarsened(int r) const {
+    CCAPERF_REQUIRE(r >= 1, "Box::coarsened: ratio must be >= 1");
+    if (empty()) return *this;
+    return Box{{floor_div(lo_.i, r), floor_div(lo_.j, r)},
+               {floor_div(hi_.i, r), floor_div(hi_.j, r)}};
+  }
+
+  Box shifted(IntVect d) const {
+    if (empty()) return *this;
+    return Box{lo_ + d, hi_ + d};
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    if (a.empty() && b.empty()) return true;
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+  friend bool operator!=(const Box& a, const Box& b) { return !(a == b); }
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Box& b);
+
+ private:
+  IntVect lo_, hi_;
+};
+
+/// a \ b as a list of up to four disjoint boxes covering the part of `a`
+/// not covered by `b`.
+std::vector<Box> box_subtract(const Box& a, const Box& b);
+
+/// a \ (b0 u b1 u ...) as disjoint boxes.
+std::vector<Box> box_subtract_all(const Box& a, const std::vector<Box>& bs);
+
+/// Total cells in a box list.
+long total_pts(const std::vector<Box>& bs);
+
+}  // namespace amr

@@ -1,0 +1,50 @@
+#include "amr/load_balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace amr {
+
+double balance_owners(std::vector<PatchInfo>& patches, int nranks,
+                      BalancePolicy policy) {
+  CCAPERF_REQUIRE(nranks >= 1, "balance_owners: nranks >= 1");
+  std::vector<long> load(static_cast<std::size_t>(nranks), 0);
+
+  switch (policy) {
+    case BalancePolicy::round_robin: {
+      int next = 0;
+      for (PatchInfo& p : patches) {
+        p.owner = next;
+        load[static_cast<std::size_t>(next)] += p.box.num_pts();
+        next = (next + 1) % nranks;
+      }
+      break;
+    }
+    case BalancePolicy::knapsack: {
+      // LPT: heaviest patch first onto the least-loaded rank. Sort an index
+      // permutation (stable for determinism across ranks).
+      std::vector<std::size_t> order(patches.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return patches[a].box.num_pts() > patches[b].box.num_pts();
+      });
+      for (std::size_t k : order) {
+        const auto lightest = static_cast<std::size_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        patches[k].owner = static_cast<int>(lightest);
+        load[lightest] += patches[k].box.num_pts();
+      }
+      break;
+    }
+  }
+
+  const long total = std::accumulate(load.begin(), load.end(), 0L);
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(nranks);
+  const long peak = *std::max_element(load.begin(), load.end());
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace amr

@@ -1,0 +1,24 @@
+#pragma once
+// Patch-to-rank assignment. The paper's AMRMesh performs "load-balancing
+// and domain (re-)decomposition" after regridding; the default policy here
+// is greedy longest-processing-time (a knapsack-style heuristic): patches
+// sorted by cell count, each assigned to the currently least-loaded rank.
+// A round-robin policy is kept for the load-balance ablation bench.
+
+#include <vector>
+
+#include "amr/level.hpp"
+
+namespace amr {
+
+enum class BalancePolicy {
+  knapsack,     ///< greedy LPT on cell counts (default)
+  round_robin,  ///< ignore weights; cycle ranks in patch order
+};
+
+/// Assigns `owner` for every patch. Returns the load imbalance ratio
+/// max_rank_cells / mean_rank_cells (1.0 == perfect).
+double balance_owners(std::vector<PatchInfo>& patches, int nranks,
+                      BalancePolicy policy = BalancePolicy::knapsack);
+
+}  // namespace amr

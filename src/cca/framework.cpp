@@ -1,0 +1,245 @@
+#include "cca/framework.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace cca {
+
+// ---------------------------------------------------------------------------
+// Services
+// ---------------------------------------------------------------------------
+
+void Services::add_provides_port(std::shared_ptr<Port> port, const std::string& name,
+                                 const std::string& type) {
+  CCAPERF_REQUIRE(port != nullptr, "add_provides_port: null port");
+  CCAPERF_REQUIRE(provided_.count(name) == 0,
+                  "add_provides_port: duplicate provides port '" + name + "' on '" +
+                      instance_ + "'");
+  provided_.emplace(name, std::move(port));
+  provides_info_.push_back(PortInfo{name, type});
+}
+
+void Services::register_uses_port(const std::string& name, const std::string& type) {
+  for (const PortInfo& p : uses_info_)
+    CCAPERF_REQUIRE(p.name != name, "register_uses_port: duplicate uses port '" +
+                                        name + "' on '" + instance_ + "'");
+  uses_info_.push_back(PortInfo{name, type});
+}
+
+Port* Services::get_port(const std::string& uses_name) const {
+  auto it = bound_.find(uses_name);
+  CCAPERF_REQUIRE(it != bound_.end(), "get_port: uses port '" + uses_name +
+                                          "' of '" + instance_ + "' is not connected");
+  return it->second;
+}
+
+bool Services::is_connected(const std::string& uses_name) const {
+  return bound_.count(uses_name) != 0;
+}
+
+Port* Services::provided(const std::string& provides_name) const {
+  auto it = provided_.find(provides_name);
+  CCAPERF_REQUIRE(it != provided_.end(), "provided: '" + instance_ +
+                                             "' provides no port '" +
+                                             provides_name + "'");
+  return it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// ComponentRepository
+// ---------------------------------------------------------------------------
+
+void ComponentRepository::register_class(const std::string& class_name,
+                                         Factory factory) {
+  CCAPERF_REQUIRE(factory != nullptr, "register_class: null factory");
+  CCAPERF_REQUIRE(factories_.count(class_name) == 0,
+                  "register_class: duplicate class '" + class_name + "'");
+  factories_.emplace(class_name, std::move(factory));
+}
+
+bool ComponentRepository::has(const std::string& class_name) const {
+  return factories_.count(class_name) != 0;
+}
+
+std::unique_ptr<Component> ComponentRepository::create(
+    const std::string& class_name) const {
+  auto it = factories_.find(class_name);
+  CCAPERF_REQUIRE(it != factories_.end(),
+                  "ComponentRepository: unknown class '" + class_name + "'");
+  auto c = it->second();
+  CCAPERF_REQUIRE(c != nullptr, "ComponentRepository: factory for '" + class_name +
+                                    "' returned null");
+  return c;
+}
+
+std::vector<std::string> ComponentRepository::class_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) names.push_back(n);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Framework
+// ---------------------------------------------------------------------------
+
+Framework::~Framework() {
+  // Destroy components in reverse creation order so late-created proxies
+  // and monitors (which reference earlier components) die first.
+  for (auto it = creation_order_.rbegin(); it != creation_order_.rend(); ++it)
+    instances_.erase(*it);
+}
+
+Component& Framework::instantiate(const std::string& instance_name,
+                                  const std::string& class_name) {
+  CCAPERF_REQUIRE(instances_.count(instance_name) == 0,
+                  "instantiate: duplicate instance '" + instance_name + "'");
+  Instance inst;
+  inst.class_name = class_name;
+  inst.component = repo_.create(class_name);
+  inst.services = std::unique_ptr<Services>(new Services(instance_name));
+  Component& ref = *inst.component;
+  inst.component->setServices(*inst.services);
+  instances_.emplace(instance_name, std::move(inst));
+  creation_order_.push_back(instance_name);
+  return ref;
+}
+
+Framework::Instance& Framework::instance_at(const std::string& name) {
+  auto it = instances_.find(name);
+  CCAPERF_REQUIRE(it != instances_.end(), "Framework: unknown instance '" + name + "'");
+  return it->second;
+}
+
+const Framework::Instance& Framework::instance_at(const std::string& name) const {
+  auto it = instances_.find(name);
+  CCAPERF_REQUIRE(it != instances_.end(), "Framework: unknown instance '" + name + "'");
+  return it->second;
+}
+
+void Framework::connect(const std::string& user_instance, const std::string& uses_port,
+                        const std::string& provider_instance,
+                        const std::string& provides_port) {
+  Instance& user = instance_at(user_instance);
+  Instance& provider = instance_at(provider_instance);
+
+  // Locate the declared uses port and its type.
+  const PortInfo* uses_info = nullptr;
+  for (const PortInfo& p : user.services->uses_info_)
+    if (p.name == uses_port) uses_info = &p;
+  CCAPERF_REQUIRE(uses_info != nullptr, "connect: '" + user_instance +
+                                            "' declares no uses port '" + uses_port + "'");
+  CCAPERF_REQUIRE(user.services->bound_.count(uses_port) == 0,
+                  "connect: uses port '" + uses_port + "' of '" + user_instance +
+                      "' is already connected");
+
+  // Locate the provides port and check type compatibility.
+  auto pit = provider.services->provided_.find(provides_port);
+  CCAPERF_REQUIRE(pit != provider.services->provided_.end(),
+                  "connect: '" + provider_instance + "' provides no port '" +
+                      provides_port + "'");
+  const PortInfo* prov_info = nullptr;
+  for (const PortInfo& p : provider.services->provides_info_)
+    if (p.name == provides_port) prov_info = &p;
+  CCAPERF_REQUIRE(prov_info != nullptr && prov_info->type == uses_info->type,
+                  "connect: port type mismatch ('" + uses_info->type + "' vs '" +
+                      (prov_info ? prov_info->type : "?") + "')");
+
+  // "The process of connecting ports is just the movement of (pointers to)
+  // interfaces from the providing to the using component."
+  user.services->bound_[uses_port] = pit->second.get();
+  connections_.push_back(
+      Connection{user_instance, uses_port, provider_instance, provides_port});
+}
+
+void Framework::disconnect(const std::string& user_instance,
+                           const std::string& uses_port) {
+  Instance& user = instance_at(user_instance);
+  CCAPERF_REQUIRE(user.services->bound_.erase(uses_port) == 1,
+                  "disconnect: '" + user_instance + "'.'" + uses_port +
+                      "' is not connected");
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [&](const Connection& c) {
+                       return c.user_instance == user_instance &&
+                              c.uses_port == uses_port;
+                     }),
+      connections_.end());
+}
+
+void Framework::reconnect(const std::string& user_instance,
+                          const std::string& uses_port,
+                          const std::string& provider_instance,
+                          const std::string& provides_port) {
+  if (instance_at(user_instance).services->bound_.count(uses_port) != 0)
+    disconnect(user_instance, uses_port);
+  connect(user_instance, uses_port, provider_instance, provides_port);
+}
+
+bool Framework::has_instance(const std::string& instance_name) const {
+  return instances_.count(instance_name) != 0;
+}
+
+Component& Framework::component(const std::string& instance_name) {
+  return *instance_at(instance_name).component;
+}
+
+Services& Framework::services(const std::string& instance_name) {
+  return *instance_at(instance_name).services;
+}
+
+const Services& Framework::services(const std::string& instance_name) const {
+  return *instance_at(instance_name).services;
+}
+
+std::vector<std::string> Framework::instance_names() const {
+  return creation_order_;
+}
+
+WiringDiagram Framework::wiring() const {
+  WiringDiagram w;
+  for (const std::string& name : creation_order_) {
+    const Instance& inst = instance_at(name);
+    w.nodes.push_back(WiringDiagram::Node{name, inst.class_name,
+                                          inst.services->provides(),
+                                          inst.services->uses()});
+  }
+  w.connections = connections_;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// WiringDiagram
+// ---------------------------------------------------------------------------
+
+void WiringDiagram::print(std::ostream& os) const {
+  os << "Component assembly (" << nodes.size() << " instances, "
+     << connections.size() << " connections)\n";
+  for (const Node& n : nodes) {
+    os << "  " << n.instance << " : " << n.class_name << '\n';
+    for (const PortInfo& p : n.provides)
+      os << "      provides " << p.name << " <" << p.type << ">\n";
+    for (const PortInfo& p : n.uses)
+      os << "      uses     " << p.name << " <" << p.type << ">\n";
+  }
+  os << "  wiring:\n";
+  for (const Connection& c : connections)
+    os << "      " << c.user_instance << '.' << c.uses_port << " --> "
+       << c.provider_instance << '.' << c.provides_port << '\n';
+}
+
+std::string WiringDiagram::to_dot() const {
+  std::ostringstream os;
+  os << "digraph assembly {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const Node& n : nodes)
+    os << "  \"" << n.instance << "\" [label=\"" << n.instance << "\\n("
+       << n.class_name << ")\"];\n";
+  for (const Connection& c : connections)
+    os << "  \"" << c.user_instance << "\" -> \"" << c.provider_instance
+       << "\" [label=\"" << c.uses_port << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cca

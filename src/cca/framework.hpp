@@ -1,0 +1,211 @@
+#pragma once
+// cca — a CCAFFEINE-style Common Component Architecture framework.
+//
+// The paper (Section 3.1): components are peers created inside a
+// framework, where they register themselves and declare *UsesPorts* and
+// *ProvidesPorts*; "all CCAFFEINE components are derived from a data-less
+// abstract class with one deferred method called setServices(Services*)";
+// connecting ports "is just the movement of (pointers to) interfaces from
+// the providing to the using component", so "a method invocation on a
+// UsesPort incurs a virtual function call overhead" (we benchmark exactly
+// that in bench_ablation_overhead).
+//
+// Differences from CCAFFEINE, and why they don't matter here: components
+// are registered via in-process factories rather than dlopen'ed shared
+// objects — dynamic loading is orthogonal to every quantity the paper
+// measures (DESIGN.md, substitution table). The SCMD model is preserved by
+// instantiating one Framework per rank thread (mpp::Runtime).
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cca {
+
+/// Data-less abstract base of every port interface.
+class Port {
+ public:
+  virtual ~Port() = default;
+};
+
+class Services;
+
+/// Data-less abstract component base with the one deferred method.
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Invoked by the framework at creation; the component registers its
+  /// uses/provides ports through `svc`.
+  virtual void setServices(Services& svc) = 0;
+};
+
+struct PortInfo {
+  std::string name;  ///< port instance name, unique within the component
+  std::string type;  ///< port *type* string; connections must match types
+};
+
+/// Wraps a component-owned port interface in a non-owning shared_ptr for
+/// add_provides_port. The component outlives its ports because the
+/// framework destroys instances in reverse creation order; components that
+/// implement their own ports (the common CCAFFEINE idiom) use this.
+template <class P>
+std::shared_ptr<Port> non_owning(P* port) {
+  return std::shared_ptr<Port>(std::shared_ptr<void>{}, static_cast<Port*>(port));
+}
+
+/// Per-component-instance window onto the framework.
+class Services {
+ public:
+  /// Component-side: exports a provides port. The component keeps
+  /// ownership semantics via shared_ptr (often aliasing `this`).
+  void add_provides_port(std::shared_ptr<Port> port, const std::string& name,
+                         const std::string& type);
+  /// Component-side: declares a uses port to be connected later.
+  void register_uses_port(const std::string& name, const std::string& type);
+
+  /// Returns the provider's interface connected to this uses port.
+  /// Throws if the port is not connected.
+  Port* get_port(const std::string& uses_name) const;
+
+  /// Typed convenience: get_port + dynamic_cast, throwing on type mismatch.
+  template <class P>
+  P* get_port_as(const std::string& uses_name) const {
+    P* p = dynamic_cast<P*>(get_port(uses_name));
+    CCAPERF_REQUIRE(p != nullptr, "Services::get_port_as: port '" + uses_name +
+                                      "' is not of the requested interface");
+    return p;
+  }
+
+  /// True when the uses port currently has a provider.
+  bool is_connected(const std::string& uses_name) const;
+
+  /// Direct access to one of this component's own provides ports (how the
+  /// framework driver invokes a GoPort). Throws if not provided.
+  Port* provided(const std::string& provides_name) const;
+  template <class P>
+  P* provided_as(const std::string& provides_name) const {
+    P* p = dynamic_cast<P*>(provided(provides_name));
+    CCAPERF_REQUIRE(p != nullptr, "Services::provided_as: port '" + provides_name +
+                                      "' is not of the requested interface");
+    return p;
+  }
+
+  const std::string& instance_name() const { return instance_; }
+
+  const std::vector<PortInfo>& provides() const { return provides_info_; }
+  const std::vector<PortInfo>& uses() const { return uses_info_; }
+
+ private:
+  friend class Framework;
+  explicit Services(std::string instance) : instance_(std::move(instance)) {}
+
+  std::string instance_;
+  std::vector<PortInfo> provides_info_;
+  std::vector<PortInfo> uses_info_;
+  std::map<std::string, std::shared_ptr<Port>> provided_;  // name -> port
+  std::map<std::string, Port*> bound_;                     // uses name -> provider port
+};
+
+/// Factory registry: class name -> constructor. Multiple registered classes
+/// may provide the same port types — that is the "multiple implementations
+/// of a component" the assembly optimizer chooses among.
+class ComponentRepository {
+ public:
+  using Factory = std::function<std::unique_ptr<Component>()>;
+
+  void register_class(const std::string& class_name, Factory factory);
+  bool has(const std::string& class_name) const;
+  std::unique_ptr<Component> create(const std::string& class_name) const;
+  std::vector<std::string> class_names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// One port-to-port connection.
+struct Connection {
+  std::string user_instance;
+  std::string uses_port;
+  std::string provider_instance;
+  std::string provides_port;
+};
+
+/// Introspection snapshot of an assembled application (Fig. 2).
+struct WiringDiagram {
+  struct Node {
+    std::string instance;
+    std::string class_name;
+    std::vector<PortInfo> provides;
+    std::vector<PortInfo> uses;
+  };
+  std::vector<Node> nodes;
+  std::vector<Connection> connections;
+
+  void print(std::ostream& os) const;
+  /// GraphViz dot rendering (components as boxes, connections as edges).
+  std::string to_dot() const;
+};
+
+/// The framework: instantiates components from a repository, connects
+/// ports, and exposes the wiring (the paper's "global understanding of how
+/// the components are networked"). It also provides the
+/// AbstractFramework-style mutation hooks (reconnect) the Mastermind uses
+/// for dynamic component replacement (Fig. 10).
+class Framework {
+ public:
+  explicit Framework(ComponentRepository repository)
+      : repo_(std::move(repository)) {}
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+  ~Framework();
+
+  ComponentRepository& repository() { return repo_; }
+
+  /// Creates `class_name` under `instance_name` and runs setServices.
+  Component& instantiate(const std::string& instance_name,
+                         const std::string& class_name);
+
+  /// Connects user's uses port to provider's provides port (types must
+  /// match). A uses port holds at most one connection.
+  void connect(const std::string& user_instance, const std::string& uses_port,
+               const std::string& provider_instance,
+               const std::string& provides_port);
+
+  void disconnect(const std::string& user_instance, const std::string& uses_port);
+
+  /// Atomically re-points a uses port at a different provider (dynamic
+  /// component replacement).
+  void reconnect(const std::string& user_instance, const std::string& uses_port,
+                 const std::string& provider_instance,
+                 const std::string& provides_port);
+
+  bool has_instance(const std::string& instance_name) const;
+  Component& component(const std::string& instance_name);
+  Services& services(const std::string& instance_name);
+  const Services& services(const std::string& instance_name) const;
+  std::vector<std::string> instance_names() const;
+
+  WiringDiagram wiring() const;
+
+ private:
+  struct Instance {
+    std::string class_name;
+    std::unique_ptr<Component> component;
+    std::unique_ptr<Services> services;
+  };
+
+  Instance& instance_at(const std::string& name);
+  const Instance& instance_at(const std::string& name) const;
+
+  ComponentRepository repo_;
+  std::map<std::string, Instance> instances_;
+  std::vector<std::string> creation_order_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace cca

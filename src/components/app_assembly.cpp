@@ -1,0 +1,71 @@
+#include "components/app_assembly.hpp"
+
+#include "components/amrmesh_component.hpp"
+#include "components/flux_components.hpp"
+#include "components/inviscid_flux.hpp"
+#include "components/rk2_component.hpp"
+#include "components/states_component.hpp"
+
+namespace components {
+
+AppConfig AppConfig::case_study() {
+  AppConfig cfg;
+  // 96x48 base grid over a 2:1 shock tube; three levels at r=2 puts the
+  // finest resolution at 384x192 where the interface rolls up.
+  cfg.mesh.domain = amr::Box{0, 0, 95, 47};
+  cfg.mesh.max_levels = 3;
+  cfg.mesh.ratio = 2;
+  cfg.mesh.nghost = 2;
+  cfg.mesh.ncomp = euler::kNcomp;
+  cfg.mesh.level0_patch_size = 24;
+  cfg.mesh.cluster = amr::ClusterParams{0.80, 8, 96};
+  cfg.mesh.flag_buffer = 2;
+  cfg.mesh.geom = amr::Geometry{0.0, 0.0, 2.0 / 96.0, 1.0 / 48.0};
+  cfg.driver = DriverConfig{8, 0.4, 4};
+  return cfg;
+}
+
+cca::ComponentRepository make_repository(mpp::Comm& world, const AppConfig& cfg) {
+  cca::ComponentRepository repo;
+  const euler::GasModel gas = cfg.problem.gas;
+  repo.register_class("ShockDriver", [cfg] {
+    return std::make_unique<ShockDriverComponent>(cfg.driver);
+  });
+  repo.register_class("AMRMesh", [&world, cfg] {
+    return std::make_unique<AMRMeshComponent>(world, cfg.mesh, cfg.problem);
+  });
+  repo.register_class("RK2", [gas] {
+    auto rk2 = std::make_unique<RK2Component>();
+    rk2->set_gas(gas);
+    return rk2;
+  });
+  repo.register_class("InviscidFlux",
+                      [] { return std::make_unique<InviscidFluxComponent>(); });
+  repo.register_class("States",
+                      [gas] { return std::make_unique<StatesComponent>(gas); });
+  repo.register_class("EFMFlux",
+                      [gas] { return std::make_unique<EFMFluxComponent>(gas); });
+  repo.register_class("GodunovFlux",
+                      [gas] { return std::make_unique<GodunovFluxComponent>(gas); });
+  return repo;
+}
+
+std::unique_ptr<cca::Framework> assemble_app(mpp::Comm& world, const AppConfig& cfg) {
+  auto fw = std::make_unique<cca::Framework>(make_repository(world, cfg));
+  fw->instantiate("driver", "ShockDriver");
+  fw->instantiate("mesh", "AMRMesh");
+  fw->instantiate("rk2", "RK2");
+  fw->instantiate("invflux", "InviscidFlux");
+  fw->instantiate("states", "States");
+  fw->instantiate("flux", cfg.flux_impl);
+
+  fw->connect("driver", "mesh", "mesh", "mesh");
+  fw->connect("driver", "integrator", "rk2", "integrator");
+  fw->connect("rk2", "mesh", "mesh", "mesh");
+  fw->connect("rk2", "invflux", "invflux", "invflux");
+  fw->connect("invflux", "states", "states", "states");
+  fw->connect("invflux", "flux", "flux", "flux");
+  return fw;
+}
+
+}  // namespace components

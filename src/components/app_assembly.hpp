@@ -1,0 +1,40 @@
+#pragma once
+// Assembly of the case-study application (paper Fig. 2, minus the PMM
+// components — the instrumented assembly lives in core/instrumented_app).
+//
+// "To build a CCA application, an application developer simply composes
+// together a set of components using a CCA-compliant framework."
+
+#include <memory>
+#include <string>
+
+#include "amr/hierarchy.hpp"
+#include "cca/framework.hpp"
+#include "euler/problem.hpp"
+#include "components/shock_driver.hpp"
+
+namespace components {
+
+struct AppConfig {
+  amr::HierarchyConfig mesh;
+  euler::ShockInterfaceProblem problem;
+  DriverConfig driver;
+  /// Which FluxPort implementation to wire in: "EFMFlux" or "GodunovFlux".
+  std::string flux_impl = "GodunovFlux";
+
+  /// The paper's setup scaled to run quickly: a 3-level hierarchy (r = 2)
+  /// over a rectangular shock-tube domain.
+  static AppConfig case_study();
+};
+
+/// Registers every application component class. The returned repository's
+/// factories close over `world` and `cfg`; both EFMFlux and GodunovFlux
+/// are registered (the optimizer instantiates the alternate one later).
+cca::ComponentRepository make_repository(mpp::Comm& world, const AppConfig& cfg);
+
+/// Instantiates and wires the plain (uninstrumented) application:
+/// driver -> {mesh, rk2}; rk2 -> {mesh, invflux};
+/// invflux -> {states, <flux_impl>}.
+std::unique_ptr<cca::Framework> assemble_app(mpp::Comm& world, const AppConfig& cfg);
+
+}  // namespace components

@@ -1,0 +1,60 @@
+#pragma once
+// The interchangeable flux implementations (paper §5's Quality-of-Service
+// pair): EFMFlux (cheap, closed-form, more dissipative) and GodunovFlux
+// (accurate, per-element iterative Riemann solve, more expensive and more
+// variable). Both provide the same FluxPort, so an assembly can swap one
+// for the other — which is exactly what the composite-model optimizer
+// exploits.
+
+#include "components/ports.hpp"
+#include "euler/state.hpp"
+
+namespace components {
+
+class EFMFluxComponent final : public cca::Component, public FluxPort {
+ public:
+  explicit EFMFluxComponent(euler::GasModel gas) : gas_(gas) {}
+
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<FluxPort*>(this)), "flux",
+                          "euler.FluxPort");
+  }
+
+  euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
+                              euler::Dir dir, euler::Array2& flux) override {
+    hwc::NullProbe probe;
+    return euler::efm_flux_sweep(left, right, dir, gas_, flux, probe);
+  }
+
+  std::string method_name() const override { return "EFMFlux"; }
+  /// Kinetic flux-vector splitting smears contacts: lower quality score.
+  double accuracy() const override { return 0.7; }
+
+ private:
+  euler::GasModel gas_;
+};
+
+class GodunovFluxComponent final : public cca::Component, public FluxPort {
+ public:
+  explicit GodunovFluxComponent(euler::GasModel gas) : gas_(gas) {}
+
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<FluxPort*>(this)), "flux",
+                          "euler.FluxPort");
+  }
+
+  euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
+                              euler::Dir dir, euler::Array2& flux) override {
+    hwc::NullProbe probe;
+    return euler::godunov_flux_sweep(left, right, dir, gas_, flux, probe);
+  }
+
+  std::string method_name() const override { return "GodunovFlux"; }
+  /// Exact Riemann fluxes resolve every wave family: top quality score.
+  double accuracy() const override { return 1.0; }
+
+ private:
+  euler::GasModel gas_;
+};
+
+}  // namespace components

@@ -1,0 +1,53 @@
+#pragma once
+// InviscidFluxComponent — assembles dU/dt for one patch by driving the
+// States and Flux components through their ports in both directions
+// ("during the execution of the application, both the X- and Y-derivatives
+// are calculated and the two modes of operation of these components are
+// invoked in an alternating fashion", paper §5).
+//
+// In the instrumented assembly the proxies sit between this component and
+// States/EFMFlux/GodunovFlux — this is the caller whose invocations they
+// snoop.
+
+#include "components/ports.hpp"
+
+namespace components {
+
+class InviscidFluxComponent final : public cca::Component, public FluxDivergencePort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<FluxDivergencePort*>(this)),
+                          "invflux", "euler.FluxDivergencePort");
+    svc.register_uses_port("states", "euler.StatesPort");
+    svc.register_uses_port("flux", "euler.FluxPort");
+  }
+
+  void compute(const amr::PatchData<double>& u, const amr::Box& interior,
+               double dx, double dy, amr::PatchData<double>& dudt) override {
+    // Look the ports up per call: the Mastermind may dynamically reconnect
+    // the flux port to a different implementation between steps.
+    auto* states = svc_->get_port_as<StatesPort>("states");
+    auto* flux = svc_->get_port_as<FluxPort>("flux");
+
+    int nx = 0, ny = 0;
+    euler::face_dims(interior, euler::Dir::x, nx, ny);
+    euler::Array2 lx(nx, ny, euler::kNcomp), rx(nx, ny, euler::kNcomp),
+        fx(nx, ny, euler::kNcomp);
+    states->compute(u, interior, euler::Dir::x, lx, rx);
+    flux->compute(lx, rx, euler::Dir::x, fx);
+
+    euler::face_dims(interior, euler::Dir::y, nx, ny);
+    euler::Array2 ly(nx, ny, euler::kNcomp), ry(nx, ny, euler::kNcomp),
+        fy(nx, ny, euler::kNcomp);
+    states->compute(u, interior, euler::Dir::y, ly, ry);
+    flux->compute(ly, ry, euler::Dir::y, fy);
+
+    euler::flux_divergence(fx, fy, interior, dx, dy, dudt);
+  }
+
+ private:
+  cca::Services* svc_ = nullptr;
+};
+
+}  // namespace components

@@ -1,0 +1,99 @@
+#pragma once
+// RK2Component — "orchestrates the recursive processing of patches"
+// (paper §5): a two-stage Heun integrator over the level hierarchy with
+// time subcycling. With refinement ratio 2 and three levels, one coarse
+// advance processes levels in the paper's L0 L1 L2 L2 L1 L2 L2 sequence.
+//
+// Note on coarse-fine time coupling: fine-level ghost prolongation during
+// subcycles uses the already-advanced coarse state (first-order-in-time
+// boundary data) rather than interpolating between coarse time levels —
+// standard simplification that does not change any measured quantity.
+
+#include <map>
+
+#include "components/ports.hpp"
+
+namespace components {
+
+class RK2Component final : public cca::Component, public IntegratorPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<IntegratorPort*>(this)),
+                          "integrator", "euler.IntegratorPort");
+    svc.register_uses_port("mesh", "amr.MeshPort");
+    svc.register_uses_port("invflux", "euler.FluxDivergencePort");
+  }
+
+  double stable_dt(double cfl) override {
+    auto* mesh = svc_->get_port_as<MeshPort>("mesh");
+    amr::Hierarchy& h = mesh->hierarchy();
+    double vmax = 1e-12;
+    for (int l = 0; l < h.num_levels(); ++l) {
+      for (const auto& [id, data] : h.level(l).local_data()) {
+        const amr::Box interior = h.level(l).patch(id).box;
+        vmax = std::max(vmax, euler::max_wave_speed(data, interior, gas_));
+      }
+    }
+    vmax = h.comm().allreduce_value<mpp::MaxOp<double>>(vmax);
+    const double dx = std::min(h.dx(0), h.dy(0));
+    return cfl * dx / vmax;
+  }
+
+  void advance(double dt) override { advance_level(0, dt); }
+
+  void set_gas(const euler::GasModel& gas) { gas_ = gas; }
+
+ private:
+  void advance_level(int l, double dt) {
+    auto* mesh = svc_->get_port_as<MeshPort>("mesh");
+    auto* invflux = svc_->get_port_as<FluxDivergencePort>("invflux");
+    amr::Hierarchy& h = mesh->hierarchy();
+    amr::Level& lvl = h.level(l);
+    const double dx = h.dx(l), dy = h.dy(l);
+
+    if (l > 0) mesh->prolong(l);
+    mesh->ghost_update(l);
+
+    // Stage 1: U1 = U + dt L(U), keeping U for the Heun average.
+    std::map<int, amr::PatchData<double>> u_old;
+    for (auto& [id, data] : lvl.local_data()) u_old.emplace(id, data);
+    for (auto& [id, data] : lvl.local_data()) {
+      const amr::Box box = lvl.patch(id).box;
+      amr::PatchData<double> dudt(box, 0, euler::kNcomp, 0.0);
+      invflux->compute(data, box, dx, dy, dudt);
+      for (int c = 0; c < euler::kNcomp; ++c)
+        for (int j = box.lo().j; j <= box.hi().j; ++j)
+          for (int i = box.lo().i; i <= box.hi().i; ++i)
+            data(i, j, c) += dt * dudt(i, j, c);
+    }
+
+    // Stage 2: U <- (U_old + U1 + dt L(U1)) / 2.
+    if (l > 0) mesh->prolong(l);
+    mesh->ghost_update(l);
+    for (auto& [id, data] : lvl.local_data()) {
+      const amr::Box box = lvl.patch(id).box;
+      amr::PatchData<double> dudt(box, 0, euler::kNcomp, 0.0);
+      invflux->compute(data, box, dx, dy, dudt);
+      const amr::PatchData<double>& old = u_old.at(id);
+      for (int c = 0; c < euler::kNcomp; ++c)
+        for (int j = box.lo().j; j <= box.hi().j; ++j)
+          for (int i = box.lo().i; i <= box.hi().i; ++i)
+            data(i, j, c) =
+                0.5 * (old(i, j, c) + data(i, j, c) + dt * dudt(i, j, c));
+    }
+
+    // Subcycled children, then conservative averaging back onto us.
+    if (l + 1 < h.num_levels()) {
+      const int r = h.config().ratio;
+      for (int sub = 0; sub < r; ++sub)
+        advance_level(l + 1, dt / r);
+      mesh->restrict_level(l + 1);
+    }
+  }
+
+  cca::Services* svc_ = nullptr;
+  euler::GasModel gas_;
+};
+
+}  // namespace components

@@ -1,0 +1,104 @@
+#include "core/dual_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace core {
+
+DualGraph DualGraph::build(const cca::WiringDiagram& wiring,
+                           const VertexWeigher& vertex_weight,
+                           const EdgeWeigher& edge_weight) {
+  DualGraph g;
+  std::map<std::string, int> index;
+  for (const auto& node : wiring.nodes) {
+    const auto [compute, comm] = vertex_weight(node.instance);
+    index[node.instance] = static_cast<int>(g.vertices_.size());
+    g.vertices_.push_back(
+        DualVertex{node.instance, node.class_name, compute, comm});
+  }
+  for (const cca::Connection& c : wiring.connections) {
+    DualEdge e;
+    e.caller = index.at(c.user_instance);
+    e.callee = index.at(c.provider_instance);
+    e.port = c.uses_port;
+    e.invocations = edge_weight(c);
+    g.edges_.push_back(e);
+  }
+  return g;
+}
+
+int DualGraph::vertex_index(const std::string& instance) const {
+  for (std::size_t i = 0; i < vertices_.size(); ++i)
+    if (vertices_[i].instance == instance) return static_cast<int>(i);
+  return -1;
+}
+
+double DualGraph::total_us() const {
+  double total = 0.0;
+  for (const DualVertex& v : vertices_) total += v.total_us();
+  return total;
+}
+
+std::vector<std::string> DualGraph::negligible(double fraction) const {
+  const double cutoff = total_us() * fraction;
+  std::vector<std::string> out;
+  for (const DualVertex& v : vertices_)
+    if (v.total_us() < cutoff) out.push_back(v.instance);
+  return out;
+}
+
+DualGraph DualGraph::pruned(double fraction) const {
+  const auto drop = negligible(fraction);
+  DualGraph g;
+  std::map<int, int> remap;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (std::find(drop.begin(), drop.end(), vertices_[i].instance) != drop.end())
+      continue;
+    remap[static_cast<int>(i)] = static_cast<int>(g.vertices_.size());
+    g.vertices_.push_back(vertices_[i]);
+  }
+  for (const DualEdge& e : edges_) {
+    auto a = remap.find(e.caller);
+    auto b = remap.find(e.callee);
+    if (a == remap.end() || b == remap.end()) continue;
+    DualEdge copy = e;
+    copy.caller = a->second;
+    copy.callee = b->second;
+    g.edges_.push_back(copy);
+  }
+  return g;
+}
+
+void DualGraph::print(std::ostream& os) const {
+  os << "Application dual (" << vertices_.size() << " vertices, " << edges_.size()
+     << " edges, predicted total " << total_us() / 1000.0 << " ms)\n";
+  for (const DualVertex& v : vertices_)
+    os << "  [" << v.instance << " : " << v.class_name
+       << "] compute=" << v.compute_us / 1000.0
+       << " ms  comm=" << v.comm_us / 1000.0 << " ms\n";
+  for (const DualEdge& e : edges_)
+    os << "  " << vertices_[static_cast<std::size_t>(e.caller)].instance << " -"
+       << e.port << "-> " << vertices_[static_cast<std::size_t>(e.callee)].instance
+       << "  (N=" << e.invocations << ")\n";
+}
+
+std::string DualGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph dual {\n  rankdir=TB;\n";
+  for (const DualVertex& v : vertices_)
+    os << "  \"" << v.instance << "\" [shape=ellipse, label=\"" << v.instance
+       << "\\ncompute " << v.compute_us / 1000.0 << " ms\\ncomm "
+       << v.comm_us / 1000.0 << " ms\"];\n";
+  for (const DualEdge& e : edges_)
+    os << "  \"" << vertices_[static_cast<std::size_t>(e.caller)].instance
+       << "\" -> \"" << vertices_[static_cast<std::size_t>(e.callee)].instance
+       << "\" [label=\"N=" << e.invocations << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace core

@@ -1,0 +1,75 @@
+#pragma once
+// The application dual (paper Fig. 10): "a composite performance model
+// where the variables are the individual performance models of the
+// components themselves ... constructed as a directed graph in the
+// Mastermind, with edge weights corresponding to the number of invocations
+// and the vertex weights being the compute and communication times
+// determined from the performance models. The parent-child relationship is
+// preserved to identify sub-graphs that do not contribute much to the
+// execution time and thus can be neglected during component assembly
+// optimization."
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cca/framework.hpp"
+
+namespace core {
+
+struct DualVertex {
+  std::string instance;    ///< component instance name
+  std::string class_name;  ///< implementation class
+  double compute_us = 0.0; ///< predicted (or measured) compute weight
+  double comm_us = 0.0;    ///< predicted (or measured) communication weight
+  double total_us() const { return compute_us + comm_us; }
+};
+
+struct DualEdge {
+  int caller = -1;  ///< vertex index of the uses side
+  int callee = -1;  ///< vertex index of the provides side
+  std::string port;
+  double invocations = 0.0;
+};
+
+/// Weights the Mastermind attaches to an instance when constructing the
+/// dual: (compute_us, comm_us). Instances without records get zeros.
+using VertexWeigher = std::function<std::pair<double, double>(const std::string&)>;
+/// Invocation count for a (caller, port) connection.
+using EdgeWeigher = std::function<double(const cca::Connection&)>;
+
+class DualGraph {
+ public:
+  /// Builds the dual from the framework's wiring diagram (the "global
+  /// understanding of how the components are networked") plus weights.
+  static DualGraph build(const cca::WiringDiagram& wiring,
+                         const VertexWeigher& vertex_weight,
+                         const EdgeWeigher& edge_weight);
+
+  const std::vector<DualVertex>& vertices() const { return vertices_; }
+  const std::vector<DualEdge>& edges() const { return edges_; }
+
+  int vertex_index(const std::string& instance) const;
+
+  /// Total predicted application time (sum of vertex weights).
+  double total_us() const;
+
+  /// Vertices whose total weight is below `fraction` of the application
+  /// total — the "sub-graphs that do not contribute much to the execution
+  /// time and thus can be neglected during component assembly
+  /// optimization".
+  std::vector<std::string> negligible(double fraction) const;
+
+  /// Dual with negligible vertices (and their edges) removed.
+  DualGraph pruned(double fraction) const;
+
+  void print(std::ostream& os) const;
+  std::string to_dot() const;
+
+ private:
+  std::vector<DualVertex> vertices_;
+  std::vector<DualEdge> edges_;
+};
+
+}  // namespace core

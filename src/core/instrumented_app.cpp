@@ -1,0 +1,72 @@
+#include "core/instrumented_app.hpp"
+
+namespace core {
+
+void register_pmm_classes(cca::ComponentRepository& repo,
+                          const components::AppConfig& cfg) {
+  repo.register_class("TauMeasurement",
+                      [] { return std::make_unique<TauMeasurementComponent>(); });
+  repo.register_class("Mastermind",
+                      [] { return std::make_unique<MastermindComponent>(); });
+  repo.register_class("StatesProxy", [] { return std::make_unique<StatesProxy>(); });
+  repo.register_class("AMRMeshProxy",
+                      [] { return std::make_unique<AMRMeshProxy>(); });
+  // The flux proxy's timer name tracks the implementation it fronts
+  // (paper Fig. 3 shows g_proxy for GodunovFlux).
+  const std::string key =
+      cfg.flux_impl == "EFMFlux" ? "efm_proxy::compute()" : "g_proxy::compute()";
+  repo.register_class("FluxProxy",
+                      [key] { return std::make_unique<FluxProxy>(key); });
+}
+
+InstrumentedApp assemble_instrumented_app(mpp::Comm& world,
+                                          const components::AppConfig& cfg) {
+  auto repo = components::make_repository(world, cfg);
+  register_pmm_classes(repo, cfg);
+
+  InstrumentedApp app;
+  app.framework = std::make_unique<cca::Framework>(std::move(repo));
+  cca::Framework& fw = *app.framework;
+
+  // Application components (same set as the plain assembly).
+  fw.instantiate("driver", "ShockDriver");
+  fw.instantiate("mesh", "AMRMesh");
+  fw.instantiate("rk2", "RK2");
+  fw.instantiate("invflux", "InviscidFlux");
+  fw.instantiate("states", "States");
+  fw.instantiate("flux", cfg.flux_impl);
+
+  // PMM components, created last so they are destroyed first.
+  fw.instantiate("tau", "TauMeasurement");
+  fw.instantiate("mastermind", "Mastermind");
+  fw.instantiate("sc_proxy", "StatesProxy");
+  fw.instantiate("flux_proxy", "FluxProxy");
+  fw.instantiate("icc_proxy", "AMRMeshProxy");
+
+  app.tau = dynamic_cast<TauMeasurementComponent*>(&fw.component("tau"));
+  app.mastermind = dynamic_cast<MastermindComponent*>(&fw.component("mastermind"));
+  CCAPERF_REQUIRE(app.tau != nullptr && app.mastermind != nullptr,
+                  "instrumented app: PMM component cast failed");
+
+  // Measurement plumbing.
+  fw.connect("mastermind", "measurement", "tau", "measurement");
+  fw.connect("sc_proxy", "monitor", "mastermind", "monitor");
+  fw.connect("flux_proxy", "monitor", "mastermind", "monitor");
+  fw.connect("icc_proxy", "monitor", "mastermind", "monitor");
+
+  // Proxies in front of their components.
+  fw.connect("sc_proxy", "states_real", "states", "states");
+  fw.connect("flux_proxy", "flux_real", "flux", "flux");
+  fw.connect("icc_proxy", "mesh_real", "mesh", "mesh");
+
+  // Application wiring, consumers pointed at the proxies.
+  fw.connect("driver", "mesh", "icc_proxy", "mesh");
+  fw.connect("driver", "integrator", "rk2", "integrator");
+  fw.connect("rk2", "mesh", "icc_proxy", "mesh");
+  fw.connect("rk2", "invflux", "invflux", "invflux");
+  fw.connect("invflux", "states", "sc_proxy", "states");
+  fw.connect("invflux", "flux", "flux_proxy", "flux");
+  return app;
+}
+
+}  // namespace core

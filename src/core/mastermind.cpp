@@ -1,0 +1,164 @@
+#include "core/mastermind.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "support/table.hpp"
+
+namespace core {
+
+void Record::dump_csv(std::ostream& os) const {
+  // Stable column set: union of parameter / counter names.
+  std::set<std::string> param_names;
+  std::set<std::string> counter_names;
+  for (const Invocation& inv : invocations_) {
+    for (const auto& [k, v] : inv.params) param_names.insert(k);
+    for (const auto& [k, v] : inv.counters) counter_names.insert(k);
+  }
+  ccaperf::CsvWriter csv(os);
+  std::vector<std::string> header{"method", "wall_us", "mpi_us", "compute_us"};
+  for (const auto& p : param_names) header.push_back("param:" + p);
+  for (const auto& c : counter_names) header.push_back("hw:" + c);
+  csv.row(header);
+  for (const Invocation& inv : invocations_) {
+    std::vector<std::string> row{method_, ccaperf::fmt_double(inv.wall_us, 10),
+                                 ccaperf::fmt_double(inv.mpi_us, 10),
+                                 ccaperf::fmt_double(inv.compute_us, 10)};
+    for (const auto& p : param_names) {
+      auto it = inv.params.find(p);
+      row.push_back(it == inv.params.end() ? "" : ccaperf::fmt_double(it->second, 10));
+    }
+    for (const auto& cn : counter_names) {
+      auto it = std::find_if(inv.counters.begin(), inv.counters.end(),
+                             [&](const auto& kv) { return kv.first == cn; });
+      row.push_back(it == inv.counters.end() ? ""
+                                             : ccaperf::fmt_double(it->second, 10));
+    }
+    csv.row(row);
+  }
+}
+
+std::vector<std::pair<double, double>> Record::samples(const std::string& param,
+                                                       Metric metric) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(invocations_.size());
+  for (const Invocation& inv : invocations_) {
+    auto it = inv.params.find(param);
+    if (it == inv.params.end()) continue;
+    const double t = metric == Metric::wall      ? inv.wall_us
+                     : metric == Metric::compute ? inv.compute_us
+                                                 : inv.mpi_us;
+    out.emplace_back(it->second, t);
+  }
+  return out;
+}
+
+tau::Registry& MastermindComponent::registry() {
+  return svc_->get_port_as<MeasurementPort>("measurement")->registry();
+}
+
+void MastermindComponent::start(const std::string& method_key, const ParamMap& params) {
+  tau::Registry& reg = registry();
+  Open open;
+  open.key = method_key;
+  open.params = params;
+  // Parameter extraction and snapshots happen OUTSIDE the method timer, so
+  // "these timings do not include the cost of the work done in the
+  // proxies" (§5).
+  open.mpi_us_start = reg.group_inclusive_us(tau::kMpiGroup);
+  open.counters_start = reg.counters().read_all();
+  // Call-path detection: the enclosing monitored method (if any) is the
+  // caller of this invocation.
+  count_edge(open_.empty() ? std::string{} : open_.back().key, method_key);
+  open_.push_back(std::move(open));
+  reg.start(reg.timer(method_key, "PROXY"));
+  open_.back().wall_start = tau::Clock::now();
+}
+
+void MastermindComponent::stop(const std::string& method_key) {
+  const tau::Clock::time_point wall_end = tau::Clock::now();
+  tau::Registry& reg = registry();
+  reg.stop(reg.timer(method_key, "PROXY"));
+
+  CCAPERF_REQUIRE(!open_.empty() && open_.back().key == method_key,
+                  "Mastermind::stop: mismatched monitoring stop for '" +
+                      method_key + "'");
+  Open open = std::move(open_.back());
+  open_.pop_back();
+
+  Invocation inv;
+  inv.params = std::move(open.params);
+  inv.wall_us =
+      std::chrono::duration<double, std::micro>(wall_end - open.wall_start).count();
+  inv.mpi_us = reg.group_inclusive_us(tau::kMpiGroup) - open.mpi_us_start;
+  inv.compute_us = inv.wall_us - inv.mpi_us;
+  const auto counters_end = reg.counters().read_all();
+  for (const auto& [name, value] : counters_end) {
+    auto it = std::find_if(open.counters_start.begin(), open.counters_start.end(),
+                           [&](const auto& kv) { return kv.first == name; });
+    const double before =
+        it == open.counters_start.end() ? 0.0 : static_cast<double>(it->second);
+    inv.counters.emplace_back(name, static_cast<double>(value) - before);
+  }
+
+  for (auto& [key, rec] : records_) {
+    if (key == method_key) {
+      rec.add(std::move(inv));
+      return;
+    }
+  }
+  records_.emplace_back(method_key, Record(method_key));
+  records_.back().second.add(std::move(inv));
+}
+
+void MastermindComponent::count_edge(const std::string& caller,
+                                     const std::string& callee) {
+  for (CallEdge& e : edges_) {
+    if (e.caller == caller && e.callee == callee) {
+      ++e.count;
+      return;
+    }
+  }
+  edges_.push_back(CallEdge{caller, callee, 1});
+}
+
+std::uint64_t MastermindComponent::call_count(const std::string& caller,
+                                              const std::string& callee) const {
+  for (const CallEdge& e : edges_)
+    if (e.caller == caller && e.callee == callee) return e.count;
+  return 0;
+}
+
+const Record* MastermindComponent::record(const std::string& method_key) const {
+  for (const auto& [key, rec] : records_)
+    if (key == method_key) return &rec;
+  return nullptr;
+}
+
+std::vector<std::string> MastermindComponent::method_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(records_.size());
+  for (const auto& [key, rec] : records_) keys.push_back(key);
+  return keys;
+}
+
+void MastermindComponent::dump_all(const std::string& dir, int rank) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& [key, rec] : records_) {
+    std::string name = key;
+    for (char& ch : name)
+      if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    std::ofstream os(dir + "/" + name + ".rank" + std::to_string(rank) + ".csv");
+    rec.dump_csv(os);
+  }
+}
+
+MastermindComponent::~MastermindComponent() {
+  if (dump_dir_) dump_all(*dump_dir_, dump_rank_);
+}
+
+}  // namespace core

@@ -1,0 +1,118 @@
+#pragma once
+// MastermindComponent — gathering, storing and reporting of measurement
+// data (paper §4.3).
+//
+// For each monitored method a Record holds one Invocation per call:
+// the proxy-extracted parameters, wall-clock time, MPI time (difference of
+// the TAU "MPI" group inclusive sum queried before and after the
+// invocation — "TAU measurements are made cumulatively, so in order to
+// obtain the measurements for a single invocation, measurements must be
+// made prior to the invocation and again after"), compute time
+// (wall - MPI), and hardware-counter deltas. On destruction (or on
+// demand) records dump their data to CSV files.
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "core/ports.hpp"
+
+namespace core {
+
+/// One monitored method call.
+struct Invocation {
+  ParamMap params;
+  double wall_us = 0.0;
+  double mpi_us = 0.0;
+  double compute_us = 0.0;  ///< wall - mpi (requirement 3 of §3.2)
+  std::vector<std::pair<std::string, double>> counters;  ///< hw metric deltas
+};
+
+/// All invocations of one monitored method.
+class Record {
+ public:
+  explicit Record(std::string method) : method_(std::move(method)) {}
+
+  const std::string& method() const { return method_; }
+  const std::vector<Invocation>& invocations() const { return invocations_; }
+  std::size_t count() const { return invocations_.size(); }
+
+  void add(Invocation inv) { invocations_.push_back(std::move(inv)); }
+
+  /// CSV: one row per invocation; params and counters become columns.
+  void dump_csv(std::ostream& os) const;
+
+  /// Samples (param value, metric) for model fitting. `metric` selects
+  /// wall/compute/mpi time; invocations lacking the parameter are skipped.
+  enum class Metric { wall, compute, mpi };
+  std::vector<std::pair<double, double>> samples(const std::string& param,
+                                                 Metric metric = Metric::wall) const;
+
+ private:
+  std::string method_;
+  std::vector<Invocation> invocations_;
+};
+
+class MastermindComponent final : public cca::Component, public MonitorPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<MonitorPort*>(this)),
+                          "monitor", "pmm.MonitorPort");
+    svc.register_uses_port("measurement", "pmm.MeasurementPort");
+  }
+
+  void start(const std::string& method_key, const ParamMap& params) override;
+  void stop(const std::string& method_key) override;
+
+  const Record* record(const std::string& method_key) const;
+  std::vector<std::string> method_keys() const;
+
+  /// Caller->callee invocation counts among *monitored* methods, detected
+  /// from monitoring nesting (paper §6: "a call trace (detected and
+  /// recorded by the performance infrastructure)" feeds the composite
+  /// model). An edge ("", child) counts top-level invocations.
+  struct CallEdge {
+    std::string caller;  ///< empty for top-level
+    std::string callee;
+    std::uint64_t count = 0;
+  };
+  const std::vector<CallEdge>& call_edges() const { return edges_; }
+  /// Count for one specific edge (0 if absent).
+  std::uint64_t call_count(const std::string& caller, const std::string& callee) const;
+
+  /// Writes every record to `<dir>/<sanitized method>.rank<r>.csv`.
+  void dump_all(const std::string& dir, int rank) const;
+
+  /// If set, records are dumped on destruction (the paper's "when a record
+  /// object is destroyed, it outputs to a file all of the measurement
+  /// data").
+  void set_dump_on_destroy(std::string dir, int rank) {
+    dump_dir_ = std::move(dir);
+    dump_rank_ = rank;
+  }
+
+  ~MastermindComponent() override;
+
+ private:
+  struct Open {
+    std::string key;
+    ParamMap params;
+    tau::Clock::time_point wall_start;
+    double mpi_us_start = 0.0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters_start;
+  };
+
+  tau::Registry& registry();
+
+  void count_edge(const std::string& caller, const std::string& callee);
+
+  cca::Services* svc_ = nullptr;
+  std::vector<std::pair<std::string, Record>> records_;
+  std::vector<Open> open_;  // LIFO of in-flight monitored calls
+  std::vector<CallEdge> edges_;
+  std::optional<std::string> dump_dir_;
+  int dump_rank_ = 0;
+};
+
+}  // namespace core

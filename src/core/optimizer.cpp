@@ -1,0 +1,72 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace core {
+
+void AssemblyOptimizer::add_slot(Slot slot) {
+  CCAPERF_REQUIRE(!slot.candidates.empty(), "AssemblyOptimizer: slot without candidates");
+  for (const Candidate& c : slot.candidates)
+    CCAPERF_REQUIRE(c.time_model != nullptr,
+                    "AssemblyOptimizer: candidate '" + c.class_name +
+                        "' has no performance model");
+  slots_.push_back(std::move(slot));
+}
+
+std::size_t AssemblyOptimizer::assembly_count() const {
+  std::size_t n = 1;
+  for (const Slot& s : slots_) n *= s.candidates.size();
+  return n;
+}
+
+double AssemblyOptimizer::slot_time(const Slot& slot, const Candidate& c) const {
+  double t = 0.0;
+  for (const auto& [q, count] : slot.workload)
+    t += count * std::max(0.0, c.time_model->predict(q));
+  return t;
+}
+
+std::vector<AssemblyChoice> AssemblyOptimizer::evaluate_all(
+    double accuracy_weight) const {
+  CCAPERF_REQUIRE(!slots_.empty(), "AssemblyOptimizer: no slots");
+  std::vector<AssemblyChoice> results;
+  std::vector<std::size_t> pick(slots_.size(), 0);
+
+  for (;;) {
+    AssemblyChoice choice;
+    choice.predicted_time_us = fixed_time_us_;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      const Slot& slot = slots_[s];
+      const Candidate& c = slot.candidates[pick[s]];
+      choice.selection[slot.functionality] = c.class_name;
+      choice.predicted_time_us += slot_time(slot, c);
+      choice.min_accuracy = std::min(choice.min_accuracy, c.accuracy);
+    }
+    choice.cost = choice.predicted_time_us *
+                  (1.0 + accuracy_weight * (1.0 - choice.min_accuracy));
+    results.push_back(std::move(choice));
+
+    // Advance the mixed-radix counter over candidate indices.
+    std::size_t s = 0;
+    while (s < slots_.size()) {
+      if (++pick[s] < slots_[s].candidates.size()) break;
+      pick[s] = 0;
+      ++s;
+    }
+    if (s == slots_.size()) break;
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const AssemblyChoice& a, const AssemblyChoice& b) {
+              return a.cost < b.cost;
+            });
+  return results;
+}
+
+AssemblyChoice AssemblyOptimizer::best(double accuracy_weight) const {
+  return evaluate_all(accuracy_weight).front();
+}
+
+}  // namespace core

@@ -1,0 +1,76 @@
+#pragma once
+// Component assembly optimization (paper §2/§6; Furmento et al.'s
+// approach adapted to CCA): "With n components, each having Ci
+// implementations, there is a total of prod(Ci) implementations to choose
+// from. ... The implementation with the lowest execution time or lowest
+// cost is then selected." The composite model is the dual-graph cost
+// function with a variable per slot; evaluating a choice substitutes the
+// implementation's performance model.
+//
+// Quality of Service: "the performance of a component implementation
+// would be viewed with respect to the size of the problem as well as the
+// quality of the solution produced by it" — the cost function optionally
+// penalizes inaccurate implementations via `accuracy_weight`.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/modeling.hpp"
+
+namespace core {
+
+/// One candidate implementation of a functionality slot.
+struct Candidate {
+  std::string class_name;
+  const PerfModel* time_model = nullptr;  ///< per-invocation time vs Q
+  double accuracy = 1.0;                  ///< QoS score in [0, 1]
+};
+
+/// A replaceable position in the assembly: every candidate provides the
+/// same port type; the workload is `invocations` calls at sizes `qs`
+/// (typically the distinct patch sizes seen by the call path, each with
+/// its own count).
+struct Slot {
+  std::string functionality;  ///< e.g. "FluxPort"
+  std::vector<Candidate> candidates;
+  /// Workload: (Q, number of invocations at that Q).
+  std::vector<std::pair<double, double>> workload;
+};
+
+/// One fully specified assembly and its evaluation.
+struct AssemblyChoice {
+  std::map<std::string, std::string> selection;  ///< slot -> class name
+  double predicted_time_us = 0.0;
+  double min_accuracy = 1.0;
+  /// cost = time * (1 + w * (1 - min_accuracy)): pure time at w = 0,
+  /// increasingly accuracy-dominated as w grows.
+  double cost = 0.0;
+};
+
+class AssemblyOptimizer {
+ public:
+  /// `fixed_time_us`: predicted time of the non-replaceable rest of the
+  /// dual (it shifts every choice equally but keeps costs interpretable).
+  explicit AssemblyOptimizer(double fixed_time_us = 0.0)
+      : fixed_time_us_(fixed_time_us) {}
+
+  void add_slot(Slot slot);
+
+  /// Exhaustively evaluates all prod(Ci) assemblies at the given QoS
+  /// weight, best (lowest cost) first.
+  std::vector<AssemblyChoice> evaluate_all(double accuracy_weight = 0.0) const;
+
+  AssemblyChoice best(double accuracy_weight = 0.0) const;
+
+  std::size_t assembly_count() const;
+
+ private:
+  double slot_time(const Slot& slot, const Candidate& c) const;
+
+  double fixed_time_us_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace core

@@ -1,0 +1,44 @@
+#pragma once
+// PMM (performance measurement and modeling) port interfaces — the
+// infrastructure contribution of the paper (§4).
+//
+// Three component types cooperate:
+//  * the TAU component provides MeasurementPort (timing, events, control,
+//    query — §4.1);
+//  * proxies use MonitorPort to report intercepted invocations (§4.2);
+//  * the Mastermind provides MonitorPort, owns the per-method Records and
+//    builds models (§4.3).
+
+#include <map>
+#include <string>
+
+#include "cca/framework.hpp"
+#include "tau/registry.hpp"
+
+namespace core {
+
+/// Performance-relevant parameters extracted by a proxy before forwarding
+/// an invocation (e.g. {"Q": array size, "mode": 0/1 for seq/strided}).
+/// "These parameters must be selected by someone with a knowledge of the
+/// algorithm implemented in the component."
+using ParamMap = std::map<std::string, double>;
+
+/// Access to the measurement substrate (the TAU component's port).
+class MeasurementPort : public cca::Port {
+ public:
+  /// The rank-local TAU registry (timing/event/control/query interfaces).
+  virtual tau::Registry& registry() = 0;
+};
+
+/// Monitoring interface used by proxies (the paper's "MonUF port").
+/// start() is called with the extracted parameters before the invocation
+/// is forwarded; stop() after it returns. Nesting is allowed (LIFO).
+class MonitorPort : public cca::Port {
+ public:
+  /// `method_key` identifies the monitored method and doubles as its TAU
+  /// timer name (e.g. "sc_proxy::compute()").
+  virtual void start(const std::string& method_key, const ParamMap& params) = 0;
+  virtual void stop(const std::string& method_key) = 0;
+};
+
+}  // namespace core

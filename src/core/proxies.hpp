@@ -1,0 +1,168 @@
+#pragma once
+// Proxy components (paper §4.2).
+//
+// "For each component that the user wants to analyze, a proxy component is
+// created. The proxy component shares the same interface as the actual
+// component. ... the proxy is able to snoop the method invocation on the
+// ProvidesPort, and then forward the method invocation to the component on
+// the UsesPort. In addition, the proxy also uses a MonUF port to make
+// measurements."
+//
+// Timer names follow the paper's Fig. 3 profile: sc_proxy (States),
+// g_proxy (GodunovFlux), efm_proxy (EFMFlux), icc_proxy (AMRMesh).
+// Each proxy extracts its component's performance parameters (array size
+// Q, access mode, hierarchy level) before forwarding — §3.2 requirement 4.
+//
+// The proxies are mechanical: same ports, one monitored forward per
+// method. `MonitoredScope` is the shared body, demonstrating that "it is
+// not difficult to envision proxy creation being fully automated."
+
+#include "components/ports.hpp"
+#include "core/ports.hpp"
+
+namespace core {
+
+/// RAII monitor bracket used by every generated proxy method.
+class MonitoredScope {
+ public:
+  MonitoredScope(MonitorPort& monitor, const char* key, const ParamMap& params)
+      : monitor_(monitor), key_(key) {
+    monitor_.start(key_, params);
+  }
+  ~MonitoredScope() { monitor_.stop(key_); }
+  MonitoredScope(const MonitoredScope&) = delete;
+  MonitoredScope& operator=(const MonitoredScope&) = delete;
+
+ private:
+  MonitorPort& monitor_;
+  const char* key_;
+};
+
+/// Proxy for the States component ("sc_proxy"). Performance parameters:
+/// Q = input array size (cells incl. ghosts), mode = 0 sequential / 1 strided.
+class StatesProxy final : public cca::Component, public components::StatesPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<StatesPort*>(this)),
+                          "states", "euler.StatesPort");
+    svc.register_uses_port("states_real", "euler.StatesPort");
+    svc.register_uses_port("monitor", "pmm.MonitorPort");
+  }
+
+  euler::KernelCounts compute(const amr::PatchData<double>& u,
+                              const amr::Box& interior, euler::Dir dir,
+                              euler::Array2& left, euler::Array2& right) override {
+    auto* monitor = svc_->get_port_as<MonitorPort>("monitor");
+    auto* real = svc_->get_port_as<StatesPort>("states_real");
+    const ParamMap params{
+        {"Q", static_cast<double>(u.pts_per_comp())},
+        {"mode", dir == euler::Dir::x ? 0.0 : 1.0},
+    };
+    MonitoredScope scope(*monitor, "sc_proxy::compute()", params);
+    return real->compute(u, interior, dir, left, right);
+  }
+
+ private:
+  cca::Services* svc_ = nullptr;
+};
+
+/// Proxy for a FluxPort implementation. The timer key is chosen at
+/// construction ("g_proxy::compute()" for GodunovFlux,
+/// "efm_proxy::compute()" for EFMFlux). Q = faces * ncomp of the input
+/// state arrays (the "array size" handed to the flux component).
+class FluxProxy final : public cca::Component, public components::FluxPort {
+ public:
+  explicit FluxProxy(std::string timer_key) : key_(std::move(timer_key)) {}
+
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<FluxPort*>(this)), "flux",
+                          "euler.FluxPort");
+    svc.register_uses_port("flux_real", "euler.FluxPort");
+    svc.register_uses_port("monitor", "pmm.MonitorPort");
+  }
+
+  euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
+                              euler::Dir dir, euler::Array2& flux) override {
+    auto* monitor = svc_->get_port_as<MonitorPort>("monitor");
+    auto* real = svc_->get_port_as<FluxPort>("flux_real");
+    const ParamMap params{
+        {"Q", static_cast<double>(static_cast<std::size_t>(left.nx()) * left.ny())},
+        {"mode", dir == euler::Dir::x ? 0.0 : 1.0},
+    };
+    MonitoredScope scope(*monitor, key_.c_str(), params);
+    return real->compute(left, right, dir, flux);
+  }
+
+  std::string method_name() const override {
+    return svc_->get_port_as<FluxPort>("flux_real")->method_name();
+  }
+  double accuracy() const override {
+    return svc_->get_port_as<FluxPort>("flux_real")->accuracy();
+  }
+
+ private:
+  std::string key_;
+  cca::Services* svc_ = nullptr;
+};
+
+/// Proxy for AMRMesh ("icc_proxy"), capturing the message-passing costs:
+/// each monitored invocation's MPI time is the Fig. 9 data. Parameters:
+/// level, and the level's total cells.
+class AMRMeshProxy final : public cca::Component, public components::MeshPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<MeshPort*>(this)), "mesh",
+                          "amr.MeshPort");
+    svc.register_uses_port("mesh_real", "amr.MeshPort");
+    svc.register_uses_port("monitor", "pmm.MonitorPort");
+  }
+
+  amr::Hierarchy& hierarchy() override { return real()->hierarchy(); }
+
+  void initialize() override {
+    MonitoredScope scope(*monitor(), "icc_proxy::initialize()", {});
+    real()->initialize();
+  }
+
+  amr::ExchangeStats ghost_update(int level) override {
+    MonitoredScope scope(*monitor(), "icc_proxy::ghost_update()",
+                         level_params(level));
+    return real()->ghost_update(level);
+  }
+
+  void prolong(int level) override {
+    MonitoredScope scope(*monitor(), "icc_proxy::prolong()", level_params(level));
+    real()->prolong(level);
+  }
+
+  void restrict_level(int fine_level) override {
+    MonitoredScope scope(*monitor(), "icc_proxy::restrict()",
+                         level_params(fine_level));
+    real()->restrict_level(fine_level);
+  }
+
+  void regrid() override {
+    MonitoredScope scope(*monitor(), "icc_proxy::regrid()", {});
+    real()->regrid();
+  }
+
+ private:
+  components::MeshPort* real() {
+    return svc_->get_port_as<components::MeshPort>("mesh_real");
+  }
+  MonitorPort* monitor() { return svc_->get_port_as<MonitorPort>("monitor"); }
+  ParamMap level_params(int level) {
+    amr::Hierarchy& h = real()->hierarchy();
+    return ParamMap{
+        {"level", static_cast<double>(level)},
+        {"cells", static_cast<double>(h.level(level).total_cells())},
+    };
+  }
+
+  cca::Services* svc_ = nullptr;
+};
+
+}  // namespace core

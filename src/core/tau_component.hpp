@@ -1,0 +1,42 @@
+#pragma once
+// TauMeasurementComponent — the TAU component of §4.1.
+//
+// Owns the rank's tau::Registry and exposes it through MeasurementPort.
+// On creation it installs the PMPI-style hook adapter so every mpp call on
+// this rank is timed under the "MPI" group ("at runtime, a user can enable
+// or disable all MPI timers via their group identifier" — via
+// registry().set_group_enabled(tau::kMpiGroup, ...)).
+//
+// The component must be created and destroyed on its rank's thread (true
+// under the SCMD assembly, where each rank owns its framework).
+
+#include <memory>
+
+#include "core/ports.hpp"
+#include "tau/mpi_adapter.hpp"
+
+namespace core {
+
+class TauMeasurementComponent final : public cca::Component, public MeasurementPort {
+ public:
+  TauMeasurementComponent()
+      : adapter_(registry_), installer_(std::make_unique<mpp::HooksInstaller>(&adapter_)) {}
+
+  ~TauMeasurementComponent() override {
+    installer_.reset();  // uninstall hooks before the registry dies
+  }
+
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<MeasurementPort*>(this)),
+                          "measurement", "pmm.MeasurementPort");
+  }
+
+  tau::Registry& registry() override { return registry_; }
+
+ private:
+  tau::Registry registry_;
+  tau::MpiHookAdapter adapter_;
+  std::unique_ptr<mpp::HooksInstaller> installer_;
+};
+
+}  // namespace core

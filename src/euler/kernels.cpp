@@ -1,0 +1,261 @@
+#include "euler/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace euler {
+
+namespace {
+
+double minmod(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  return std::abs(a) < std::abs(b) ? a : b;
+}
+
+/// Gathers cell (i,j) as a primitive quintuple in the face-normal frame of
+/// `dir`: (rho, u_n, u_t, p, phi). Every component read is probed.
+template <class Probe>
+inline void load_prim(const amr::PatchData<double>& U, int i, int j, Dir dir,
+                      const GasModel& gas, Probe& probe, double w[kNcomp]) {
+  double q[kNcomp];
+  for (int c = 0; c < kNcomp; ++c) {
+    probe.load(&U(i, j, c), sizeof(double));
+    q[c] = U(i, j, c);
+  }
+  const Prim p = cons_to_prim(q, gas);
+  probe.flops(18);  // conversion cost (divides, gamma closure)
+  w[0] = p.rho;
+  w[1] = dir == Dir::x ? p.u : p.v;
+  w[2] = dir == Dir::x ? p.v : p.u;
+  w[3] = p.p;
+  w[4] = p.phi;
+}
+
+}  // namespace
+
+template <class Probe>
+KernelCounts compute_states(const amr::PatchData<double>& U,
+                            const amr::Box& interior, Dir dir,
+                            const GasModel& gas, Array2& left, Array2& right,
+                            Probe& probe) {
+  CCAPERF_REQUIRE(U.nghost() >= 2, "compute_states: need >= 2 ghost cells");
+  int nx = 0, ny = 0;
+  face_dims(interior, dir, nx, ny);
+  CCAPERF_REQUIRE(left.nx() == nx && left.ny() == ny && left.ncomp() == kNcomp &&
+                      right.nx() == nx && right.ny() == ny &&
+                      right.ncomp() == kNcomp,
+                  "compute_states: face array shape mismatch");
+  KernelCounts counts;
+
+  // wm2, wm1, w0, wp1: primitive states at the four stencil cells around a
+  // face (face between cell -1 and cell 0 of the local numbering).
+  double wm2[kNcomp], wm1[kNcomp], w0[kNcomp], wp1[kNcomp];
+
+  auto reconstruct_face = [&](int fi, int fj, auto cell_of) {
+    // cell_of(k) -> (i, j) of stencil cell k in {-2,-1,0,+1}.
+    auto [im2, jm2] = cell_of(-2);
+    auto [im1, jm1] = cell_of(-1);
+    auto [i0, j0] = cell_of(0);
+    auto [ip1, jp1] = cell_of(+1);
+    load_prim(U, im2, jm2, dir, gas, probe, wm2);
+    load_prim(U, im1, jm1, dir, gas, probe, wm1);
+    load_prim(U, i0, j0, dir, gas, probe, w0);
+    load_prim(U, ip1, jp1, dir, gas, probe, wp1);
+    for (int c = 0; c < kNcomp; ++c) {
+      const double sl = minmod(wm1[c] - wm2[c], w0[c] - wm1[c]);
+      const double sr = minmod(w0[c] - wm1[c], wp1[c] - w0[c]);
+      const double lv = wm1[c] + 0.5 * sl;
+      const double rv = w0[c] - 0.5 * sr;
+      left(fi, fj, c) = lv;
+      right(fi, fj, c) = rv;
+      probe.store(left.addr(fi, fj, c), sizeof(double));
+      probe.store(right.addr(fi, fj, c), sizeof(double));
+    }
+    probe.flops(8 * kNcomp);
+    ++counts.faces;
+  };
+
+  if (dir == Dir::x) {
+    // Sequential mode: inner loop is unit stride in memory.
+    for (int fj = 0; fj < ny; ++fj) {
+      const int j = interior.lo().j + fj;
+      for (int fi = 0; fi < nx; ++fi) {
+        const int i = interior.lo().i + fi;
+        reconstruct_face(fi, fj, [&](int k) { return std::pair{i + k, j}; });
+      }
+    }
+  } else {
+    // Strided mode: inner loop strides by the padded row length.
+    for (int fi = 0; fi < nx; ++fi) {
+      const int i = interior.lo().i + fi;
+      for (int fj = 0; fj < ny; ++fj) {
+        const int j = interior.lo().j + fj;
+        reconstruct_face(fi, fj, [&](int k) { return std::pair{i, j + k}; });
+      }
+    }
+  }
+  return counts;
+}
+
+namespace {
+
+/// Reads the 5 primitive face components with probing.
+template <class Probe>
+inline Prim load_face_state(const Array2& a, int fi, int fj, Probe& probe) {
+  Prim w;
+  double q[kNcomp];
+  for (int c = 0; c < kNcomp; ++c) {
+    probe.load(a.addr(fi, fj, c), sizeof(double));
+    q[c] = a(fi, fj, c);
+  }
+  w.rho = q[0];
+  w.u = q[1];  // face-normal frame
+  w.v = q[2];
+  w.p = q[3];
+  w.phi = q[4];
+  return w;
+}
+
+template <class Probe>
+inline void store_face_flux(Array2& flux, int fi, int fj, const FaceFlux& f,
+                            Probe& probe) {
+  flux(fi, fj, 0) = f.mass;
+  flux(fi, fj, 1) = f.mom_n;
+  flux(fi, fj, 2) = f.mom_t;
+  flux(fi, fj, 3) = f.energy;
+  flux(fi, fj, 4) = f.phi_mass;
+  for (int c = 0; c < kNcomp; ++c) probe.store(flux.addr(fi, fj, c), sizeof(double));
+}
+
+/// Shared sweep driver: walks faces in the direction-appropriate loop
+/// order and applies `face_op(fi, fj)`.
+template <class FaceOp>
+void sweep_faces(const Array2& left, Dir dir, FaceOp&& face_op) {
+  if (dir == Dir::x) {
+    for (int fj = 0; fj < left.ny(); ++fj)
+      for (int fi = 0; fi < left.nx(); ++fi) face_op(fi, fj);
+  } else {
+    for (int fi = 0; fi < left.nx(); ++fi)
+      for (int fj = 0; fj < left.ny(); ++fj) face_op(fi, fj);
+  }
+}
+
+}  // namespace
+
+template <class Probe>
+KernelCounts efm_flux_sweep(const Array2& left, const Array2& right, Dir dir,
+                            const GasModel& gas, Array2& flux, Probe& probe) {
+  CCAPERF_REQUIRE(flux.nx() == left.nx() && flux.ny() == left.ny() &&
+                      flux.ncomp() == kNcomp,
+                  "efm_flux_sweep: flux array shape mismatch");
+  KernelCounts counts;
+  sweep_faces(left, dir, [&](int fi, int fj) {
+    const Prim l = load_face_state(left, fi, fj, probe);
+    const Prim r = load_face_state(right, fi, fj, probe);
+    const FaceFlux f = efm_face_flux(l, r, gas);
+    probe.flops(120);  // two half-fluxes: erf + exp + moments
+    store_face_flux(flux, fi, fj, f, probe);
+    ++counts.faces;
+  });
+  return counts;
+}
+
+template <class Probe>
+KernelCounts godunov_flux_sweep(const Array2& left, const Array2& right, Dir dir,
+                                const GasModel& gas, Array2& flux, Probe& probe) {
+  CCAPERF_REQUIRE(flux.nx() == left.nx() && flux.ny() == left.ny() &&
+                      flux.ncomp() == kNcomp,
+                  "godunov_flux_sweep: flux array shape mismatch");
+  KernelCounts counts;
+  sweep_faces(left, dir, [&](int fi, int fj) {
+    const Prim l = load_face_state(left, fi, fj, probe);
+    const Prim r = load_face_state(right, fi, fj, probe);
+    const RiemannResult rr = exact_riemann(l, r, gas);
+    const FaceFlux f = godunov_face_flux(rr.sampled, gas);
+    counts.riemann_iterations += static_cast<std::uint64_t>(rr.iterations);
+    probe.flops(60 + 45 * static_cast<std::uint64_t>(rr.iterations));
+    store_face_flux(flux, fi, fj, f, probe);
+    ++counts.faces;
+  });
+  return counts;
+}
+
+void flux_divergence(const Array2& fx, const Array2& fy, const amr::Box& interior,
+                     double dx, double dy, amr::PatchData<double>& dudt) {
+  const int W = interior.width(), H = interior.height();
+  CCAPERF_REQUIRE(fx.nx() == W + 1 && fx.ny() == H && fy.nx() == W &&
+                      fy.ny() == H + 1,
+                  "flux_divergence: face array shape mismatch");
+  const double inv_dx = 1.0 / dx, inv_dy = 1.0 / dy;
+  // Face-normal-frame flux components -> conserved components:
+  // x faces: (mass, mom_n, mom_t, E, phi) -> (rho, mx, my, E, rphi)
+  // y faces: mom_n is y momentum, mom_t is x momentum.
+  static constexpr int x_map[kNcomp] = {kRho, kMx, kMy, kE, kRphi};
+  static constexpr int y_map[kNcomp] = {kRho, kMy, kMx, kE, kRphi};
+  for (int c = 0; c < kNcomp; ++c) {
+    for (int jj = 0; jj < H; ++jj) {
+      const int j = interior.lo().j + jj;
+      for (int ii = 0; ii < W; ++ii) {
+        const int i = interior.lo().i + ii;
+        double div = 0.0;
+        // Find which face-frame component feeds conserved component c.
+        for (int k = 0; k < kNcomp; ++k) {
+          if (x_map[k] == c) div += (fx(ii + 1, jj, k) - fx(ii, jj, k)) * inv_dx;
+          if (y_map[k] == c) div += (fy(ii, jj + 1, k) - fy(ii, jj, k)) * inv_dy;
+        }
+        dudt(i, j, c) = -div;
+      }
+    }
+  }
+}
+
+double max_wave_speed(const amr::PatchData<double>& U, const amr::Box& interior,
+                      const GasModel& gas) {
+  double vmax = 0.0;
+  double q[kNcomp];
+  for (int j = interior.lo().j; j <= interior.hi().j; ++j) {
+    for (int i = interior.lo().i; i <= interior.hi().i; ++i) {
+      for (int c = 0; c < kNcomp; ++c) q[c] = U(i, j, c);
+      const Prim w = cons_to_prim(q, gas);
+      const double c0 = sound_speed(w, gas);
+      vmax = std::max(vmax, std::max(std::abs(w.u), std::abs(w.v)) + c0);
+    }
+  }
+  return vmax;
+}
+
+void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
+                     double totals[kNcomp]) {
+  for (int c = 0; c < kNcomp; ++c) totals[c] = 0.0;
+  for (int j = interior.lo().j; j <= interior.hi().j; ++j)
+    for (int i = interior.lo().i; i <= interior.hi().i; ++i)
+      for (int c = 0; c < kNcomp; ++c) totals[c] += U(i, j, c);
+}
+
+// Explicit instantiations: the production (NullProbe) and cache-traced
+// (CacheProbe) configurations.
+template KernelCounts compute_states<hwc::NullProbe>(const amr::PatchData<double>&,
+                                                     const amr::Box&, Dir,
+                                                     const GasModel&, Array2&,
+                                                     Array2&, hwc::NullProbe&);
+template KernelCounts compute_states<hwc::CacheProbe>(const amr::PatchData<double>&,
+                                                      const amr::Box&, Dir,
+                                                      const GasModel&, Array2&,
+                                                      Array2&, hwc::CacheProbe&);
+template KernelCounts efm_flux_sweep<hwc::NullProbe>(const Array2&, const Array2&,
+                                                     Dir, const GasModel&, Array2&,
+                                                     hwc::NullProbe&);
+template KernelCounts efm_flux_sweep<hwc::CacheProbe>(const Array2&, const Array2&,
+                                                      Dir, const GasModel&, Array2&,
+                                                      hwc::CacheProbe&);
+template KernelCounts godunov_flux_sweep<hwc::NullProbe>(const Array2&, const Array2&,
+                                                         Dir, const GasModel&,
+                                                         Array2&, hwc::NullProbe&);
+template KernelCounts godunov_flux_sweep<hwc::CacheProbe>(const Array2&,
+                                                          const Array2&, Dir,
+                                                          const GasModel&, Array2&,
+                                                          hwc::CacheProbe&);
+
+}  // namespace euler

@@ -1,0 +1,116 @@
+#pragma once
+// Patch sweep kernels: the computational bodies of the States, EFMFlux and
+// GodunovFlux components.
+//
+// Each kernel operates on one patch in one direction:
+//  * Dir::x ("sequential mode"): the inner loop walks `i`, which is unit
+//    stride in the row-major patch layout;
+//  * Dir::y ("strided mode"): the inner loop walks `j`, striding by the
+//    padded row length on every step.
+// These are the paper's two modes of States/EFMFlux/GodunovFlux whose
+// cache behaviour diverges once arrays overflow the cache (Figs. 4-5).
+//
+// Kernels are templated on an hwc probe: hwc::NullProbe compiles to the
+// plain kernel (used for wall-clock measurement); hwc::CacheProbe replays
+// every load/store through the cache simulator and tallies FLOPs (used for
+// deterministic hardware metrics). Explicit instantiations live in
+// kernels.cpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/patch_data.hpp"
+#include "euler/efm.hpp"
+#include "euler/riemann.hpp"
+#include "euler/state.hpp"
+#include "hwc/probe.hpp"
+
+namespace euler {
+
+enum class Dir { x, y };
+
+/// Face-centered (or cell-centered) work array: row-major [ny][nx] per
+/// component, `i` fastest — same orientation as PatchData so strided
+/// access patterns carry over.
+class Array2 {
+ public:
+  Array2() = default;
+  Array2(int nx, int ny, int ncomp)
+      : nx_(nx), ny_(ny), ncomp_(ncomp),
+        data_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                  static_cast<std::size_t>(ncomp),
+              0.0) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int ncomp() const { return ncomp_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(int i, int j, int c) { return data_[index(i, j, c)]; }
+  const double& operator()(int i, int j, int c) const { return data_[index(i, j, c)]; }
+  const double* addr(int i, int j, int c) const { return &data_[index(i, j, c)]; }
+
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  std::size_t index(int i, int j, int c) const {
+    return (static_cast<std::size_t>(c) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(i);
+  }
+  int nx_ = 0, ny_ = 0, ncomp_ = 0;
+  std::vector<double> data_;
+};
+
+/// Face-array dimensions for sweeps over `interior` in direction `dir`:
+/// (W+1) x H faces for x, W x (H+1) for y.
+inline void face_dims(const amr::Box& interior, Dir dir, int& nx, int& ny) {
+  nx = interior.width() + (dir == Dir::x ? 1 : 0);
+  ny = interior.height() + (dir == Dir::y ? 1 : 0);
+}
+
+/// Kernel work summary (for performance-parameter extraction by proxies).
+struct KernelCounts {
+  std::uint64_t faces = 0;
+  std::uint64_t riemann_iterations = 0;  ///< Godunov only
+};
+
+/// MUSCL (minmod-limited) reconstruction of left/right primitive interface
+/// states. `U` must have valid ghosts (>= 2) around `interior`. Outputs
+/// primitive components (rho, u_n, u_t, p, phi) per face into left/right
+/// (face-normal frame: u_n is the `dir` velocity).
+template <class Probe>
+KernelCounts compute_states(const amr::PatchData<double>& U,
+                            const amr::Box& interior, Dir dir,
+                            const GasModel& gas, Array2& left, Array2& right,
+                            Probe& probe);
+
+/// EFM flux for every face from reconstructed states. Output components
+/// are conserved-variable fluxes in the face-normal frame
+/// (mass, mom_n, mom_t, energy, phi).
+template <class Probe>
+KernelCounts efm_flux_sweep(const Array2& left, const Array2& right, Dir dir,
+                            const GasModel& gas, Array2& flux, Probe& probe);
+
+/// Godunov flux (exact Riemann solve per face), same in/out convention.
+template <class Probe>
+KernelCounts godunov_flux_sweep(const Array2& left, const Array2& right, Dir dir,
+                                const GasModel& gas, Array2& flux, Probe& probe);
+
+/// Accumulates -div(F) into `dudt` over `interior`. `fx`/`fy` are
+/// face-normal-frame fluxes from the x/y sweeps; component mapping back to
+/// (rho, mx, my, E, rphi) happens here.
+void flux_divergence(const Array2& fx, const Array2& fy, const amr::Box& interior,
+                     double dx, double dy, amr::PatchData<double>& dudt);
+
+/// Max |u|+c over the interior (CFL).
+double max_wave_speed(const amr::PatchData<double>& U, const amr::Box& interior,
+                      const GasModel& gas);
+
+/// Total conserved quantities over the interior (conservation tests).
+void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
+                     double totals[kNcomp]);
+
+}  // namespace euler

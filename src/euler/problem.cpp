@@ -1,0 +1,101 @@
+#include "euler/problem.hpp"
+
+#include <cmath>
+
+namespace euler {
+
+Prim ShockInterfaceProblem::post_shock_state() const {
+  // Rankine-Hugoniot for a Mach `mach` shock moving into quiescent air.
+  const double g = gas.gamma1;
+  const double m2 = mach * mach;
+  const double c0 = std::sqrt(g * p0 / rho_air);
+  Prim w;
+  w.p = p0 * (1.0 + 2.0 * g / (g + 1.0) * (m2 - 1.0));
+  w.rho = rho_air * ((g + 1.0) * m2) / ((g - 1.0) * m2 + 2.0);
+  w.u = 2.0 / (g + 1.0) * (mach - 1.0 / mach) * c0;  // toward +x
+  w.v = 0.0;
+  w.phi = 1.0;  // air
+  return w;
+}
+
+Prim ShockInterfaceProblem::state_at(double x, double y, double lx, double ly) const {
+  const double xs = shock_x * lx;
+  const double xi_mean = interface_x * lx;
+  const double xi =
+      xi_mean + amplitude * lx * std::cos(2.0 * M_PI * mode * y / ly);
+  if (x < xs) return post_shock_state();
+  Prim w;
+  w.u = 0.0;
+  w.v = 0.0;
+  w.p = p0;
+  if (x < xi) {
+    w.rho = rho_air;
+    w.phi = 1.0;  // quiescent air
+  } else {
+    w.rho = rho_air * density_ratio;
+    w.phi = 0.0;  // freon
+  }
+  return w;
+}
+
+void ShockInterfaceProblem::fill_patch(const amr::Hierarchy& h, int level,
+                                       amr::PatchData<double>& data) const {
+  const amr::Box g = data.grown_box();
+  const amr::Box dom0 = h.config().domain;
+  const double lx = dom0.width() * h.config().geom.dx0;
+  const double ly = dom0.height() * h.config().geom.dy0;
+  double U[kNcomp];
+  for (int j = g.lo().j; j <= g.hi().j; ++j) {
+    const double y = h.yc(level, j);
+    for (int i = g.lo().i; i <= g.hi().i; ++i) {
+      const double x = h.xc(level, i);
+      const Prim w = state_at(x, y, lx, ly);
+      prim_to_cons(w, gas, U);
+      for (int c = 0; c < kNcomp; ++c) data(i, j, c) = U[c];
+    }
+  }
+}
+
+void ShockInterfaceProblem::fill_hierarchy(amr::Hierarchy& h) const {
+  for (int l = 0; l < h.num_levels(); ++l)
+    for (auto& [id, data] : h.level(l).local_data()) fill_patch(h, l, data);
+}
+
+amr::BcSpec ShockInterfaceProblem::bc() const {
+  amr::BcSpec bc;
+  bc.xlo = amr::BcType::transmissive;
+  bc.xhi = amr::BcType::transmissive;
+  bc.ylo = amr::BcType::reflecting;
+  bc.yhi = amr::BcType::reflecting;
+  bc.reflect_sign_y.assign(static_cast<std::size_t>(kNcomp), 1.0);
+  bc.reflect_sign_y[kMy] = -1.0;  // y momentum flips at the walls
+  return bc;
+}
+
+void ShockInterfaceProblem::flag_density_gradient(const amr::Hierarchy& h, int level,
+                                                  const amr::PatchInfo& patch,
+                                                  amr::FlagField& flags,
+                                                  double threshold) {
+  const amr::PatchData<double>& u = h.level(level).data(patch.id);
+  const amr::Box b = patch.box;
+  for (int j = b.lo().j; j <= b.hi().j; ++j) {
+    for (int i = b.lo().i; i <= b.hi().i; ++i) {
+      const double r0 = u(i, j, kRho);
+      const double jump =
+          std::max(std::max(std::abs(u(i + 1, j, kRho) - r0),
+                            std::abs(u(i - 1, j, kRho) - r0)),
+                   std::max(std::abs(u(i, j + 1, kRho) - r0),
+                            std::abs(u(i, j - 1, kRho) - r0)));
+      if (jump / r0 > threshold) flags.set({i, j});
+    }
+  }
+}
+
+amr::Hierarchy::FlagFn ShockInterfaceProblem::flagger(double threshold) const {
+  return [threshold](const amr::Hierarchy& h, int level, const amr::PatchInfo& p,
+                     amr::FlagField& flags) {
+    flag_density_gradient(h, level, p, flags, threshold);
+  };
+}
+
+}  // namespace euler

@@ -1,0 +1,55 @@
+#pragma once
+// The case-study problem: a Mach-1.5 shock in Air approaching a perturbed
+// Air/Freon interface (paper Fig. 1, scientific details in its ref. [20],
+// Samtaney & Zabusky's shock-accelerated density-stratified interfaces).
+//
+// Layout at t=0 (x increasing to the right):
+//   [post-shock air | shock | quiescent air | interface | freon]
+// The interface is sinusoidally perturbed so the shock deposits
+// circulation and the simulation develops fine-scale structure that
+// drives the AMR hierarchy of the case study.
+
+#include "amr/hierarchy.hpp"
+#include "euler/state.hpp"
+
+namespace euler {
+
+struct ShockInterfaceProblem {
+  GasModel gas;              ///< gamma_air=1.4, gamma_freon=1.13
+  double mach = 1.5;         ///< incident shock Mach number
+  double shock_x = 0.15;     ///< initial shock position (fraction of width)
+  double interface_x = 0.4;  ///< mean interface position
+  double amplitude = 0.03;   ///< interface perturbation amplitude
+  int mode = 2;              ///< perturbation mode count across the height
+  double rho_air = 1.0;
+  double p0 = 1.0;
+  double density_ratio = 3.33;  ///< rho_freon / rho_air (Freon-22 vs Air)
+
+  /// Exact pre/post-shock and interface states at a physical point. `ly`
+  /// is the domain height (for the perturbation wavelength).
+  Prim state_at(double x, double y, double lx, double ly) const;
+
+  /// Post-shock air state from the Rankine-Hugoniot relations.
+  Prim post_shock_state() const;
+
+  /// Writes conserved initial data (including ghosts) for one local patch.
+  void fill_patch(const amr::Hierarchy& h, int level, amr::PatchData<double>& data) const;
+
+  /// Fills every local patch on every level.
+  void fill_hierarchy(amr::Hierarchy& h) const;
+
+  /// Boundary conditions: transmissive in x (in/outflow), reflecting walls
+  /// in y (y-momentum flips).
+  amr::BcSpec bc() const;
+
+  /// Density-gradient error estimator for regridding: flags cells where
+  /// the relative density jump to a neighbor exceeds `threshold`.
+  static void flag_density_gradient(const amr::Hierarchy& h, int level,
+                                    const amr::PatchInfo& patch,
+                                    amr::FlagField& flags, double threshold);
+
+  /// Adapter matching amr::Hierarchy::FlagFn with a fixed threshold.
+  amr::Hierarchy::FlagFn flagger(double threshold = 0.08) const;
+};
+
+}  // namespace euler

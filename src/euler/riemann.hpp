@@ -1,0 +1,36 @@
+#pragma once
+// Exact Riemann solver for the Euler equations (Toro's two-shock/
+// two-rarefaction iteration, generalized to a different gamma per side —
+// needed at the Air/Freon interface).
+//
+// This powers GodunovFlux. The pressure iteration is Newton-Raphson and
+// its iteration count is *data dependent* (strong jumps take more
+// iterations) — the mechanism behind the paper's observation that
+// GodunovFlux "involves an internal iterative solution for every element
+// of the data array", producing a standard deviation that grows with
+// array size (Fig. 7).
+
+#include "euler/state.hpp"
+
+namespace euler {
+
+struct RiemannResult {
+  Prim sampled;     ///< state on the interface (x/t = 0)
+  double p_star;    ///< star-region pressure
+  double u_star;    ///< star-region velocity
+  int iterations;   ///< Newton iterations used
+};
+
+struct RiemannParams {
+  double tol = 1e-8;
+  int max_iter = 40;
+};
+
+/// Solves the 1-D Riemann problem with left/right states given in the
+/// *face-normal* frame (u = normal velocity, v = transverse, advected).
+/// gammaL/gammaR are evaluated from each side's phi.
+RiemannResult exact_riemann(const Prim& left, const Prim& right,
+                            const GasModel& gas,
+                            const RiemannParams& params = {});
+
+}  // namespace euler

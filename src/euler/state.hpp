@@ -1,0 +1,78 @@
+#pragma once
+// Two-gas compressible Euler state model.
+//
+// The case study simulates "the interaction of a shock wave with an
+// interface between two gases" (Air and Freon, Fig. 1). We track five
+// conserved components per cell:
+//   0: rho        (mixture density)
+//   1: mx = rho*u (x momentum)
+//   2: my = rho*v (y momentum)
+//   3: E          (total energy density)
+//   4: rphi = rho*phi (phi = mass fraction of gas 1, e.g. Air)
+// The mixture's effective ratio of specific heats follows the standard
+// two-gamma closure: 1/(gamma_eff - 1) is the mass-weighted average of
+// 1/(gamma_k - 1).
+
+#include <cmath>
+
+namespace euler {
+
+inline constexpr int kNcomp = 5;
+inline constexpr int kRho = 0;
+inline constexpr int kMx = 1;
+inline constexpr int kMy = 2;
+inline constexpr int kE = 3;
+inline constexpr int kRphi = 4;
+
+/// Primitive state at a point.
+struct Prim {
+  double rho = 0.0;
+  double u = 0.0;
+  double v = 0.0;
+  double p = 0.0;
+  double phi = 0.0;  ///< mass fraction of gas 1, clamped to [0,1]
+};
+
+struct GasModel {
+  double gamma1 = 1.4;   ///< Air
+  double gamma2 = 1.13;  ///< Freon-22 (paper's Fig. 1 pairing)
+
+  /// Effective gamma of the mixture at mass fraction `phi` of gas 1.
+  double gamma_of(double phi) const {
+    const double f = phi < 0.0 ? 0.0 : (phi > 1.0 ? 1.0 : phi);
+    const double inv = f / (gamma1 - 1.0) + (1.0 - f) / (gamma2 - 1.0);
+    return 1.0 + 1.0 / inv;
+  }
+};
+
+/// U -> primitive. `U` points at the 5 conserved values (arbitrary
+/// strides are handled by the caller; this takes a gathered quintuple).
+inline Prim cons_to_prim(const double U[kNcomp], const GasModel& gas) {
+  Prim w;
+  w.rho = U[kRho];
+  const double inv_rho = 1.0 / w.rho;
+  w.u = U[kMx] * inv_rho;
+  w.v = U[kMy] * inv_rho;
+  w.phi = U[kRphi] * inv_rho;
+  const double gamma = gas.gamma_of(w.phi);
+  const double kinetic = 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+  w.p = (gamma - 1.0) * (U[kE] - kinetic);
+  return w;
+}
+
+/// primitive -> U.
+inline void prim_to_cons(const Prim& w, const GasModel& gas, double U[kNcomp]) {
+  const double gamma = gas.gamma_of(w.phi);
+  U[kRho] = w.rho;
+  U[kMx] = w.rho * w.u;
+  U[kMy] = w.rho * w.v;
+  U[kE] = w.p / (gamma - 1.0) + 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+  U[kRphi] = w.rho * w.phi;
+}
+
+/// Sound speed.
+inline double sound_speed(const Prim& w, const GasModel& gas) {
+  return std::sqrt(gas.gamma_of(w.phi) * w.p / w.rho);
+}
+
+}  // namespace euler

@@ -1,0 +1,97 @@
+#include "hwc/cache_sim.hpp"
+
+namespace hwc {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+unsigned log2u(std::size_t v) {
+  unsigned s = 0;
+  while ((std::size_t{1} << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
+CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes,
+                   std::size_t associativity)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes), assoc_(associativity) {
+  CCAPERF_REQUIRE(is_pow2(line_bytes_), "CacheSim: line size must be a power of two");
+  CCAPERF_REQUIRE(assoc_ >= 1, "CacheSim: associativity must be >= 1");
+  CCAPERF_REQUIRE(size_bytes_ % (line_bytes_ * assoc_) == 0,
+                  "CacheSim: size must be a multiple of line*associativity");
+  sets_ = size_bytes_ / (line_bytes_ * assoc_);
+  CCAPERF_REQUIRE(is_pow2(sets_), "CacheSim: set count must be a power of two");
+  line_shift_ = log2u(line_bytes_);
+  ways_.assign(sets_ * assoc_, Way{});
+}
+
+std::uint64_t CacheSim::touch_line(std::uint64_t line_addr, bool is_write) {
+  ++counters_.accesses;
+  const std::uint64_t set = line_addr & (sets_ - 1);
+  const std::uint64_t tag = line_addr >> log2u(sets_);
+  Way* row = &ways_[static_cast<std::size_t>(set) * assoc_];
+
+  // Hit?
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    if (row[w].valid && row[w].tag == tag) {
+      ++counters_.hits;
+      row[w].lru = ++stamp_;
+      row[w].dirty |= is_write;
+      return 0;
+    }
+  }
+
+  // Miss: forward to the lower level, then fill (write-allocate).
+  ++counters_.misses;
+  if (lower_ != nullptr)
+    lower_->access(line_addr << line_shift_, line_bytes_, is_write);
+
+  // Victim = invalid way if any, else LRU.
+  std::size_t victim = 0;
+  bool found_invalid = false;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    if (!row[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+    if (row[w].lru < oldest) {
+      oldest = row[w].lru;
+      victim = w;
+    }
+  }
+  if (!found_invalid) {
+    ++counters_.evictions;
+    if (row[victim].dirty) {
+      ++counters_.writebacks;
+      // Dirty victim written back to the lower level.
+      if (lower_ != nullptr) {
+        const std::uint64_t victim_line =
+            (row[victim].tag << log2u(sets_)) | set;
+        lower_->access(victim_line << line_shift_, line_bytes_, true);
+      }
+    }
+  }
+  row[victim] = Way{tag, ++stamp_, true, is_write};
+  return 1;
+}
+
+std::uint64_t CacheSim::access(std::uintptr_t addr, std::size_t bytes, bool is_write) {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = static_cast<std::uint64_t>(addr) >> line_shift_;
+  const std::uint64_t last =
+      static_cast<std::uint64_t>(addr + bytes - 1) >> line_shift_;
+  std::uint64_t misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line)
+    misses += touch_line(line, is_write);
+  return misses;
+}
+
+void CacheSim::flush() {
+  for (auto& w : ways_) w = Way{};
+  stamp_ = 0;
+}
+
+void CacheSim::reset_counters() { counters_ = CacheCounters{}; }
+
+}  // namespace hwc

@@ -1,0 +1,76 @@
+#pragma once
+// PAPI-style named counter registry.
+//
+// TAU "relies on an external library such as PAPI or PCL to access
+// low-level processor-specific hardware performance metrics" (paper §4.1).
+// hwc::CounterRegistry plays that role: measurement code registers named
+// sources (functions returning a monotonically growing count — e.g. a
+// CacheSim's miss counter or a CacheProbe's FLOP tally) and readers
+// snapshot them by name. Event names follow PAPI conventions so profiles
+// read familiarly (PAPI_FP_OPS, PAPI_L1_DCM, ...).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hwc {
+
+/// Standard event names (PAPI vocabulary).
+inline constexpr const char* kFpOps = "PAPI_FP_OPS";
+inline constexpr const char* kL1Dcm = "PAPI_L1_DCM";
+inline constexpr const char* kL2Dcm = "PAPI_L2_DCM";
+inline constexpr const char* kLdIns = "PAPI_LD_INS";
+inline constexpr const char* kSrIns = "PAPI_SR_INS";
+
+class CounterRegistry {
+ public:
+  using Source = std::function<std::uint64_t()>;
+
+  /// Registers (or replaces) a named counter source.
+  void add_source(std::string name, Source source) {
+    CCAPERF_REQUIRE(source != nullptr, "CounterRegistry: null source");
+    for (auto& [n, s] : sources_) {
+      if (n == name) {
+        s = std::move(source);
+        return;
+      }
+    }
+    sources_.emplace_back(std::move(name), std::move(source));
+  }
+
+  bool has(const std::string& name) const {
+    for (const auto& [n, s] : sources_)
+      if (n == name) return true;
+    return false;
+  }
+
+  std::uint64_t read(const std::string& name) const {
+    for (const auto& [n, s] : sources_)
+      if (n == name) return s();
+    ccaperf::raise("CounterRegistry: unknown counter '" + name + "'");
+  }
+
+  /// Snapshot of every registered counter, in registration order.
+  std::vector<std::pair<std::string, std::uint64_t>> read_all() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(sources_.size());
+    for (const auto& [n, s] : sources_) out.emplace_back(n, s());
+    return out;
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(sources_.size());
+    for (const auto& [n, s] : sources_) out.push_back(n);
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Source>> sources_;
+};
+
+}  // namespace hwc

@@ -1,0 +1,571 @@
+#include "mpp/comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <thread>
+
+namespace mpp {
+
+namespace {
+
+Clock::time_point stamp_delay(double delay_us) {
+  return Clock::now() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double, std::micro>(delay_us));
+}
+
+void sleep_us(double us) {
+  if (us > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == any_source || want_src == src) &&
+         (want_tag == any_tag || want_tag == tag);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+Status Request::wait_no_hook() {
+  CCAPERF_REQUIRE(state_, "Request::wait on an invalid request");
+  detail::ReqState& st = *state_;
+  if (!st.matched.load(std::memory_order_acquire)) {
+    std::unique_lock lock(st.signal->mu);
+    st.signal->cv.wait(lock, [&st] {
+      return st.matched.load(std::memory_order_acquire) || st.aborted();
+    });
+    if (!st.matched.load(std::memory_order_acquire))
+      ccaperf::raise("mpp: wait aborted (a peer rank failed)");
+  }
+  const auto now = Clock::now();
+  if (now < st.deliver_at) std::this_thread::sleep_until(st.deliver_at);
+  Status result = st.status;
+  state_.reset();
+  return result;
+}
+
+Status Request::wait() {
+  HookScope hook("MPI_Wait()");
+  Status s = wait_no_hook();
+  hook.set_bytes(s.bytes);
+  return s;
+}
+
+std::optional<Status> Request::test() {
+  HookScope hook("MPI_Test()");
+  if (!state_ || !state_->ready()) return std::nullopt;
+  Status s = state_->status;
+  hook.set_bytes(s.bytes);
+  state_.reset();
+  return s;
+}
+
+void Request::release() {
+  // Dropping the (unique) handle to a receive that was never matched must
+  // remove the posted entry, so the fabric does not later write through a
+  // pointer into memory the caller may have freed. Re-check `matched`
+  // under the mailbox lock: the sender matches under the same lock.
+  if (!state_) return;
+  detail::ReqState& st = *state_;
+  if (st.kind == detail::ReqState::Kind::recv && st.mailbox != nullptr &&
+      !st.matched.load(std::memory_order_acquire)) {
+    std::scoped_lock lock(st.mailbox->mu);
+    if (!st.matched.load(std::memory_order_acquire)) {
+      auto& posted = st.mailbox->posted;
+      for (auto it = posted.begin(); it != posted.end(); ++it) {
+        if (it->post_id == st.post_id) {
+          posted.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  state_.reset();
+}
+
+std::size_t wait_some(std::span<Request> reqs, std::vector<int>& indices,
+                      std::vector<Status>* statuses) {
+  HookScope hook("MPI_Waitsome()");
+  indices.clear();
+  if (statuses) statuses->clear();
+
+  detail::RankSignal* signal = nullptr;
+  bool any_valid = false;
+  for (const Request& r : reqs) {
+    if (r.state_) {
+      any_valid = true;
+      if (r.state_->signal != nullptr) signal = r.state_->signal;
+    }
+  }
+  if (!any_valid) return 0;
+
+  std::size_t total_bytes = 0;
+  // Classifies every request against a SINGLE time sample: requests whose
+  // modeled delivery time has passed complete; matched-but-undelivered
+  // ones bound the sleep. Using one `now` for both decisions is essential:
+  // with two samples a request can fall between "not ready yet" and "no
+  // longer pending", leaving the thread in an unbounded wait that no
+  // future notification ends.
+  Clock::time_point nearest;
+  auto harvest = [&]() -> bool {
+    nearest = Clock::time_point::max();
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      auto& st = reqs[i].state_;
+      if (!st || !st->matched.load(std::memory_order_acquire)) continue;
+      if (st->deliver_at <= now) {
+        indices.push_back(static_cast<int>(i));
+        if (statuses) statuses->push_back(st->status);
+        total_bytes += st->status.bytes;
+        st.reset();
+      } else {
+        nearest = std::min(nearest, st->deliver_at);
+      }
+    }
+    return !indices.empty();
+  };
+
+  // Sends (and already-arrived receives) complete immediately.
+  if (harvest()) {
+    hook.set_bytes(total_bytes);
+    return indices.size();
+  }
+
+  CCAPERF_REQUIRE(signal != nullptr, "wait_some: receive request without owner signal");
+  std::unique_lock lock(signal->mu);
+  for (;;) {
+    if (harvest()) break;
+    for (const Request& r : reqs)
+      if (r.state_ && r.state_->aborted())
+        ccaperf::raise("mpp: wait_some aborted (a peer rank failed)");
+    if (nearest != Clock::time_point::max())
+      signal->cv.wait_until(lock, nearest);
+    else
+      signal->cv.wait(lock);
+  }
+  hook.set_bytes(total_bytes);
+  return indices.size();
+}
+
+void wait_all(std::span<Request> reqs) {
+  HookScope hook("MPI_Waitall()");
+  std::size_t total = 0;
+  for (Request& r : reqs) {
+    if (!r.state_) continue;
+    Status s = r.wait_no_hook();
+    total += s.bytes;
+  }
+  hook.set_bytes(total);
+}
+
+// ---------------------------------------------------------------------------
+// Point to point
+// ---------------------------------------------------------------------------
+
+void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes) {
+  const double delay = fabric_->delay_us(my_world_rank(), bytes);
+  const Clock::time_point deliver_at = stamp_delay(delay);
+
+  detail::Mailbox& mb = fabric_->mailbox(context_, dest);
+  std::shared_ptr<detail::ReqState> completed;
+  {
+    std::scoped_lock lock(mb.mu);
+    for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+      if (matches(it->src, it->tag, group_rank_, tag)) {
+        CCAPERF_REQUIRE(bytes <= it->capacity,
+                        "message truncation: receive buffer too small");
+        if (bytes > 0) std::memcpy(it->buffer, data, bytes);
+        it->state->status = Status{group_rank_, tag, bytes};
+        it->state->deliver_at = deliver_at;
+        completed = it->state;
+        mb.posted.erase(it);
+        break;
+      }
+    }
+    if (!completed) {
+      detail::ParkedMessage msg;
+      msg.src = group_rank_;
+      msg.tag = tag;
+      if (bytes > 0)
+        msg.payload.assign(static_cast<const std::byte*>(data),
+                           static_cast<const std::byte*>(data) + bytes);
+      msg.deliver_at = deliver_at;
+      mb.unexpected.push_back(std::move(msg));
+    }
+  }
+  if (completed) {
+    completed->matched.store(true, std::memory_order_release);
+    fabric_->signal(world_rank_of(dest)).notify();
+  }
+}
+
+Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest, int tag) {
+  HookScope hook("MPI_Isend()");
+  hook.set_bytes(bytes);
+  CCAPERF_REQUIRE(valid(), "isend on invalid communicator");
+  CCAPERF_REQUIRE(dest >= 0 && dest < size(), "isend: destination out of range");
+
+  auto st = std::make_shared<detail::ReqState>();
+  st->kind = detail::ReqState::Kind::send;
+  st->status = Status{group_rank_, tag, bytes};
+  st->signal = &fabric_->signal(my_world_rank());
+  st->abort_flag = fabric_->abort_flag();
+  st->matched.store(true, std::memory_order_release);  // buffered-eager send
+  deliver(dest, tag, data, bytes);
+  return Request(std::move(st));
+}
+
+Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) {
+  HookScope hook("MPI_Irecv()");
+  CCAPERF_REQUIRE(valid(), "irecv on invalid communicator");
+  CCAPERF_REQUIRE(src == any_source || (src >= 0 && src < size()),
+                  "irecv: source out of range");
+
+  auto st = std::make_shared<detail::ReqState>();
+  st->kind = detail::ReqState::Kind::recv;
+  st->signal = &fabric_->signal(my_world_rank());
+  st->abort_flag = fabric_->abort_flag();
+  detail::Mailbox& mb = fabric_->mailbox(context_, group_rank_);
+  st->mailbox = &mb;
+  {
+    std::scoped_lock lock(mb.mu);
+    for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+      if (matches(src, tag, it->src, it->tag)) {
+        CCAPERF_REQUIRE(it->payload.size() <= capacity,
+                        "message truncation: receive buffer too small");
+        if (!it->payload.empty())
+          std::memcpy(buffer, it->payload.data(), it->payload.size());
+        st->status = Status{it->src, it->tag, it->payload.size()};
+        st->deliver_at = it->deliver_at;
+        mb.unexpected.erase(it);
+        st->matched.store(true, std::memory_order_release);
+        hook.set_bytes(st->status.bytes);
+        return Request(std::move(st));
+      }
+    }
+    detail::PostedRecv posted;
+    posted.src = src;
+    posted.tag = tag;
+    posted.buffer = static_cast<std::byte*>(buffer);
+    posted.capacity = capacity;
+    posted.post_id = mb.next_post_id++;
+    st->post_id = posted.post_id;
+    posted.state = st;
+    mb.posted.push_back(std::move(posted));
+  }
+  return Request(std::move(st));
+}
+
+void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
+  HookScope hook("MPI_Send()");
+  hook.set_bytes(bytes);
+  CCAPERF_REQUIRE(valid(), "send on invalid communicator");
+  CCAPERF_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
+  deliver(dest, tag, data, bytes);  // buffered: completes locally
+}
+
+Status Comm::recv_bytes(void* buffer, std::size_t capacity, int src, int tag) {
+  HookScope hook("MPI_Recv()");
+  // Build the receive without the MPI_Irecv hook (this *is* the MPI call).
+  Request req;
+  {
+    HooksInstaller mute(nullptr);
+    req = irecv_bytes(buffer, capacity, src, tag);
+  }
+  Status s = req.wait_no_hook();
+  hook.set_bytes(s.bytes);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+void Comm::collective(std::size_t scratch_bytes,
+                      const std::function<void(detail::CollectiveBay&, bool)>& deposit,
+                      const std::function<void(detail::CollectiveBay&)>& collect,
+                      std::size_t delay_bytes) const {
+  CCAPERF_REQUIRE(valid(), "collective on invalid communicator");
+  detail::CollectiveBay& bay = fabric_->bay(context_);
+  const int n = size();
+  {
+    std::unique_lock lock(bay.mu);
+    const std::uint64_t gen = bay.generation;
+    const bool first = (bay.arrived == 0);
+    if (first) {
+      bay.scratch.assign(scratch_bytes, std::byte{0});
+      bay.agreed_u64 = 0;
+    }
+    deposit(bay, first);
+    ++bay.arrived;
+    if (bay.arrived == n) {
+      bay.complete = true;
+      bay.cv.notify_all();
+    } else {
+      bay.cv.wait(lock, [&] {
+        return (bay.complete && bay.generation == gen) || fabric_->is_aborted();
+      });
+      if (!bay.complete || bay.generation != gen)
+        ccaperf::raise("mpp: collective aborted (a peer rank failed)");
+    }
+    collect(bay);
+    ++bay.departed;
+    if (bay.departed == n) {
+      bay.arrived = 0;
+      bay.departed = 0;
+      bay.complete = false;
+      ++bay.generation;
+      bay.cv.notify_all();
+    } else {
+      bay.cv.wait(lock,
+                  [&] { return bay.generation != gen || fabric_->is_aborted(); });
+      if (bay.generation == gen)
+        ccaperf::raise("mpp: collective aborted (a peer rank failed)");
+    }
+  }
+  sleep_us(fabric_->delay_us(my_world_rank(), delay_bytes));
+}
+
+void Comm::barrier() {
+  HookScope hook("MPI_Barrier()");
+  collective(0, [](detail::CollectiveBay&, bool) {}, [](detail::CollectiveBay&) {}, 0);
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  HookScope hook("MPI_Bcast()");
+  hook.set_bytes(bytes);
+  CCAPERF_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
+  const bool is_root = (group_rank_ == root);
+  collective(
+      bytes,
+      [&](detail::CollectiveBay& bay, bool) {
+        if (is_root) std::memcpy(bay.scratch.data(), data, bytes);
+      },
+      [&](detail::CollectiveBay& bay) {
+        if (!is_root) std::memcpy(data, bay.scratch.data(), bytes);
+      },
+      bytes);
+}
+
+void Comm::allreduce_bytes(const void* in, void* out, std::size_t elem_bytes,
+                           std::size_t count, CombineFn combine) {
+  HookScope hook("MPI_Allreduce()");
+  const std::size_t bytes = elem_bytes * count;
+  hook.set_bytes(bytes);
+  collective(
+      bytes,
+      [&](detail::CollectiveBay& bay, bool first) {
+        if (first)
+          std::memcpy(bay.scratch.data(), in, bytes);
+        else
+          combine(bay.scratch.data(), in, count);
+      },
+      [&](detail::CollectiveBay& bay) { std::memcpy(out, bay.scratch.data(), bytes); },
+      bytes);
+}
+
+void Comm::reduce_bytes(const void* in, void* out, std::size_t elem_bytes,
+                        std::size_t count, CombineFn combine, int root) {
+  HookScope hook("MPI_Reduce()");
+  const std::size_t bytes = elem_bytes * count;
+  hook.set_bytes(bytes);
+  CCAPERF_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
+  collective(
+      bytes,
+      [&](detail::CollectiveBay& bay, bool first) {
+        if (first)
+          std::memcpy(bay.scratch.data(), in, bytes);
+        else
+          combine(bay.scratch.data(), in, count);
+      },
+      [&](detail::CollectiveBay& bay) {
+        if (group_rank_ == root) std::memcpy(out, bay.scratch.data(), bytes);
+      },
+      bytes);
+}
+
+void Comm::allgather_bytes(const void* in, std::size_t chunk_bytes, void* out) {
+  HookScope hook("MPI_Allgather()");
+  const std::size_t n = static_cast<std::size_t>(size());
+  hook.set_bytes(chunk_bytes * n);
+  collective(
+      chunk_bytes * n,
+      [&](detail::CollectiveBay& bay, bool) {
+        std::memcpy(bay.scratch.data() +
+                        static_cast<std::size_t>(group_rank_) * chunk_bytes,
+                    in, chunk_bytes);
+      },
+      [&](detail::CollectiveBay& bay) {
+        std::memcpy(out, bay.scratch.data(), chunk_bytes * n);
+      },
+      chunk_bytes * n);
+}
+
+void Comm::gather_bytes(const void* in, std::size_t chunk_bytes, void* out, int root) {
+  HookScope hook("MPI_Gather()");
+  const std::size_t n = static_cast<std::size_t>(size());
+  hook.set_bytes(chunk_bytes * n);
+  CCAPERF_REQUIRE(root >= 0 && root < size(), "gather: bad root");
+  collective(
+      chunk_bytes * n,
+      [&](detail::CollectiveBay& bay, bool) {
+        std::memcpy(bay.scratch.data() +
+                        static_cast<std::size_t>(group_rank_) * chunk_bytes,
+                    in, chunk_bytes);
+      },
+      [&](detail::CollectiveBay& bay) {
+        if (group_rank_ == root)
+          std::memcpy(out, bay.scratch.data(), chunk_bytes * n);
+      },
+      chunk_bytes * n);
+}
+
+void Comm::allgatherv_bytes(const void* in, std::size_t my_bytes, void* out,
+                            std::span<const std::size_t> byte_counts) {
+  HookScope hook("MPI_Allgatherv()");
+  CCAPERF_REQUIRE(byte_counts.size() == static_cast<std::size_t>(size()),
+                  "allgatherv: need one count per rank");
+  CCAPERF_REQUIRE(byte_counts[static_cast<std::size_t>(group_rank_)] == my_bytes,
+                  "allgatherv: my_bytes disagrees with byte_counts");
+  std::size_t total = 0, my_offset = 0;
+  for (std::size_t r = 0; r < byte_counts.size(); ++r) {
+    if (r == static_cast<std::size_t>(group_rank_)) my_offset = total;
+    total += byte_counts[r];
+  }
+  hook.set_bytes(total);
+  collective(
+      total,
+      [&](detail::CollectiveBay& bay, bool) {
+        std::memcpy(bay.scratch.data() + my_offset, in, my_bytes);
+      },
+      [&](detail::CollectiveBay& bay) {
+        std::memcpy(out, bay.scratch.data(), total);
+      },
+      total);
+}
+
+void Comm::alltoall_bytes(const void* in, std::size_t chunk_bytes, void* out) {
+  HookScope hook("MPI_Alltoall()");
+  const std::size_t n = static_cast<std::size_t>(size());
+  hook.set_bytes(chunk_bytes * n);
+  const std::size_t row = chunk_bytes * n;
+  collective(
+      row * n,
+      [&](detail::CollectiveBay& bay, bool) {
+        // Rank r deposits its outgoing row r: chunks destined to each rank.
+        std::memcpy(bay.scratch.data() + static_cast<std::size_t>(group_rank_) * row,
+                    in, row);
+      },
+      [&](detail::CollectiveBay& bay) {
+        // Rank r collects column r: the chunk each rank addressed to it.
+        for (std::size_t s = 0; s < n; ++s)
+          std::memcpy(static_cast<std::byte*>(out) + s * chunk_bytes,
+                      bay.scratch.data() + s * row +
+                          static_cast<std::size_t>(group_rank_) * chunk_bytes,
+                      chunk_bytes);
+      },
+      row * n);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+double Comm::wtime() const {
+  HookScope hook("MPI_Wtime()");
+  CCAPERF_REQUIRE(valid(), "wtime on invalid communicator");
+  return fabric_->wtime_seconds();
+}
+
+Comm Comm::dup() const {
+  HookScope hook("MPI_Comm_dup()");
+  CCAPERF_REQUIRE(valid(), "dup on invalid communicator");
+  std::uint64_t new_context = 0;
+  collective(
+      0,
+      [&](detail::CollectiveBay& bay, bool first) {
+        if (first) bay.agreed_u64 = fabric_->allocate_context();
+      },
+      [&](detail::CollectiveBay& bay) { new_context = bay.agreed_u64; },
+      0);
+  fabric_->ensure_context(new_context, size());
+  return Comm(fabric_, new_context, members_, group_rank_);
+}
+
+Comm Comm::split(int color, int key) const {
+  HookScope hook("MPI_Comm_split()");
+  CCAPERF_REQUIRE(valid(), "split on invalid communicator");
+  const std::size_t n = static_cast<std::size_t>(size());
+
+  // Each rank deposits (color, key); the first collector allocates a block
+  // of context ids, one per distinct color, which every rank then maps
+  // identically from the gathered table.
+  struct Entry {
+    std::int32_t color;
+    std::int32_t key;
+  };
+  std::vector<Entry> table(n);
+  std::uint64_t base = 0;
+  const Entry mine{color, key};
+  collective(
+      n * sizeof(Entry),
+      [&](detail::CollectiveBay& bay, bool) {
+        std::memcpy(bay.scratch.data() +
+                        static_cast<std::size_t>(group_rank_) * sizeof(Entry),
+                    &mine, sizeof(Entry));
+      },
+      [&](detail::CollectiveBay& bay) {
+        // Collect runs serialized under the bay lock after everyone has
+        // deposited. The first collector reserves one context id per
+        // distinct color; every rank reads the agreed base + full table.
+        if (bay.agreed_u64 == 0) {
+          std::vector<std::int32_t> colors;
+          const Entry* entries = reinterpret_cast<const Entry*>(bay.scratch.data());
+          for (std::size_t r = 0; r < n; ++r) colors.push_back(entries[r].color);
+          std::sort(colors.begin(), colors.end());
+          colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+          bay.agreed_u64 = fabric_->allocate_context_block(colors.size());
+        }
+        base = bay.agreed_u64;
+        std::memcpy(table.data(), bay.scratch.data(), n * sizeof(Entry));
+      },
+      n * sizeof(Entry));
+
+  // All ranks hold identical (table, base); derive my subgroup
+  // deterministically: members share my color, ordered by (key, rank).
+  std::vector<std::int32_t> colors;
+  for (const Entry& e : table) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  const auto color_index = static_cast<std::uint64_t>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  const std::uint64_t new_context = base + color_index;
+
+  std::vector<int> parent_ranks;
+  for (std::size_t r = 0; r < n; ++r)
+    if (table[r].color == color) parent_ranks.push_back(static_cast<int>(r));
+  std::stable_sort(parent_ranks.begin(), parent_ranks.end(),
+                   [&](int a, int b) {
+                     return table[static_cast<std::size_t>(a)].key <
+                            table[static_cast<std::size_t>(b)].key;
+                   });
+
+  auto new_members = std::make_shared<std::vector<int>>();
+  int new_rank = -1;
+  for (std::size_t i = 0; i < parent_ranks.size(); ++i) {
+    if (parent_ranks[i] == group_rank_) new_rank = static_cast<int>(i);
+    new_members->push_back(world_rank_of(parent_ranks[i]));
+  }
+  CCAPERF_REQUIRE(new_rank >= 0, "split: caller missing from its own subgroup");
+  fabric_->ensure_context(new_context, static_cast<int>(new_members->size()));
+  return Comm(fabric_, new_context, std::move(new_members), new_rank);
+}
+
+}  // namespace mpp

@@ -1,0 +1,256 @@
+#pragma once
+// mpp::Comm — the communicator API of the in-process message-passing
+// runtime. It mirrors the MPI-1 subset the paper's application uses
+// (CCAFFEINE "adheres to the MPI-1 standard"): nonblocking point-to-point
+// with Waitsome/Waitall, blocking send/recv, and the usual collectives.
+//
+// Typed operations are thin templates over a byte-level core; payload types
+// must be trivially copyable. All entry points are bracketed with
+// PMPI-style hooks (see hooks.hpp) so the TAU adapter can time them under
+// the "MPI" group exactly as the paper's measurement system does.
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mpp/fabric.hpp"
+#include "mpp/hooks.hpp"
+#include "support/error.hpp"
+
+namespace mpp {
+
+/// Handle to a nonblocking operation. Move-only: exactly one live handle
+/// per operation, so dropping a pending receive cancels it deterministically.
+/// Completion consumes the handle (MPI-style request deallocation).
+class Request {
+ public:
+  Request() = default;
+
+  /// True if this handle refers to an operation (complete or not).
+  bool valid() const { return static_cast<bool>(state_); }
+
+  /// Non-consuming completion check.
+  bool done() const { return state_ && state_->ready(); }
+
+  /// Blocks until completion; returns the Status and invalidates the
+  /// handle. Hook name: "MPI_Wait()".
+  Status wait();
+
+  /// If complete, returns the Status and invalidates the handle.
+  std::optional<Status> test();
+
+  ~Request() { release(); }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&& o) noexcept {
+    if (this != &o) {
+      release();
+      state_ = std::move(o.state_);
+    }
+    return *this;
+  }
+
+ private:
+  friend class Comm;
+  friend std::size_t wait_some(std::span<Request>, std::vector<int>&, std::vector<Status>*);
+  friend void wait_all(std::span<Request>);
+
+  explicit Request(std::shared_ptr<detail::ReqState> st) : state_(std::move(st)) {}
+
+  Status wait_no_hook();
+  /// Cancels a still-posted receive when the last handle is dropped.
+  void release();
+
+  std::shared_ptr<detail::ReqState> state_;
+};
+
+/// MPI_Waitsome: blocks until at least one *valid* request in `reqs`
+/// completes; completed requests are invalidated and their indices appended
+/// to `indices` (cleared first). Returns the number completed; returns 0
+/// immediately iff no request is valid. Hook name: "MPI_Waitsome()".
+std::size_t wait_some(std::span<Request> reqs, std::vector<int>& indices,
+                      std::vector<Status>* statuses = nullptr);
+
+/// MPI_Waitall over the valid requests. Hook name: "MPI_Waitall()".
+void wait_all(std::span<Request> reqs);
+
+/// Reduction functors for typed allreduce/reduce.
+template <class T>
+struct MinOp {
+  T operator()(const T& a, const T& b) const { return b < a ? b : a; }
+};
+template <class T>
+struct MaxOp {
+  T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+/// Communicator: a group of ranks plus a matching context. Lightweight
+/// value type (copy = alias).
+class Comm {
+ public:
+  Comm() = default;  ///< invalid communicator
+
+  bool valid() const { return fabric_ != nullptr; }
+  int rank() const { return group_rank_; }
+  int size() const { return static_cast<int>(members_->size()); }
+  /// World rank of group rank `r` (identity on the world communicator).
+  int world_rank_of(int r) const { return (*members_)[static_cast<std::size_t>(r)]; }
+
+  /// High-resolution wall clock, seconds since runtime start ("MPI_Wtime()").
+  double wtime() const;
+
+  /// MPI_Comm_dup: same group, fresh matching context (collective).
+  Comm dup() const;
+  /// MPI_Comm_split: subgroups by color, ordered by (key, rank) (collective).
+  Comm split(int color, int key) const;
+
+  // --- point to point (byte level) ---------------------------------------
+  Request isend_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  Request irecv_bytes(void* buffer, std::size_t capacity, int src, int tag);
+  void send_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  Status recv_bytes(void* buffer, std::size_t capacity, int src, int tag);
+
+  // --- point to point (typed) --------------------------------------------
+  template <class T>
+  Request isend(std::span<const T> data, int dest, int tag) {
+    check_pod<T>();
+    return isend_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+  template <class T>
+  Request irecv(std::span<T> buffer, int src, int tag) {
+    check_pod<T>();
+    return irecv_bytes(buffer.data(), buffer.size_bytes(), src, tag);
+  }
+  template <class T>
+  void send(std::span<const T> data, int dest, int tag) {
+    check_pod<T>();
+    send_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+  template <class T>
+  Status recv(std::span<T> buffer, int src, int tag) {
+    check_pod<T>();
+    return recv_bytes(buffer.data(), buffer.size_bytes(), src, tag);
+  }
+
+  // --- collectives ---------------------------------------------------------
+  void barrier();
+
+  template <class T>
+  void bcast(std::span<T> data, int root) {
+    check_pod<T>();
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+
+  /// Element-wise combine function over type-erased arrays.
+  using CombineFn = void (*)(void* acc, const void* in, std::size_t count);
+
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  void allreduce_bytes(const void* in, void* out, std::size_t elem_bytes,
+                       std::size_t count, CombineFn combine);
+  void reduce_bytes(const void* in, void* out, std::size_t elem_bytes,
+                    std::size_t count, CombineFn combine, int root);
+  void allgather_bytes(const void* in, std::size_t chunk_bytes, void* out);
+  void gather_bytes(const void* in, std::size_t chunk_bytes, void* out, int root);
+  void allgatherv_bytes(const void* in, std::size_t my_bytes, void* out,
+                        std::span<const std::size_t> byte_counts);
+  void alltoall_bytes(const void* in, std::size_t chunk_bytes, void* out);
+
+  template <class T, class Op = std::plus<T>>
+  void allreduce(std::span<const T> in, std::span<T> out) {
+    check_pod<T>();
+    CCAPERF_REQUIRE(in.size() == out.size(), "allreduce: size mismatch");
+    allreduce_bytes(in.data(), out.data(), sizeof(T), in.size(), &combine_fn<T, Op>);
+  }
+  /// Convenience scalar allreduce.
+  template <class Op = std::plus<double>, class T = double>
+  T allreduce_value(T v) {
+    check_pod<T>();
+    T out{};
+    allreduce_bytes(&v, &out, sizeof(T), 1, &combine_fn<T, Op>);
+    return out;
+  }
+  template <class T, class Op = std::plus<T>>
+  void reduce(std::span<const T> in, std::span<T> out, int root) {
+    check_pod<T>();
+    CCAPERF_REQUIRE(rank() != root || in.size() == out.size(), "reduce: size mismatch");
+    reduce_bytes(in.data(), out.data(), sizeof(T), in.size(), &combine_fn<T, Op>, root);
+  }
+  template <class T>
+  void allgather(std::span<const T> in, std::span<T> out) {
+    check_pod<T>();
+    CCAPERF_REQUIRE(out.size() == in.size() * static_cast<std::size_t>(size()),
+                    "allgather: output must hold size()*chunk elements");
+    allgather_bytes(in.data(), in.size_bytes(), out.data());
+  }
+  template <class T>
+  void gather(std::span<const T> in, std::span<T> out, int root) {
+    check_pod<T>();
+    gather_bytes(in.data(), in.size_bytes(), rank() == root ? out.data() : nullptr, root);
+  }
+  template <class T>
+  void allgatherv(std::span<const T> in, std::span<T> out,
+                  std::span<const std::size_t> elem_counts) {
+    check_pod<T>();
+    std::vector<std::size_t> bytes(elem_counts.size());
+    for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = elem_counts[i] * sizeof(T);
+    allgatherv_bytes(in.data(), in.size_bytes(), out.data(), bytes);
+  }
+  template <class T>
+  void alltoall(std::span<const T> in, std::span<T> out) {
+    check_pod<T>();
+    CCAPERF_REQUIRE(in.size() == out.size() &&
+                        in.size() % static_cast<std::size_t>(size()) == 0,
+                    "alltoall: size()*chunk elements required");
+    alltoall_bytes(in.data(), in.size_bytes() / static_cast<std::size_t>(size()),
+                   out.data());
+  }
+
+ private:
+  friend class Runtime;
+
+  Comm(Fabric* fabric, std::uint64_t context,
+       std::shared_ptr<const std::vector<int>> members, int group_rank)
+      : fabric_(fabric), context_(context), members_(std::move(members)),
+        group_rank_(group_rank) {}
+
+  template <class T>
+  static void check_pod() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "mpp payloads must be trivially copyable");
+  }
+
+  template <class T, class Op>
+  static void combine_fn(void* acc, const void* in, std::size_t count) {
+    static_assert(std::is_empty_v<Op>, "reduction ops must be stateless");
+    T* a = static_cast<T*>(acc);
+    const T* b = static_cast<const T*>(in);
+    Op op{};
+    for (std::size_t i = 0; i < count; ++i) a[i] = op(a[i], b[i]);
+  }
+
+  int my_world_rank() const { return world_rank_of(group_rank_); }
+
+  /// Copies `bytes` to `dest`'s mailbox, matching a posted receive if any.
+  void deliver(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Generic arrive/compute/depart collective. `deposit(bay, first)` adds
+  /// this rank's contribution under the bay lock; `collect(bay)` copies the
+  /// result out under the lock. `delay_bytes` drives the modeled per-rank
+  /// network cost applied on exit.
+  void collective(std::size_t scratch_bytes,
+                  const std::function<void(detail::CollectiveBay&, bool)>& deposit,
+                  const std::function<void(detail::CollectiveBay&)>& collect,
+                  std::size_t delay_bytes) const;
+
+  Fabric* fabric_ = nullptr;
+  std::uint64_t context_ = 0;
+  std::shared_ptr<const std::vector<int>> members_;
+  int group_rank_ = -1;
+};
+
+}  // namespace mpp

@@ -1,0 +1,66 @@
+#include "mpp/fabric.hpp"
+
+#include "support/error.hpp"
+
+namespace mpp {
+
+Fabric::Fabric(int world_size, NetworkModel net)
+    : world_size_(world_size), net_(net) {
+  CCAPERF_REQUIRE(world_size >= 1, "Fabric: world_size must be >= 1");
+  ccaperf::Rng seeder(net_.seed);
+  rngs_.reserve(static_cast<std::size_t>(world_size));
+  signals_.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    rngs_.push_back(seeder.split(static_cast<std::uint64_t>(r)));
+    signals_.push_back(std::make_unique<detail::RankSignal>());
+  }
+  ensure_context(world_context, world_size);
+}
+
+std::uint64_t Fabric::allocate_context() {
+  return next_context_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Fabric::ensure_context(std::uint64_t context, int group_size) {
+  CCAPERF_REQUIRE(group_size >= 1, "ensure_context: empty group");
+  std::scoped_lock lock(contexts_mu_);
+  auto [it, inserted] = contexts_.try_emplace(context);
+  if (!inserted) {
+    CCAPERF_REQUIRE(it->second.mailboxes.size() == static_cast<std::size_t>(group_size),
+                    "ensure_context: conflicting group size for context");
+    return;
+  }
+  it->second.mailboxes.reserve(static_cast<std::size_t>(group_size));
+  for (int r = 0; r < group_size; ++r)
+    it->second.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+  it->second.bay = std::make_unique<detail::CollectiveBay>();
+}
+
+detail::Mailbox& Fabric::mailbox(std::uint64_t context, int group_rank) {
+  std::scoped_lock lock(contexts_mu_);
+  auto it = contexts_.find(context);
+  CCAPERF_REQUIRE(it != contexts_.end(), "mailbox: unknown context");
+  auto& boxes = it->second.mailboxes;
+  CCAPERF_REQUIRE(group_rank >= 0 && static_cast<std::size_t>(group_rank) < boxes.size(),
+                  "mailbox: group rank out of range");
+  return *boxes[static_cast<std::size_t>(group_rank)];
+}
+
+void Fabric::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& sig : signals_) sig->notify();
+  std::scoped_lock lock(contexts_mu_);
+  for (auto& [id, state] : contexts_) {
+    std::scoped_lock bay_lock(state.bay->mu);
+    state.bay->cv.notify_all();
+  }
+}
+
+detail::CollectiveBay& Fabric::bay(std::uint64_t context) {
+  std::scoped_lock lock(contexts_mu_);
+  auto it = contexts_.find(context);
+  CCAPERF_REQUIRE(it != contexts_.end(), "bay: unknown context");
+  return *it->second.bay;
+}
+
+}  // namespace mpp

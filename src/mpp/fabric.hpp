@@ -1,0 +1,204 @@
+#pragma once
+// The Fabric is the shared-memory "interconnect" behind mpp::Comm.
+//
+// Design (see DESIGN.md, src/mpp):
+//  * Ranks are threads. Each communicator context owns one `Mailbox` per
+//    group rank, holding a queue of posted receives and a queue of
+//    unexpected messages (standard MPI matching structure).
+//  * Sends are buffered-eager: the payload is copied at the send call, a
+//    modeled delivery time is stamped (NetworkModel), and the send request
+//    completes immediately. Matching happens at send time if a receive is
+//    posted, otherwise the message parks in the unexpected queue.
+//  * Receive requests complete when (a) matched and (b) the modeled
+//    delivery time has passed; waits sleep until then, which is how network
+//    cost becomes visible wall-clock time in profiles.
+//  * Matching preserves MPI's non-overtaking order per (source, tag).
+//  * Collectives run through a per-context `CollectiveBay` using an
+//    arrive/compute/depart generation protocol; an optional modeled delay
+//    is applied per rank on exit.
+//
+// The Fabric is internal; user code talks to mpp::Comm / mpp::Runtime.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpp/netmodel.hpp"
+#include "support/rng.hpp"
+
+namespace mpp {
+
+/// Wildcards (match MPI semantics).
+inline constexpr int any_source = -1;
+inline constexpr int any_tag = -1;
+
+/// Completion information for a receive.
+struct Status {
+  int source = any_source;      ///< group rank of the sender
+  int tag = any_tag;            ///< message tag
+  std::size_t bytes = 0;        ///< payload size in bytes
+};
+
+using Clock = std::chrono::steady_clock;
+
+namespace detail {
+
+class Mailbox;
+
+/// Shared state behind a Request handle.
+struct ReqState {
+  enum class Kind { send, recv };
+  Kind kind = Kind::send;
+  /// Set (release) once the message is matched and copied. For sends this
+  /// is set before the request is returned.
+  std::atomic<bool> matched{false};
+  /// Delivery time; completion is gated on Clock::now() >= deliver_at.
+  Clock::time_point deliver_at{};
+  Status status;
+  /// Identity of the posted receive inside its mailbox (for cancellation).
+  std::uint64_t post_id = 0;
+  Mailbox* mailbox = nullptr;           ///< mailbox the recv was posted to
+  class RankSignal* signal = nullptr;   ///< wakeup channel of the owning rank
+  const std::atomic<bool>* abort_flag = nullptr;  ///< fabric-wide failure flag
+
+  bool aborted() const {
+    return abort_flag && abort_flag->load(std::memory_order_acquire);
+  }
+
+  /// True when the request is complete *now*.
+  bool ready() const {
+    return matched.load(std::memory_order_acquire) && Clock::now() >= deliver_at;
+  }
+  /// True when matched but delivery time is still in the future.
+  bool pending_delivery() const {
+    return matched.load(std::memory_order_acquire) && Clock::now() < deliver_at;
+  }
+};
+
+/// A message parked in the unexpected queue.
+struct ParkedMessage {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  Clock::time_point deliver_at{};
+};
+
+/// A receive posted before its message arrived.
+struct PostedRecv {
+  int src = any_source;
+  int tag = any_tag;
+  std::byte* buffer = nullptr;
+  std::size_t capacity = 0;
+  std::uint64_t post_id = 0;
+  std::shared_ptr<ReqState> state;
+};
+
+/// Per-rank wakeup channel: every completion that might unblock rank r
+/// notifies r's signal. Waits (wait/wait_all/wait_some) block here.
+class RankSignal {
+ public:
+  std::mutex mu;
+  std::condition_variable cv;
+  void notify() {
+    std::scoped_lock lock(mu);
+    cv.notify_all();
+  }
+};
+
+/// Matching queues for one (context, group-rank).
+class Mailbox {
+ public:
+  std::mutex mu;
+  std::deque<ParkedMessage> unexpected;
+  std::deque<PostedRecv> posted;
+  std::uint64_t next_post_id = 1;
+};
+
+/// Shared-memory collective rendezvous for one communicator context.
+class CollectiveBay {
+ public:
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  int departed = 0;
+  bool complete = false;
+  std::uint64_t generation = 0;
+  /// Scratch shared by the participating ranks; layout is op-specific.
+  std::vector<std::byte> scratch;
+  /// Op-agreed value published by the first/root arriver (context ids...).
+  std::uint64_t agreed_u64 = 0;
+};
+
+}  // namespace detail
+
+/// The interconnect. One Fabric per Runtime::run invocation.
+class Fabric {
+ public:
+  Fabric(int world_size, NetworkModel net);
+
+  int world_size() const { return world_size_; }
+  const NetworkModel& net() const { return net_; }
+
+  double wtime_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  /// Modeled delay for `bytes` charged to sending world-rank `world_rank`.
+  double delay_us(int world_rank, std::size_t bytes) {
+    if (net_.is_null()) return 0.0;
+    return net_.delay_us(bytes, rngs_[static_cast<std::size_t>(world_rank)]);
+  }
+
+  /// Allocates a fresh communicator context id (thread-safe).
+  std::uint64_t allocate_context();
+
+  /// Reserves `n` consecutive context ids, returning the first.
+  std::uint64_t allocate_context_block(std::size_t n) {
+    return next_context_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Ensures matching/collective structures exist for `context` with
+  /// `group_size` members. Idempotent; thread-safe.
+  void ensure_context(std::uint64_t context, int group_size);
+
+  detail::Mailbox& mailbox(std::uint64_t context, int group_rank);
+  detail::CollectiveBay& bay(std::uint64_t context);
+  detail::RankSignal& signal(int world_rank) {
+    return *signals_[static_cast<std::size_t>(world_rank)];
+  }
+
+  /// Marks the fabric dead and wakes every blocked wait/collective so rank
+  /// failures propagate instead of deadlocking the remaining ranks.
+  void abort();
+  bool is_aborted() const { return aborted_.load(std::memory_order_acquire); }
+  const std::atomic<bool>* abort_flag() const { return &aborted_; }
+
+  /// Context id of the world communicator.
+  static constexpr std::uint64_t world_context = 0;
+
+ private:
+  struct ContextState {
+    std::vector<std::unique_ptr<detail::Mailbox>> mailboxes;
+    std::unique_ptr<detail::CollectiveBay> bay;
+  };
+
+  int world_size_;
+  NetworkModel net_;
+  Clock::time_point epoch_ = Clock::now();
+  std::vector<ccaperf::Rng> rngs_;  // one jitter stream per world rank
+  std::vector<std::unique_ptr<detail::RankSignal>> signals_;
+
+  std::mutex contexts_mu_;
+  std::map<std::uint64_t, ContextState> contexts_;
+  std::atomic<std::uint64_t> next_context_{1};
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace mpp

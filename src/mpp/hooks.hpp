@@ -1,0 +1,67 @@
+#pragma once
+// PMPI-style interposition for the mpp fabric.
+//
+// Every public communication call is bracketed by `on_begin`/`on_end` on the
+// hooks object installed for the calling rank (thread). The TAU adapter in
+// src/tau installs hooks that start/stop timers named after the equivalent
+// MPI routine ("MPI_Waitsome()", "MPI_Allreduce()", ...) in the "MPI" timer
+// group — exactly how the paper obtains "the total inclusive time spent in
+// MPI during a method invocation" (Section 3.2, requirement 2).
+//
+// Hooks are per-thread (per-rank in SCMD); installation is RAII via
+// `HooksInstaller` so an exception cannot leave a dangling pointer.
+
+#include <cstddef>
+
+namespace mpp {
+
+/// Interface implemented by measurement systems (see tau::MpiHookAdapter).
+class CommHooks {
+ public:
+  virtual ~CommHooks() = default;
+  /// Called on entry to a communication routine. `mpi_name` is a static
+  /// string like "MPI_Isend()".
+  virtual void on_begin(const char* mpi_name) = 0;
+  /// Called on exit. `bytes` is the payload size where meaningful, else 0.
+  virtual void on_end(const char* mpi_name, std::size_t bytes) = 0;
+};
+
+namespace detail {
+inline thread_local CommHooks* t_hooks = nullptr;
+}
+
+/// Currently installed hooks for this thread (nullptr if none).
+inline CommHooks* hooks() { return detail::t_hooks; }
+
+/// Installs hooks for the current thread for the lifetime of this object.
+class HooksInstaller {
+ public:
+  explicit HooksInstaller(CommHooks* h) : prev_(detail::t_hooks) { detail::t_hooks = h; }
+  ~HooksInstaller() { detail::t_hooks = prev_; }
+  HooksInstaller(const HooksInstaller&) = delete;
+  HooksInstaller& operator=(const HooksInstaller&) = delete;
+
+ private:
+  CommHooks* prev_;
+};
+
+/// RAII bracket used inside mpp entry points.
+class HookScope {
+ public:
+  explicit HookScope(const char* name) : name_(name), active_(detail::t_hooks != nullptr) {
+    if (active_) detail::t_hooks->on_begin(name_);
+  }
+  ~HookScope() {
+    if (active_) detail::t_hooks->on_end(name_, bytes_);
+  }
+  HookScope(const HookScope&) = delete;
+  HookScope& operator=(const HookScope&) = delete;
+  void set_bytes(std::size_t b) { bytes_ = b; }
+
+ private:
+  const char* name_;
+  bool active_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace mpp

@@ -1,0 +1,34 @@
+#pragma once
+// mpp::Runtime — SCMD launcher.
+//
+// CCAFFEINE's parallel model (paper §3.1) is SCMD: "Identical frameworks,
+// containing the same components, are instantiated on all P processors."
+// Runtime::run reproduces that: it spins up P rank threads, each of which
+// receives its own world communicator handle and executes the same
+// `rank_main` — inside which the case study instantiates a full CCA
+// framework per rank.
+//
+// Exceptions thrown by any rank are captured; the first one is rethrown on
+// the launching thread after all ranks have been joined.
+
+#include <functional>
+
+#include "mpp/comm.hpp"
+#include "mpp/netmodel.hpp"
+
+namespace mpp {
+
+class Runtime {
+ public:
+  /// Runs `rank_main(world)` on `nranks` threads sharing one Fabric.
+  /// Blocks until every rank returns. Rethrows the first rank exception.
+  static void run(int nranks, const NetworkModel& net,
+                  const std::function<void(Comm&)>& rank_main);
+
+  /// Convenience overload with no injected network delays.
+  static void run(int nranks, const std::function<void(Comm&)>& rank_main) {
+    run(nranks, NetworkModel::null_model(), rank_main);
+  }
+};
+
+}  // namespace mpp

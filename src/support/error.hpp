@@ -1,0 +1,32 @@
+#pragma once
+// Error handling primitives shared by every ccaperf module.
+//
+// The library throws `ccaperf::Error` for precondition violations and
+// runtime failures. `CCAPERF_REQUIRE` is the canonical checked-precondition
+// macro: it is always on (these libraries are infrastructure, not inner
+// loops; hot kernels use raw indexing internally).
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ccaperf {
+
+/// Exception type thrown by all ccaperf libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& msg,
+                               std::source_location loc = std::source_location::current()) {
+  throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + msg);
+}
+
+}  // namespace ccaperf
+
+/// Checked precondition: throws ccaperf::Error with file:line on failure.
+#define CCAPERF_REQUIRE(cond, msg)          \
+  do {                                      \
+    if (!(cond)) ::ccaperf::raise((msg));   \
+  } while (0)

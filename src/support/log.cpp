@@ -1,0 +1,21 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace ccaperf {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel lvl, int rank, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::scoped_lock lock(mu_);
+  std::cerr << '[' << names[static_cast<int>(lvl)] << ']';
+  if (rank >= 0) std::cerr << "[rank " << rank << ']';
+  std::cerr << ' ' << msg << '\n';
+}
+
+}  // namespace ccaperf

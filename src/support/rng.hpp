@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// Every stochastic element in ccaperf (network jitter, synthetic workloads,
+// property-test inputs) draws from `ccaperf::Rng` so that runs are exactly
+// reproducible from a seed. The engine is xoshiro256** (public domain,
+// Blackman & Vigna), which is fast, has 256-bit state and passes BigCrush.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace ccaperf {
+
+/// splitmix64: used to expand a 64-bit seed into full engine state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Split off an independent stream (for per-rank/per-message RNGs).
+  Rng split(std::uint64_t stream_id) {
+    std::uint64_t s = (*this)() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(s);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ccaperf

@@ -1,0 +1,83 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ccaperf {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> width;
+  auto absorb = [&width](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.empty())
+      os << std::string(total, '-') << '\n';
+    else
+      emit(r);
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string fmt_double(double v, int prec) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string fmt_sci(double v, int prec) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(prec) << v;
+  return os.str();
+}
+
+}  // namespace ccaperf

@@ -1,0 +1,46 @@
+#pragma once
+// Plain-text and CSV table emitters used by the benchmark harness to print
+// paper-style tables (e.g. the Fig. 3 FUNCTION SUMMARY) and data series for
+// the figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccaperf {
+
+/// Column-aligned text table. Collect rows of strings, then render with
+/// every column padded to its widest cell.
+class TextTable {
+ public:
+  /// Sets the header row (rendered first, followed by a dashed rule).
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Adds a horizontal rule at the current position.
+  void add_rule();
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Minimal CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& s);
+  std::ostream& os_;
+};
+
+/// Formats a double with `prec` significant digits (helper for tables).
+std::string fmt_double(double v, int prec = 4);
+/// Formats like "1.23e+04" in fixed scientific with `prec` digits.
+std::string fmt_sci(double v, int prec = 3);
+
+}  // namespace ccaperf

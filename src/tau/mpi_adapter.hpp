@@ -1,0 +1,36 @@
+#pragma once
+// Bridges mpp's PMPI-style hooks to a tau::Registry.
+//
+// Install one adapter per rank (RAII via mpp::HooksInstaller) and every
+// mpp communication call is timed under a timer named after the MPI
+// routine ("MPI_Waitsome()", ...) in the "MPI" group. This is requirement
+// (2) of the paper's Section 3.2: "the total time spent in message passing
+// calls, as determined by the total inclusive time spent in MPI during a
+// method invocation" — the Mastermind reads it via
+// Registry::group_inclusive_us(tau::kMpiGroup). Message sizes are also
+// recorded as an atomic event, which Fig. 9-style analyses consume.
+
+#include "mpp/hooks.hpp"
+#include "tau/registry.hpp"
+
+namespace tau {
+
+class MpiHookAdapter final : public mpp::CommHooks {
+ public:
+  explicit MpiHookAdapter(Registry& reg) : reg_(reg) {}
+
+  void on_begin(const char* mpi_name) override {
+    reg_.start(reg_.timer(mpi_name, kMpiGroup));
+  }
+
+  void on_end(const char* mpi_name, std::size_t bytes) override {
+    reg_.stop(reg_.timer(mpi_name, kMpiGroup));
+    if (bytes > 0)
+      reg_.trigger("Message size (bytes)", static_cast<double>(bytes));
+  }
+
+ private:
+  Registry& reg_;
+};
+
+}  // namespace tau

@@ -1,0 +1,129 @@
+#include "tau/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace tau {
+
+namespace {
+
+std::string with_commas(long long v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string fmt_msec(double us) {
+  return with_commas(static_cast<long long>(std::llround(us / 1000.0)));
+}
+
+std::string fmt_total_msec(double us) {
+  const double msec = us / 1000.0;
+  if (msec < 60'000.0) {
+    if (msec >= 1000.0) return with_commas(static_cast<long long>(std::llround(msec)));
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3g", msec);
+    return buf;
+  }
+  const auto total_ms = static_cast<long long>(std::llround(msec));
+  const long long minutes = total_ms / 60'000;
+  const long long rem_ms = total_ms % 60'000;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld:%02lld.%03lld", minutes, rem_ms / 1000,
+                rem_ms % 1000);
+  return buf;
+}
+
+std::vector<ProfileRow> profile_rows(const Registry& reg) {
+  std::vector<ProfileRow> rows;
+  for (const TimerStats& t : reg.snapshot())
+    rows.push_back(ProfileRow{t.name, t.exclusive_us, t.inclusive_us,
+                              static_cast<double>(t.calls)});
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              return a.inclusive_us > b.inclusive_us;
+            });
+  return rows;
+}
+
+std::vector<ProfileRow> mean_rows(const std::vector<std::vector<ProfileRow>>& per_rank) {
+  std::map<std::string, ProfileRow> acc;
+  for (const auto& rank_rows : per_rank) {
+    for (const ProfileRow& r : rank_rows) {
+      ProfileRow& a = acc[r.name];
+      a.name = r.name;
+      a.exclusive_us += r.exclusive_us;
+      a.inclusive_us += r.inclusive_us;
+      a.calls += r.calls;
+    }
+  }
+  const double n = per_rank.empty() ? 1.0 : static_cast<double>(per_rank.size());
+  std::vector<ProfileRow> rows;
+  rows.reserve(acc.size());
+  for (auto& [name, r] : acc) {
+    r.exclusive_us /= n;
+    r.inclusive_us /= n;
+    r.calls /= n;
+    rows.push_back(r);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              return a.inclusive_us > b.inclusive_us;
+            });
+  return rows;
+}
+
+std::string write_profile_file(const std::string& dir, int rank,
+                               const Registry& reg) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/profile.rank" + std::to_string(rank) + ".txt";
+  std::ofstream os(path);
+  write_function_summary(os, profile_rows(reg), "rank " + std::to_string(rank));
+  return path;
+}
+
+void write_function_summary(std::ostream& os, const std::vector<ProfileRow>& rows,
+                            const std::string& label) {
+  os << "FUNCTION SUMMARY (" << label << "):\n";
+  os << "%Time    Exclusive    Inclusive       #Call   Inclusive Name\n";
+  os << "              msec   total msec                usec/call\n";
+  os << "---------------------------------------------------------------------\n";
+  double total = 0.0;
+  for (const ProfileRow& r : rows) total = std::max(total, r.inclusive_us);
+  if (total <= 0.0) total = 1.0;
+
+  char buf[256];
+  for (const ProfileRow& r : rows) {
+    const double pct = 100.0 * r.inclusive_us / total;
+    const double per_call_us = r.calls > 0 ? r.inclusive_us / r.calls : 0.0;
+    std::string calls_str;
+    if (std::abs(r.calls - std::round(r.calls)) < 1e-9) {
+      calls_str = std::to_string(static_cast<long long>(std::llround(r.calls)));
+    } else {
+      char cbuf[32];
+      std::snprintf(cbuf, sizeof cbuf, "%.2f", r.calls);
+      calls_str = cbuf;
+    }
+    std::snprintf(buf, sizeof buf, "%5.1f %12s %12s %11s %11lld  %s\n", pct,
+                  fmt_msec(r.exclusive_us).c_str(),
+                  fmt_total_msec(r.inclusive_us).c_str(), calls_str.c_str(),
+                  static_cast<long long>(std::llround(per_call_us)), r.name.c_str());
+    os << buf;
+  }
+}
+
+}  // namespace tau

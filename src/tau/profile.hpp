@@ -1,0 +1,57 @@
+#pragma once
+// FUNCTION SUMMARY profile emission (the paper's Fig. 3 format).
+//
+// TAU "dumps out summary profile files at program termination"; Fig. 3
+// shows the mean-over-ranks summary for the case study. `ProfileRow` is
+// one line; writers render a single rank's profile or the mean across
+// ranks in the same layout:
+//
+//   FUNCTION SUMMARY (mean):
+//   %Time  Exclusive  Inclusive  #Call  Inclusive  Name
+//          msec       total msec        usec/call
+//   ...
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tau/registry.hpp"
+
+namespace tau {
+
+struct ProfileRow {
+  std::string name;
+  double exclusive_us = 0.0;
+  double inclusive_us = 0.0;
+  double calls = 0.0;  ///< fractional when averaged over ranks
+};
+
+/// Rows for one registry (cumulative, running partials included), sorted
+/// by inclusive time descending.
+std::vector<ProfileRow> profile_rows(const Registry& reg);
+
+/// Element-wise mean over per-rank row sets, keyed by timer name; timers
+/// missing on some ranks contribute zero there (TAU's convention).
+/// The result is sorted by inclusive time descending.
+std::vector<ProfileRow> mean_rows(const std::vector<std::vector<ProfileRow>>& per_rank);
+
+/// Renders the Fig. 3 FUNCTION SUMMARY. `label` is interpolated into the
+/// header, e.g. "mean" or "rank 0". %Time is relative to the largest
+/// inclusive time in `rows` (the root, e.g. "int main(int, char **)").
+void write_function_summary(std::ostream& os, const std::vector<ProfileRow>& rows,
+                            const std::string& label);
+
+/// "The TAU library also dumps out summary profile files at program
+/// termination": writes `<dir>/profile.rank<r>.txt` with this rank's
+/// FUNCTION SUMMARY (creating `dir` if needed). Returns the path.
+std::string write_profile_file(const std::string& dir, int rank,
+                               const Registry& reg);
+
+/// Formats microseconds as the summary's "total msec" column: msec with
+/// thousands separators, switching to m:ss.mmm above one minute (Fig. 3
+/// shows "1:52.032" for the root).
+std::string fmt_total_msec(double us);
+/// Millisecond column with thousands separators ("27,262").
+std::string fmt_msec(double us);
+
+}  // namespace tau

@@ -1,0 +1,147 @@
+#include "tau/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace tau {
+
+namespace {
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+}  // namespace
+
+TimerId Registry::timer(const std::string& name, const std::string& group) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const TimerId id = timers_.size();
+  timers_.push_back(TimerStats{name, group, 0, 0.0, 0.0});
+  active_depth_.push_back(0);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void Registry::start(TimerId id) {
+  CCAPERF_REQUIRE(id < timers_.size(), "Registry::start: bad timer id");
+  Frame f;
+  f.id = id;
+  f.start = Clock::now();
+  f.enabled = group_enabled(timers_[id].group);
+  if (tracing_ && f.enabled)
+    trace_.push_back(TraceEvent{us_between(trace_epoch_, f.start), id, true});
+  stack_.push_back(f);
+  ++active_depth_[id];
+}
+
+void Registry::stop(TimerId id) {
+  CCAPERF_REQUIRE(!stack_.empty(), "Registry::stop: no running timer");
+  CCAPERF_REQUIRE(stack_.back().id == id,
+                  "Registry::stop: timers must stop in LIFO order (stopping '" +
+                      timers_[id].name + "' but innermost is '" +
+                      timers_[stack_.back().id].name + "')");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const Clock::time_point now = Clock::now();
+  if (tracing_ && frame.enabled)
+    trace_.push_back(TraceEvent{us_between(trace_epoch_, now), id, false});
+  const double elapsed = us_between(frame.start, now);
+  CCAPERF_REQUIRE(active_depth_[id] > 0, "Registry::stop: depth underflow");
+  --active_depth_[id];
+
+  if (frame.enabled) {
+    TimerStats& t = timers_[id];
+    ++t.calls;
+    // Recursive activations only add inclusive time at the outermost level.
+    if (active_depth_[id] == 0) t.inclusive_us += elapsed;
+    t.exclusive_us += elapsed - frame.child_us;
+    if (!stack_.empty()) stack_.back().child_us += elapsed;
+  } else if (!stack_.empty()) {
+    // Disabled timer: behave as if uninstrumented — its *enabled* callee
+    // time still subtracts from the nearest enabled ancestor's exclusive.
+    stack_.back().child_us += frame.child_us;
+  }
+}
+
+void Registry::set_group_enabled(const std::string& group, bool enabled) {
+  group_enabled_[group] = enabled;
+}
+
+bool Registry::group_enabled(const std::string& group) const {
+  auto it = group_enabled_.find(group);
+  return it == group_enabled_.end() ? true : it->second;
+}
+
+void Registry::trigger(const std::string& event_name, double value) {
+  events_[event_name].add(value);
+}
+
+double Registry::now_partial_inclusive(TimerId id) const {
+  // Partial elapsed of the *outermost* running activation of `id`.
+  if (active_depth_[id] == 0) return 0.0;
+  const auto now = Clock::now();
+  for (const Frame& f : stack_)
+    if (f.id == id) return f.enabled ? us_between(f.start, now) : 0.0;
+  return 0.0;
+}
+
+double Registry::inclusive_us(TimerId id) const {
+  CCAPERF_REQUIRE(id < timers_.size(), "Registry: bad timer id");
+  return timers_[id].inclusive_us + now_partial_inclusive(id);
+}
+
+double Registry::exclusive_us(TimerId id) const {
+  CCAPERF_REQUIRE(id < timers_.size(), "Registry: bad timer id");
+  double v = timers_[id].exclusive_us;
+  // Running partials: each running activation of id contributes
+  // (now - start - child_us accumulated so far), but only frames whose
+  // callee is not also running... For the innermost activation the callee
+  // time is exactly frame.child_us; for outer activations the currently
+  // running child's time is not yet in child_us, so subtract the child
+  // frame's elapsed instead. We walk the stack accumulating correctly.
+  const auto now = Clock::now();
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    const Frame& f = stack_[i];
+    if (f.id != id || !f.enabled) continue;
+    const double elapsed = us_between(f.start, now);
+    double child = f.child_us;
+    if (i + 1 < stack_.size()) {
+      // The running child's whole elapsed time belongs to callees.
+      const Frame& kid = stack_[i + 1];
+      child += us_between(kid.start, now);
+    }
+    v += elapsed - child;
+  }
+  return v;
+}
+
+double Registry::group_inclusive_us(const std::string& group) const {
+  double total = 0.0;
+  for (TimerId id = 0; id < timers_.size(); ++id)
+    if (timers_[id].group == group) total += inclusive_us(id);
+  return total;
+}
+
+void Registry::set_tracing(bool enabled) {
+  tracing_ = enabled;
+  trace_.clear();
+  if (enabled) trace_epoch_ = Clock::now();
+}
+
+void Registry::dump_trace(std::ostream& os) const {
+  for (const TraceEvent& e : trace_)
+    os << e.t_us << ' ' << (e.enter ? "enter" : "exit") << ' '
+       << timers_[e.id].name << '\n';
+}
+
+std::vector<TimerStats> Registry::snapshot() const {
+  std::vector<TimerStats> rows = timers_;
+  for (TimerId id = 0; id < rows.size(); ++id) {
+    rows[id].inclusive_us = inclusive_us(id);
+    rows[id].exclusive_us = exclusive_us(id);
+    // Count running activations as calls-in-progress? TAU reports completed
+    // calls; we keep that convention.
+  }
+  return rows;
+}
+
+}  // namespace tau

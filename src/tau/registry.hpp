@@ -1,0 +1,172 @@
+#pragma once
+// tau::Registry — the measurement core (our stand-in for the TAU library).
+//
+// Mirrors the capabilities the paper uses (Section 4.1):
+//  * timing interface: create/name/start/stop/group timers; a per-rank
+//    callstack yields aggregate *inclusive* and *exclusive* wall-clock time
+//    per timer, plus call counts;
+//  * event interface: named atomic events recording min/max/mean/stddev/N;
+//  * timer control: enable/disable whole groups at runtime (e.g. all "MPI"
+//    timers via their group identifier);
+//  * query interface: mid-run snapshots of cumulative metrics — the
+//    Mastermind differences two snapshots to attribute cost to a single
+//    method invocation (Section 4.3);
+//  * hardware counters: named sources registered from the hwc substrate,
+//    included in every snapshot.
+//
+// One Registry per rank; instances are NOT thread-safe by design (SCMD
+// gives each rank thread its own, exactly like per-process TAU).
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwc/counters.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace tau {
+
+using TimerId = std::size_t;
+using Clock = std::chrono::steady_clock;
+
+/// Default timer group (TAU's TAU_DEFAULT).
+inline constexpr const char* kDefaultGroup = "TAU_DEFAULT";
+/// Group used by the mpp hook adapter for message-passing timers.
+inline constexpr const char* kMpiGroup = "MPI";
+
+/// Cumulative data for one named timer.
+struct TimerStats {
+  std::string name;
+  std::string group;
+  std::uint64_t calls = 0;
+  double inclusive_us = 0.0;  ///< time in timer + callees
+  double exclusive_us = 0.0;  ///< time in timer minus instrumented callees
+};
+
+/// Atomic event: TAU records min/max/mean/stddev/count per event name.
+using AtomicEvent = ccaperf::RunningStats;
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- timing interface ----------------------------------------------------
+
+  /// Returns the id for `name`, creating the timer on first use. The group
+  /// is fixed at creation; later calls may pass any group value.
+  TimerId timer(const std::string& name, const std::string& group = kDefaultGroup);
+
+  /// True if a timer with this exact name exists.
+  bool has_timer(const std::string& name) const { return by_name_.count(name) != 0; }
+
+  void start(TimerId id);
+  /// Stops the innermost running timer, which must be `id` (LIFO discipline).
+  void stop(TimerId id);
+
+  /// Number of timers created.
+  std::size_t num_timers() const { return timers_.size(); }
+  /// Depth of the running-timer stack (0 when idle).
+  std::size_t stack_depth() const { return stack_.size(); }
+
+  // --- timer control ---------------------------------------------------------
+
+  /// Enables/disables every timer in `group`, now and in the future.
+  /// Disabled timers record nothing and their time folds into the nearest
+  /// enabled ancestor's exclusive time (as if uninstrumented).
+  void set_group_enabled(const std::string& group, bool enabled);
+  bool group_enabled(const std::string& group) const;
+
+  // --- event interface -------------------------------------------------------
+
+  /// Records one sample of the named atomic event.
+  void trigger(const std::string& event_name, double value);
+  const std::map<std::string, AtomicEvent>& events() const { return events_; }
+
+  // --- hardware counters -------------------------------------------------------
+
+  hwc::CounterRegistry& counters() { return counters_; }
+  const hwc::CounterRegistry& counters() const { return counters_; }
+
+  // --- query interface ---------------------------------------------------------
+
+  /// Cumulative inclusive time, *including* the partial elapsed time of
+  /// currently-running activations (so mid-run queries are meaningful).
+  double inclusive_us(TimerId id) const;
+  /// Cumulative exclusive time with the running partial included.
+  double exclusive_us(TimerId id) const;
+  std::uint64_t calls(TimerId id) const { return stats_at(id).calls; }
+  const TimerStats& stats_at(TimerId id) const {
+    CCAPERF_REQUIRE(id < timers_.size(), "Registry: bad timer id");
+    return timers_[id];
+  }
+
+  /// Sum of inclusive time over every timer in `group` (running partials
+  /// included). Assumes group members do not nest within one another —
+  /// true for the MPI wrappers, which is what the Mastermind queries.
+  double group_inclusive_us(const std::string& group) const;
+
+  /// Full cumulative snapshot (rows for every timer, partials included).
+  std::vector<TimerStats> snapshot() const;
+
+  // --- tracing interface -------------------------------------------------------
+  // "The TAU implementation of this generic performance component
+  // interface supports both profiling and tracing measurement options"
+  // (§4.1). When tracing is enabled every start/stop of an *enabled*
+  // timer appends a timestamped event.
+
+  struct TraceEvent {
+    double t_us;   ///< microseconds since tracing was enabled
+    TimerId id;
+    bool enter;    ///< true = start, false = stop
+  };
+
+  /// Enables/disables event tracing (disabled by default; enabling resets
+  /// the trace and its epoch).
+  void set_tracing(bool enabled);
+  bool tracing() const { return tracing_; }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// Writes the trace as "t_us enter|exit name" lines.
+  void dump_trace(std::ostream& os) const;
+
+ private:
+  struct Frame {
+    TimerId id;
+    Clock::time_point start;
+    double child_us = 0.0;  ///< time of enabled instrumented callees
+    bool enabled = true;
+  };
+
+  double now_partial_inclusive(TimerId id) const;
+
+  std::vector<TimerStats> timers_;
+  std::vector<std::uint64_t> active_depth_;  // per timer
+  std::map<std::string, TimerId> by_name_;
+  std::vector<Frame> stack_;
+  std::map<std::string, bool> group_enabled_;
+  std::map<std::string, AtomicEvent> events_;
+  hwc::CounterRegistry counters_;
+  bool tracing_ = false;
+  Clock::time_point trace_epoch_{};
+  std::vector<TraceEvent> trace_;
+};
+
+/// RAII start/stop.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& reg, TimerId id) : reg_(reg), id_(id) { reg_.start(id_); }
+  ~ScopedTimer() { reg_.stop(id_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry& reg_;
+  TimerId id_;
+};
+
+}  // namespace tau

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "amr/bc.hpp"
+
+namespace {
+
+using amr::BcSpec;
+using amr::BcType;
+using amr::Box;
+using amr::PatchData;
+
+PatchData<double> make_patch(const Box& interior, const Box& domain) {
+  PatchData<double> p(interior, 2, 2, 0.0);
+  // Interior-of-domain cells get a recognizable pattern.
+  const Box valid = p.grown_box() & domain;
+  for (int c = 0; c < 2; ++c)
+    for (int j = valid.lo().j; j <= valid.hi().j; ++j)
+      for (int i = valid.lo().i; i <= valid.hi().i; ++i)
+        p(i, j, c) = 1000.0 * c + 10.0 * j + i;
+  return p;
+}
+
+TEST(Bc, InteriorPatchUntouched) {
+  const Box domain{0, 0, 31, 31};
+  auto p = make_patch(Box{8, 8, 15, 15}, domain);
+  auto copy = p;
+  amr::fill_physical_bc(p, domain, BcSpec{});
+  for (std::size_t k = 0; k < p.raw().size(); ++k)
+    EXPECT_DOUBLE_EQ(p.raw()[k], copy.raw()[k]);
+}
+
+TEST(Bc, TransmissiveClampsToEdgeCell) {
+  const Box domain{0, 0, 15, 15};
+  auto p = make_patch(Box{0, 0, 7, 7}, domain);
+  amr::fill_physical_bc(p, domain, BcSpec{});
+  // Ghost at i=-1 copies i=0; i=-2 also copies i=0.
+  EXPECT_DOUBLE_EQ(p(-1, 3, 0), p(0, 3, 0));
+  EXPECT_DOUBLE_EQ(p(-2, 3, 0), p(0, 3, 0));
+  // Corner outside in both dims clamps both.
+  EXPECT_DOUBLE_EQ(p(-1, -2, 1), p(0, 0, 1));
+}
+
+TEST(Bc, ReflectingMirrorsWithSign) {
+  const Box domain{0, 0, 15, 15};
+  auto p = make_patch(Box{0, 0, 7, 7}, domain);
+  BcSpec bc;
+  bc.ylo = BcType::reflecting;
+  bc.reflect_sign_y = {1.0, -1.0};  // component 1 flips (e.g. y momentum)
+  amr::fill_physical_bc(p, domain, bc);
+  // j=-1 mirrors j=0; j=-2 mirrors j=1.
+  EXPECT_DOUBLE_EQ(p(3, -1, 0), p(3, 0, 0));
+  EXPECT_DOUBLE_EQ(p(3, -2, 0), p(3, 1, 0));
+  EXPECT_DOUBLE_EQ(p(3, -1, 1), -p(3, 0, 1));
+  EXPECT_DOUBLE_EQ(p(3, -2, 1), -p(3, 1, 1));
+}
+
+TEST(Bc, HighSideReflection) {
+  const Box domain{0, 0, 15, 15};
+  auto p = make_patch(Box{8, 8, 15, 15}, domain);
+  BcSpec bc;
+  bc.xhi = BcType::reflecting;
+  bc.reflect_sign_x = {-1.0, 1.0};
+  amr::fill_physical_bc(p, domain, bc);
+  EXPECT_DOUBLE_EQ(p(16, 10, 0), -p(15, 10, 0));
+  EXPECT_DOUBLE_EQ(p(17, 10, 0), -p(14, 10, 0));
+  EXPECT_DOUBLE_EQ(p(16, 10, 1), p(15, 10, 1));
+}
+
+TEST(Bc, MissingSignsDefaultToPlusOne) {
+  const Box domain{0, 0, 15, 15};
+  auto p = make_patch(Box{0, 0, 7, 7}, domain);
+  BcSpec bc;
+  bc.xlo = BcType::reflecting;  // reflect_sign_x left empty
+  amr::fill_physical_bc(p, domain, bc);
+  EXPECT_DOUBLE_EQ(p(-1, 2, 0), p(0, 2, 0));
+}
+
+TEST(Bc, CornerReflectsBothAxes) {
+  const Box domain{0, 0, 15, 15};
+  auto p = make_patch(Box{0, 0, 7, 7}, domain);
+  BcSpec bc;
+  bc.xlo = BcType::reflecting;
+  bc.ylo = BcType::reflecting;
+  bc.reflect_sign_x = {-1.0, 1.0};
+  bc.reflect_sign_y = {1.0, -1.0};
+  amr::fill_physical_bc(p, domain, bc);
+  EXPECT_DOUBLE_EQ(p(-1, -1, 0), -p(0, 0, 0));   // x sign only on comp 0
+  EXPECT_DOUBLE_EQ(p(-1, -1, 1), -p(0, 0, 1));   // y sign only on comp 1
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Box calculus: intersection, growth, refinement/coarsening round trips,
+// subtraction coverage properties.
+
+#include <gtest/gtest.h>
+
+#include "amr/box.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using amr::Box;
+using amr::IntVect;
+
+TEST(Box, BasicsAndEmptiness) {
+  const Box b{0, 0, 3, 1};
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.width(), 4);
+  EXPECT_EQ(b.height(), 2);
+  EXPECT_EQ(b.num_pts(), 8);
+  EXPECT_TRUE(Box{}.empty());
+  EXPECT_EQ(Box{}.num_pts(), 0);
+}
+
+TEST(Box, Contains) {
+  const Box b{1, 1, 4, 3};
+  EXPECT_TRUE(b.contains(IntVect{1, 1}));
+  EXPECT_TRUE(b.contains(IntVect{4, 3}));
+  EXPECT_FALSE(b.contains(IntVect{0, 1}));
+  EXPECT_FALSE(b.contains(IntVect{5, 3}));
+  EXPECT_TRUE(b.contains(Box{2, 2, 3, 3}));
+  EXPECT_FALSE(b.contains(Box{2, 2, 5, 3}));
+  EXPECT_TRUE(b.contains(Box{}));  // empty box is everywhere
+}
+
+TEST(Box, Intersection) {
+  const Box a{0, 0, 5, 5}, b{3, 3, 8, 8};
+  const Box i = a & b;
+  EXPECT_EQ(i, (Box{3, 3, 5, 5}));
+  EXPECT_TRUE((a & Box{6, 6, 9, 9}).empty());
+  EXPECT_TRUE((a & Box{}).empty());
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(Box{6, 0, 8, 5}));
+}
+
+TEST(Box, GrowAndShift) {
+  const Box b{2, 2, 4, 4};
+  EXPECT_EQ(b.grown(1), (Box{1, 1, 5, 5}));
+  EXPECT_EQ(b.grown(2, 0), (Box{0, 2, 6, 4}));
+  EXPECT_EQ(b.shifted(IntVect{3, -1}), (Box{5, 1, 7, 3}));
+  EXPECT_TRUE(Box{}.grown(5).empty());
+}
+
+TEST(Box, RefineCoarsenRoundTrip) {
+  const Box b{1, 2, 6, 9};
+  const Box fine = b.refined(2);
+  EXPECT_EQ(fine, (Box{2, 4, 13, 19}));
+  EXPECT_EQ(fine.coarsened(2), b);
+  EXPECT_EQ(fine.num_pts(), b.num_pts() * 4);
+}
+
+TEST(Box, CoarsenRoundsTowardMinusInfinity) {
+  // floor division matters for negative indices.
+  const Box b{-3, -3, 2, 2};
+  const Box c = b.coarsened(2);
+  EXPECT_EQ(c, (Box{-2, -2, 1, 1}));
+  EXPECT_TRUE(c.refined(2).contains(b));
+}
+
+TEST(Box, FloorDiv) {
+  EXPECT_EQ(amr::floor_div(5, 2), 2);
+  EXPECT_EQ(amr::floor_div(-5, 2), -3);
+  EXPECT_EQ(amr::floor_div(-4, 2), -2);
+  EXPECT_EQ(amr::floor_div(0, 2), 0);
+}
+
+TEST(BoxSubtract, DisjointReturnsOriginal) {
+  const Box a{0, 0, 3, 3};
+  const auto pieces = amr::box_subtract(a, Box{10, 10, 12, 12});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], a);
+}
+
+TEST(BoxSubtract, FullCoverageReturnsNothing) {
+  const Box a{1, 1, 3, 3};
+  EXPECT_TRUE(amr::box_subtract(a, Box{0, 0, 5, 5}).empty());
+}
+
+TEST(BoxSubtract, CenterHoleYieldsFourPieces) {
+  const Box a{0, 0, 9, 9};
+  const Box hole{3, 3, 6, 6};
+  const auto pieces = amr::box_subtract(a, hole);
+  EXPECT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(amr::total_pts(pieces), a.num_pts() - hole.num_pts());
+  // Pieces are disjoint and avoid the hole.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    EXPECT_FALSE(pieces[i].intersects(hole));
+    for (std::size_t j = i + 1; j < pieces.size(); ++j)
+      EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+  }
+}
+
+TEST(BoxSubtract, PropertyCoverageAndDisjointness) {
+  // Random rectangles: a \ b pieces tile exactly a minus the overlap.
+  ccaperf::Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto rnd_box = [&rng]() {
+      const int x = static_cast<int>(rng.uniform_int(-10, 10));
+      const int y = static_cast<int>(rng.uniform_int(-10, 10));
+      return Box{x, y, x + static_cast<int>(rng.uniform_int(0, 8)),
+                 y + static_cast<int>(rng.uniform_int(0, 8))};
+    };
+    const Box a = rnd_box(), b = rnd_box();
+    const auto pieces = amr::box_subtract(a, b);
+    EXPECT_EQ(amr::total_pts(pieces), a.num_pts() - (a & b).num_pts());
+    for (const Box& p : pieces) {
+      EXPECT_TRUE(a.contains(p));
+      EXPECT_FALSE(p.intersects(b));
+    }
+    for (std::size_t i = 0; i < pieces.size(); ++i)
+      for (std::size_t j = i + 1; j < pieces.size(); ++j)
+        EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+  }
+}
+
+TEST(BoxSubtractAll, SubtractsUnion) {
+  const Box a{0, 0, 9, 9};
+  const std::vector<Box> cover{{0, 0, 4, 9}, {5, 0, 9, 4}};
+  const auto rest = amr::box_subtract_all(a, cover);
+  EXPECT_EQ(amr::total_pts(rest), 25);  // the 5x5 corner
+  for (const Box& r : rest) {
+    for (const Box& c : cover) EXPECT_FALSE(r.intersects(c));
+  }
+}
+
+TEST(BoxSubtractAll, EmptyResultWhenCovered) {
+  const Box a{0, 0, 7, 7};
+  EXPECT_TRUE(amr::box_subtract_all(a, {Box{0, 0, 7, 3}, Box{0, 4, 7, 7}}).empty());
+}
+
+TEST(Box, ToStringRenders) {
+  EXPECT_EQ((Box{0, 1, 2, 3}).to_string(), "[(0,1)..(2,3)]");
+  EXPECT_EQ(Box{}.to_string(), "[empty]");
+}
+
+}  // namespace

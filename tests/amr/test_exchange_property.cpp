@@ -1,0 +1,98 @@
+// Randomized-partition property test for the distributed ghost exchange:
+// for arbitrary disjoint tilings of the domain (random recursive splits)
+// and arbitrary owner assignments, every in-domain ghost cell must equal
+// the global field after one exchange.
+
+#include <gtest/gtest.h>
+
+#include "amr/exchange.hpp"
+#include "mpp/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using amr::Box;
+using amr::IntVect;
+using amr::Level;
+using amr::PatchData;
+using amr::PatchInfo;
+
+constexpr int kGhost = 2;
+constexpr int kComp = 2;
+
+double field(int i, int j, int c) { return c * 10'000.0 + 97.0 * j + i; }
+
+/// Random disjoint tiling by recursive splitting (min tile edge 4).
+void split_random(const Box& b, ccaperf::Rng& rng, std::vector<Box>& out) {
+  const bool can_split_x = b.width() >= 8;
+  const bool can_split_y = b.height() >= 8;
+  const bool stop = (!can_split_x && !can_split_y) || rng.uniform() < 0.25;
+  if (stop) {
+    out.push_back(b);
+    return;
+  }
+  if (can_split_x && (!can_split_y || rng.uniform() < 0.5)) {
+    const int cut = b.lo().i + 4 +
+                    static_cast<int>(rng.uniform_int(0, b.width() - 8));
+    split_random(Box{b.lo(), {cut, b.hi().j}}, rng, out);
+    split_random(Box{{cut + 1, b.lo().j}, b.hi()}, rng, out);
+  } else {
+    const int cut = b.lo().j + 4 +
+                    static_cast<int>(rng.uniform_int(0, b.height() - 8));
+    split_random(Box{b.lo(), {b.hi().i, cut}}, rng, out);
+    split_random(Box{{b.lo().i, cut + 1}, b.hi()}, rng, out);
+  }
+}
+
+class ExchangePartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExchangePartition, GhostsCorrectForRandomTilingAndOwners) {
+  const std::uint64_t seed = GetParam();
+  const Box domain{0, 0, 47, 31};
+
+  // All ranks must build the identical layout: derive it from the seed.
+  mpp::Runtime::run(3, [&](mpp::Comm& world) {
+    ccaperf::Rng rng(seed);
+    std::vector<Box> tiles;
+    split_random(domain, rng, tiles);
+
+    Level lvl(0, domain, 1);
+    for (std::size_t k = 0; k < tiles.size(); ++k)
+      lvl.patches().push_back(
+          PatchInfo{static_cast<int>(k), tiles[k],
+                    static_cast<int>(rng.uniform_int(0, world.size() - 1))});
+
+    for (const PatchInfo& p : lvl.patches()) {
+      if (p.owner != world.rank()) continue;
+      PatchData<double> data(p.box, kGhost, kComp, -1e9);
+      for (int c = 0; c < kComp; ++c)
+        for (int j = p.box.lo().j; j <= p.box.hi().j; ++j)
+          for (int i = p.box.lo().i; i <= p.box.hi().i; ++i)
+            data(i, j, c) = field(i, j, c);
+      lvl.local_data().emplace(p.id, std::move(data));
+    }
+
+    amr::exchange_ghosts(world, lvl, kGhost, 0);
+
+    // Every ghost cell inside the domain is covered by some tile (the
+    // tiling is a partition), so it must now hold the field value.
+    for (const PatchInfo& p : lvl.patches()) {
+      if (p.owner != world.rank()) continue;
+      const PatchData<double>& data = lvl.data(p.id);
+      const Box g = p.box.grown(kGhost);
+      for (int c = 0; c < kComp; ++c)
+        for (int j = g.lo().j; j <= g.hi().j; ++j)
+          for (int i = g.lo().i; i <= g.hi().i; ++i) {
+            if (!domain.contains(IntVect{i, j})) continue;
+            EXPECT_DOUBLE_EQ(data(i, j, c), field(i, j, c))
+                << "seed " << seed << " patch " << p.id << " cell (" << i << ','
+                << j << ',' << c << ')';
+          }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangePartition,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "amr/load_balance.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using amr::BalancePolicy;
+using amr::Box;
+using amr::PatchInfo;
+
+std::vector<PatchInfo> uniform_patches(int n, int edge) {
+  std::vector<PatchInfo> ps;
+  for (int k = 0; k < n; ++k)
+    ps.push_back(PatchInfo{k, Box{0, k * edge, edge - 1, (k + 1) * edge - 1}, -1});
+  return ps;
+}
+
+TEST(LoadBalance, RoundRobinCycles) {
+  auto ps = uniform_patches(7, 4);
+  amr::balance_owners(ps, 3, BalancePolicy::round_robin);
+  for (std::size_t k = 0; k < ps.size(); ++k)
+    EXPECT_EQ(ps[k].owner, static_cast<int>(k % 3));
+}
+
+TEST(LoadBalance, KnapsackBalancesUniformLoad) {
+  auto ps = uniform_patches(9, 8);
+  const double imbalance = amr::balance_owners(ps, 3, BalancePolicy::knapsack);
+  EXPECT_DOUBLE_EQ(imbalance, 1.0);  // 9 equal patches over 3 ranks
+  std::vector<int> count(3, 0);
+  for (const auto& p : ps) {
+    ASSERT_GE(p.owner, 0);
+    ASSERT_LT(p.owner, 3);
+    ++count[static_cast<std::size_t>(p.owner)];
+  }
+  EXPECT_EQ(count, (std::vector<int>{3, 3, 3}));
+}
+
+TEST(LoadBalance, KnapsackBeatsRoundRobinOnSkewedSizes) {
+  ccaperf::Rng rng(9);
+  std::vector<PatchInfo> skewed;
+  for (int k = 0; k < 20; ++k) {
+    const int w = static_cast<int>(rng.uniform_int(2, 40));
+    const int h = static_cast<int>(rng.uniform_int(2, 40));
+    skewed.push_back(PatchInfo{k, Box{0, 0, w - 1, h - 1}, -1});
+  }
+  auto a = skewed, b = skewed;
+  const double knap = amr::balance_owners(a, 4, BalancePolicy::knapsack);
+  const double rr = amr::balance_owners(b, 4, BalancePolicy::round_robin);
+  EXPECT_LE(knap, rr + 1e-12);
+  EXPECT_LT(knap, 1.3);
+}
+
+TEST(LoadBalance, SingleRankGetsEverything) {
+  auto ps = uniform_patches(5, 4);
+  const double imbalance = amr::balance_owners(ps, 1);
+  EXPECT_DOUBLE_EQ(imbalance, 1.0);
+  for (const auto& p : ps) EXPECT_EQ(p.owner, 0);
+}
+
+TEST(LoadBalance, MoreRanksThanPatches) {
+  auto ps = uniform_patches(2, 4);
+  amr::balance_owners(ps, 5);
+  EXPECT_NE(ps[0].owner, ps[1].owner);
+}
+
+TEST(LoadBalance, EmptyPatchListIsFine) {
+  std::vector<PatchInfo> none;
+  EXPECT_DOUBLE_EQ(amr::balance_owners(none, 3), 1.0);
+}
+
+TEST(LoadBalance, DeterministicAcrossCalls) {
+  auto a = uniform_patches(11, 6), b = uniform_patches(11, 6);
+  amr::balance_owners(a, 3);
+  amr::balance_owners(b, 3);
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k].owner, b[k].owner);
+}
+
+}  // namespace

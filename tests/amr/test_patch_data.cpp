@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "amr/patch_data.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using amr::Box;
+using amr::PatchData;
+
+TEST(PatchData, GeometryAndInit) {
+  PatchData<double> p(Box{0, 0, 3, 2}, 2, 5, 1.5);
+  EXPECT_EQ(p.interior(), (Box{0, 0, 3, 2}));
+  EXPECT_EQ(p.grown_box(), (Box{-2, -2, 5, 4}));
+  EXPECT_EQ(p.ncomp(), 5);
+  EXPECT_EQ(p.pts_per_comp(), 8u * 7u);
+  EXPECT_EQ(p.row_stride(), 8);
+  EXPECT_DOUBLE_EQ(p(-2, -2, 0), 1.5);
+  EXPECT_DOUBLE_EQ(p(5, 4, 4), 1.5);
+}
+
+TEST(PatchData, IndexingIsRowMajorUnitStrideInI) {
+  PatchData<double> p(Box{0, 0, 7, 7}, 1, 1);
+  EXPECT_EQ(&p(1, 0, 0) - &p(0, 0, 0), 1);
+  EXPECT_EQ(&p(0, 1, 0) - &p(0, 0, 0), p.row_stride());
+}
+
+TEST(PatchData, ComponentPlanesAreContiguous) {
+  PatchData<double> p(Box{0, 0, 3, 3}, 0, 3);
+  EXPECT_EQ(p.comp(0).size(), 16u);
+  EXPECT_EQ(&p(0, 0, 1) - &p(0, 0, 0), static_cast<std::ptrdiff_t>(p.pts_per_comp()));
+}
+
+TEST(PatchData, CheckedAccessThrows) {
+  PatchData<double> p(Box{0, 0, 3, 3}, 1, 2);
+  EXPECT_NO_THROW(p.at(-1, -1, 0));
+  EXPECT_THROW(p.at(-2, 0, 0), ccaperf::Error);
+  EXPECT_THROW(p.at(0, 0, 2), ccaperf::Error);
+}
+
+TEST(PatchData, CopyFromOverlapRegion) {
+  PatchData<double> a(Box{0, 0, 5, 5}, 1, 2, 0.0);
+  PatchData<double> b(Box{4, 4, 9, 9}, 1, 2, 0.0);
+  for (int c = 0; c < 2; ++c)
+    for (int j = 4; j <= 9; ++j)
+      for (int i = 4; i <= 9; ++i) b(i, j, c) = 100.0 * c + i + 10.0 * j;
+
+  const Box overlap = a.grown_box() & b.interior();
+  a.copy_from(b, overlap);
+  EXPECT_DOUBLE_EQ(a(4, 4, 0), 44.0);
+  EXPECT_DOUBLE_EQ(a(6, 5, 1), 156.0);  // ghost cell of a
+  EXPECT_DOUBLE_EQ(a(0, 0, 0), 0.0);    // untouched
+}
+
+TEST(PatchData, CopyFromRejectsOutOfRangeBox) {
+  PatchData<double> a(Box{0, 0, 3, 3}, 0, 1);
+  PatchData<double> b(Box{0, 0, 3, 3}, 0, 1);
+  EXPECT_THROW(a.copy_from(b, Box{0, 0, 4, 4}), ccaperf::Error);
+  PatchData<double> c(Box{0, 0, 3, 3}, 0, 2);
+  EXPECT_THROW(a.copy_from(c, Box{0, 0, 1, 1}), ccaperf::Error);
+}
+
+TEST(PatchData, PackUnpackRoundTrip) {
+  PatchData<double> src(Box{0, 0, 7, 7}, 2, 3, 0.0);
+  for (int c = 0; c < 3; ++c)
+    for (int j = -2; j <= 9; ++j)
+      for (int i = -2; i <= 9; ++i) src(i, j, c) = c * 1000.0 + j * 20.0 + i;
+
+  const Box region{2, 3, 5, 6};
+  std::vector<double> buffer;
+  src.pack(region, buffer);
+  EXPECT_EQ(buffer.size(), static_cast<std::size_t>(region.num_pts()) * 3);
+
+  PatchData<double> dst(Box{0, 0, 7, 7}, 2, 3, -1.0);
+  dst.unpack(region, buffer);
+  for (int c = 0; c < 3; ++c)
+    for (int j = 3; j <= 6; ++j)
+      for (int i = 2; i <= 5; ++i)
+        EXPECT_DOUBLE_EQ(dst(i, j, c), src(i, j, c));
+  EXPECT_DOUBLE_EQ(dst(0, 0, 0), -1.0);  // outside region untouched
+}
+
+TEST(PatchData, UnpackSizeMismatchThrows) {
+  PatchData<double> p(Box{0, 0, 3, 3}, 0, 1);
+  std::vector<double> wrong(5);
+  EXPECT_THROW(p.unpack(Box{0, 0, 1, 1}, wrong), ccaperf::Error);
+}
+
+TEST(PatchData, FillSetsEverything) {
+  PatchData<double> p(Box{0, 0, 2, 2}, 1, 2, 0.0);
+  p.fill(3.25);
+  for (double v : p.raw()) EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(PatchData, RejectsBadConstruction) {
+  EXPECT_THROW(PatchData<double>(Box{}, 1, 1), ccaperf::Error);
+  EXPECT_THROW(PatchData<double>(Box{0, 0, 1, 1}, -1, 1), ccaperf::Error);
+  EXPECT_THROW(PatchData<double>(Box{0, 0, 1, 1}, 1, 0), ccaperf::Error);
+}
+
+}  // namespace

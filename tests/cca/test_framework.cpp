@@ -1,0 +1,231 @@
+// CCA framework semantics: provides/uses registration, connection with
+// type checking, port movement (caller sees the provider's interface),
+// reconnect for dynamic replacement, repository factories, wiring
+// introspection, and lifecycle ordering.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cca/framework.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+// A tiny test vocabulary: Adder provides ArithPort; Doubler provides the
+// same port type with different behaviour; Caller uses one.
+class ArithPort : public cca::Port {
+ public:
+  virtual int apply(int x) = 0;
+};
+
+class AdderComponent final : public cca::Component, public ArithPort {
+ public:
+  explicit AdderComponent(int delta = 1) : delta_(delta) {}
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<ArithPort*>(this)), "arith",
+                          "test.ArithPort");
+  }
+  int apply(int x) override { return x + delta_; }
+
+ private:
+  int delta_;
+};
+
+class DoublerComponent final : public cca::Component, public ArithPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<ArithPort*>(this)), "arith",
+                          "test.ArithPort");
+  }
+  int apply(int x) override { return 2 * x; }
+};
+
+class CallerComponent final : public cca::Component {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.register_uses_port("op", "test.ArithPort");
+  }
+  int call(int x) { return svc_->get_port_as<ArithPort>("op")->apply(x); }
+  cca::Services* svc_ = nullptr;
+};
+
+class WrongPort : public cca::Port {};
+class WrongProvider final : public cca::Component, public WrongPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<WrongPort*>(this)), "arith",
+                          "test.WrongPort");
+  }
+};
+
+cca::ComponentRepository make_repo() {
+  cca::ComponentRepository repo;
+  repo.register_class("Adder", [] { return std::make_unique<AdderComponent>(1); });
+  repo.register_class("Adder5", [] { return std::make_unique<AdderComponent>(5); });
+  repo.register_class("Doubler", [] { return std::make_unique<DoublerComponent>(); });
+  repo.register_class("Caller", [] { return std::make_unique<CallerComponent>(); });
+  repo.register_class("Wrong", [] { return std::make_unique<WrongProvider>(); });
+  return repo;
+}
+
+TEST(Repository, CreateAndEnumerate) {
+  auto repo = make_repo();
+  EXPECT_TRUE(repo.has("Adder"));
+  EXPECT_FALSE(repo.has("Nope"));
+  EXPECT_THROW(repo.create("Nope"), ccaperf::Error);
+  EXPECT_EQ(repo.class_names().size(), 5u);
+}
+
+TEST(Repository, DuplicateClassRejected) {
+  auto repo = make_repo();
+  EXPECT_THROW(
+      repo.register_class("Adder", [] { return std::make_unique<AdderComponent>(); }),
+      ccaperf::Error);
+}
+
+TEST(Framework, ConnectAndInvokeThroughPort) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.connect("caller", "op", "adder", "arith");
+  auto& caller = dynamic_cast<CallerComponent&>(fw.component("caller"));
+  EXPECT_EQ(caller.call(41), 42);
+}
+
+TEST(Framework, MultipleImplementationsSamePortType) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("c1", "Caller");
+  fw.instantiate("c2", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.instantiate("doubler", "Doubler");
+  fw.connect("c1", "op", "adder", "arith");
+  fw.connect("c2", "op", "doubler", "arith");
+  EXPECT_EQ(dynamic_cast<CallerComponent&>(fw.component("c1")).call(10), 11);
+  EXPECT_EQ(dynamic_cast<CallerComponent&>(fw.component("c2")).call(10), 20);
+}
+
+TEST(Framework, TypeMismatchRejected) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("wrong", "Wrong");
+  EXPECT_THROW(fw.connect("caller", "op", "wrong", "arith"), ccaperf::Error);
+}
+
+TEST(Framework, UnknownPortsAndInstancesRejected) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  EXPECT_THROW(fw.connect("caller", "nope", "adder", "arith"), ccaperf::Error);
+  EXPECT_THROW(fw.connect("caller", "op", "adder", "nope"), ccaperf::Error);
+  EXPECT_THROW(fw.connect("ghost", "op", "adder", "arith"), ccaperf::Error);
+  EXPECT_THROW(fw.instantiate("x", "NoSuchClass"), ccaperf::Error);
+}
+
+TEST(Framework, DoubleConnectRejected) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.instantiate("doubler", "Doubler");
+  fw.connect("caller", "op", "adder", "arith");
+  EXPECT_THROW(fw.connect("caller", "op", "doubler", "arith"), ccaperf::Error);
+}
+
+TEST(Framework, DuplicateInstanceRejected) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("a", "Adder");
+  EXPECT_THROW(fw.instantiate("a", "Adder"), ccaperf::Error);
+}
+
+TEST(Framework, UnconnectedUsesPortThrowsOnGet) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  auto& caller = dynamic_cast<CallerComponent&>(fw.component("caller"));
+  EXPECT_FALSE(fw.services("caller").is_connected("op"));
+  EXPECT_THROW(caller.call(1), ccaperf::Error);
+}
+
+TEST(Framework, DisconnectThenReconnect) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.instantiate("doubler", "Doubler");
+  fw.connect("caller", "op", "adder", "arith");
+  fw.disconnect("caller", "op");
+  EXPECT_FALSE(fw.services("caller").is_connected("op"));
+  fw.connect("caller", "op", "doubler", "arith");
+  EXPECT_EQ(dynamic_cast<CallerComponent&>(fw.component("caller")).call(3), 6);
+}
+
+TEST(Framework, ReconnectSwapsImplementationDynamically) {
+  // The Fig. 10 mechanism: "dynamic replacement of sub-optimal components".
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.instantiate("adder5", "Adder5");
+  fw.connect("caller", "op", "adder", "arith");
+  auto& caller = dynamic_cast<CallerComponent&>(fw.component("caller"));
+  EXPECT_EQ(caller.call(0), 1);
+  fw.reconnect("caller", "op", "adder5", "arith");
+  EXPECT_EQ(caller.call(0), 5);
+}
+
+TEST(Framework, WiringDiagramReflectsAssembly) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.connect("caller", "op", "adder", "arith");
+  const cca::WiringDiagram w = fw.wiring();
+  ASSERT_EQ(w.nodes.size(), 2u);
+  EXPECT_EQ(w.nodes[0].instance, "caller");
+  EXPECT_EQ(w.nodes[0].class_name, "Caller");
+  ASSERT_EQ(w.nodes[0].uses.size(), 1u);
+  EXPECT_EQ(w.nodes[0].uses[0].type, "test.ArithPort");
+  ASSERT_EQ(w.connections.size(), 1u);
+  EXPECT_EQ(w.connections[0].provider_instance, "adder");
+
+  const std::string dot = w.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"caller\" -> \"adder\""), std::string::npos);
+}
+
+TEST(Framework, DisconnectRemovesFromWiring) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("caller", "Caller");
+  fw.instantiate("adder", "Adder");
+  fw.connect("caller", "op", "adder", "arith");
+  fw.disconnect("caller", "op");
+  EXPECT_TRUE(fw.wiring().connections.empty());
+}
+
+TEST(Framework, ProvidedPortDirectAccess) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("adder", "Adder");
+  auto* port = fw.services("adder").provided_as<ArithPort>("arith");
+  EXPECT_EQ(port->apply(1), 2);
+  EXPECT_THROW(fw.services("adder").provided("nope"), ccaperf::Error);
+}
+
+TEST(Services, DuplicatePortNamesRejected) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("adder", "Adder");
+  auto& svc = fw.services("adder");
+  EXPECT_THROW(svc.add_provides_port(
+                   cca::non_owning(static_cast<cca::Port*>(nullptr)), "arith", "t"),
+               ccaperf::Error);  // null port also rejected
+  svc.register_uses_port("u", "t");
+  EXPECT_THROW(svc.register_uses_port("u", "t"), ccaperf::Error);
+}
+
+TEST(Framework, InstanceNamesInCreationOrder) {
+  cca::Framework fw(make_repo());
+  fw.instantiate("z", "Adder");
+  fw.instantiate("a", "Adder5");
+  const auto names = fw.instance_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "z");
+  EXPECT_EQ(names[1], "a");
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Free-stream preservation — the classic AMR integration invariant: a
+// uniform flow advanced through the FULL component stack (RK2 subcycling,
+// prolongation, same-level exchange, physical BCs, flux kernels,
+// restriction) on a multi-level hierarchy must remain exactly uniform.
+// Any inconsistency between the pieces (ghost fill, interpolation,
+// flux/divergence mapping, restriction averaging) breaks it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "components/flux_components.hpp"
+#include "components/inviscid_flux.hpp"
+#include "components/rk2_component.hpp"
+#include "components/states_component.hpp"
+#include "core/instrumented_app.hpp"
+#include "mpp/runtime.hpp"
+
+namespace {
+
+/// MeshPort over a hierarchy refined around a fixed blob (independent of
+/// the flow, so a uniform field still gets a deep hierarchy).
+class BlobMeshComponent final : public cca::Component, public components::MeshPort {
+ public:
+  explicit BlobMeshComponent(mpp::Comm& world) : hierarchy_(world, config()) {
+    bc_.xlo = bc_.xhi = bc_.ylo = bc_.yhi = amr::BcType::transmissive;
+  }
+
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<MeshPort*>(this)), "mesh",
+                          "amr.MeshPort");
+  }
+
+  static amr::HierarchyConfig config() {
+    amr::HierarchyConfig cfg;
+    cfg.domain = amr::Box{0, 0, 31, 31};
+    cfg.max_levels = 3;
+    cfg.ncomp = euler::kNcomp;
+    cfg.level0_patch_size = 8;
+    cfg.cluster = amr::ClusterParams{0.7, 4, 0};
+    cfg.geom = amr::Geometry{0.0, 0.0, 1.0 / 32.0, 1.0 / 32.0};
+    return cfg;
+  }
+
+  amr::Hierarchy& hierarchy() override { return hierarchy_; }
+
+  void initialize() override {
+    hierarchy_.init_level0();
+    const auto blob = [](const amr::Hierarchy& h, int l, const amr::PatchInfo& p,
+                         amr::FlagField& flags) {
+      const amr::Box dom = h.domain_at(l);
+      const int cx = (dom.lo().i + dom.hi().i) / 2;
+      const int cy = (dom.lo().j + dom.hi().j) / 2;
+      flags.set_box(amr::Box{cx - 4, cy - 4, cx + 4, cy + 4} & p.box);
+    };
+    hierarchy_.regrid(blob);
+    hierarchy_.regrid(blob);  // deepen to 3 levels
+  }
+
+  amr::ExchangeStats ghost_update(int level) override {
+    return hierarchy_.exchange_and_bc(level, bc_);
+  }
+  void prolong(int level) override { hierarchy_.prolong(level, true); }
+  void restrict_level(int fine_level) override {
+    hierarchy_.restrict_level(fine_level);
+  }
+  void regrid() override {}
+
+ private:
+  amr::Hierarchy hierarchy_;
+  amr::BcSpec bc_;
+};
+
+void run_freestream(const std::string& flux_class, const euler::Prim& w0) {
+  mpp::Runtime::run(3, [&](mpp::Comm& world) {
+    const euler::GasModel gas;
+    cca::ComponentRepository repo;
+    repo.register_class("BlobMesh", [&world] {
+      return std::make_unique<BlobMeshComponent>(world);
+    });
+    repo.register_class("RK2", [gas] {
+      auto c = std::make_unique<components::RK2Component>();
+      c->set_gas(gas);
+      return c;
+    });
+    repo.register_class("InviscidFlux",
+                        [] { return std::make_unique<components::InviscidFluxComponent>(); });
+    repo.register_class("States", [gas] {
+      return std::make_unique<components::StatesComponent>(gas);
+    });
+    repo.register_class("EFMFlux", [gas] {
+      return std::make_unique<components::EFMFluxComponent>(gas);
+    });
+    repo.register_class("GodunovFlux", [gas] {
+      return std::make_unique<components::GodunovFluxComponent>(gas);
+    });
+
+    cca::Framework fw(std::move(repo));
+    fw.instantiate("mesh", "BlobMesh");
+    fw.instantiate("rk2", "RK2");
+    fw.instantiate("invflux", "InviscidFlux");
+    fw.instantiate("states", "States");
+    fw.instantiate("flux", flux_class);
+    fw.connect("rk2", "mesh", "mesh", "mesh");
+    fw.connect("rk2", "invflux", "invflux", "invflux");
+    fw.connect("invflux", "states", "states", "states");
+    fw.connect("invflux", "flux", "flux", "flux");
+
+    auto* mesh = dynamic_cast<BlobMeshComponent*>(&fw.component("mesh"));
+    mesh->initialize();
+    amr::Hierarchy& h = mesh->hierarchy();
+    ASSERT_EQ(h.num_levels(), 3);
+
+    // Uniform conserved state everywhere (including ghosts).
+    double U0[euler::kNcomp];
+    euler::prim_to_cons(w0, gas, U0);
+    for (int l = 0; l < h.num_levels(); ++l)
+      for (auto& [id, data] : h.level(l).local_data())
+        for (int c = 0; c < euler::kNcomp; ++c)
+          for (double& v : data.comp(c)) v = U0[c];
+
+    auto* integrator =
+        fw.services("rk2").provided_as<components::IntegratorPort>("integrator");
+    const double dt = integrator->stable_dt(0.4);
+    EXPECT_GT(dt, 0.0);
+    for (int step = 0; step < 2; ++step) integrator->advance(dt);
+
+    // Exactly uniform afterwards, every level, every interior cell.
+    for (int l = 0; l < h.num_levels(); ++l) {
+      for (auto& [id, data] : h.level(l).local_data()) {
+        const amr::Box box = h.level(l).patch(id).box;
+        for (int c = 0; c < euler::kNcomp; ++c)
+          for (int j = box.lo().j; j <= box.hi().j; ++j)
+            for (int i = box.lo().i; i <= box.hi().i; ++i)
+              ASSERT_NEAR(data(i, j, c), U0[c], 1e-11 * (std::abs(U0[c]) + 1.0))
+                  << flux_class << " level " << l << " cell (" << i << ',' << j
+                  << ") comp " << c;
+      }
+    }
+  });
+}
+
+TEST(Freestream, PreservedAtRestEFM) {
+  run_freestream("EFMFlux", euler::Prim{1.0, 0.0, 0.0, 1.0, 1.0});
+}
+
+TEST(Freestream, PreservedMovingEFM) {
+  run_freestream("EFMFlux", euler::Prim{1.3, 0.4, -0.25, 2.0, 1.0});
+}
+
+TEST(Freestream, PreservedMovingGodunov) {
+  run_freestream("GodunovFlux", euler::Prim{0.8, -0.3, 0.15, 1.5, 1.0});
+}
+
+TEST(Freestream, PreservedMixedGas) {
+  run_freestream("EFMFlux", euler::Prim{2.0, 0.2, 0.1, 1.0, 0.5});
+}
+
+}  // namespace

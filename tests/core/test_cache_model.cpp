@@ -1,0 +1,116 @@
+// Cache-parameterized models (the paper's §6 future work): coefficient
+// calibration from synthetic machines, interpolation, and retargeting to
+// a different cache geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cache_model.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using core::Sample;
+using core::WorkCounts;
+
+/// Synthetic kernel: flops linear in Q, accesses with a sub-linear extra
+/// term (so the two columns are not collinear and both coefficients are
+/// identifiable); misses depend on a "cache size" knee: below the knee one
+/// miss per 8 accesses, above it one per access.
+std::vector<WorkCounts> work_table(double knee_q) {
+  std::vector<WorkCounts> t;
+  for (double q = 1'000; q <= 200'000; q *= 1.4) {
+    WorkCounts w;
+    w.q = q;
+    w.flops = 10.0 * q;
+    w.accesses = 4.0 * q + 2'000.0 * std::sqrt(q);
+    w.misses = q <= knee_q ? 0.5 * q : 4.0 * q;
+    t.push_back(w);
+  }
+  return t;
+}
+
+std::vector<Sample> timings_from(const std::vector<WorkCounts>& table,
+                                 double c_flop, double c_mem, double c_miss,
+                                 double noise, std::uint64_t seed) {
+  ccaperf::Rng rng(seed);
+  std::vector<Sample> s;
+  for (const WorkCounts& w : table) {
+    const double t = c_flop * w.flops + c_mem * w.accesses + c_miss * w.misses;
+    for (int rep = 0; rep < 3; ++rep)
+      s.push_back(Sample{w.q, t * (1.0 + noise * rng.normal())});
+  }
+  return s;
+}
+
+TEST(CacheAwareModel, RecoversCoefficientsExactly) {
+  const auto table = work_table(50'000);
+  const auto timings = timings_from(table, 2e-3, 5e-4, 1e-2, 0.0, 1);
+  const auto model = core::fit_cache_aware(timings, table);
+  EXPECT_NEAR(model->c_flop(), 2e-3, 1e-4);
+  EXPECT_NEAR(model->c_mem(), 5e-4, 1e-4);
+  EXPECT_NEAR(model->c_miss(), 1e-2, 1e-4);
+  EXPECT_GT(model->r2, 0.9999);
+}
+
+TEST(CacheAwareModel, PredictsWithNoise) {
+  const auto table = work_table(50'000);
+  const auto timings = timings_from(table, 2e-3, 5e-4, 1e-2, 0.03, 2);
+  const auto model = core::fit_cache_aware(timings, table);
+  EXPECT_GT(model->r2, 0.99);
+  // Prediction at a tabulated point within a few percent of truth.
+  const double q = 100'000;
+  const double truth = 2e-3 * 10.0 * q +
+                       5e-4 * (4.0 * q + 2'000.0 * std::sqrt(q)) + 1e-2 * 4.0 * q;
+  EXPECT_NEAR(model->predict(q), truth, 0.1 * truth);
+}
+
+TEST(CacheAwareModel, InterpolatesBetweenTableRows) {
+  std::vector<WorkCounts> table{{1000, 10'000, 4'000, 500},
+                                {2000, 20'000, 8'000, 1'000}};
+  core::CacheAwareModel m(1.0, 0.0, 0.0, table);
+  EXPECT_DOUBLE_EQ(m.predict(1000), 10'000.0);
+  EXPECT_DOUBLE_EQ(m.predict(1500), 15'000.0);
+  // Clamped outside the table.
+  EXPECT_DOUBLE_EQ(m.predict(10), 10'000.0);
+  EXPECT_DOUBLE_EQ(m.predict(99'999), 20'000.0);
+}
+
+TEST(CacheAwareModel, RetargetingMovesTheKnee) {
+  // Calibrate on a 50k-knee machine; retarget to a 12.5k-knee (half cache)
+  // machine. The transferred model must predict the earlier blow-up
+  // without any new timing measurements — the paper's §6 goal.
+  const auto big_cache = work_table(50'000);
+  const auto timings = timings_from(big_cache, 2e-3, 5e-4, 1e-2, 0.0, 3);
+  const auto calibrated = core::fit_cache_aware(timings, big_cache);
+
+  const auto small_cache = work_table(12'500);
+  const auto transferred = core::retarget(*calibrated, small_cache);
+
+  // At Q = 25k: big-cache machine is pre-knee, small-cache is post-knee.
+  const double t_big = calibrated->predict(25'000);
+  const double t_small = transferred->predict(25'000);
+  EXPECT_GT(t_small, 1.5 * t_big);
+  // At Q = 2k both are pre-knee: identical predictions.
+  EXPECT_NEAR(calibrated->predict(2'000), transferred->predict(2'000),
+              1e-6 * calibrated->predict(2'000));
+  // Coefficients unchanged by retargeting.
+  EXPECT_DOUBLE_EQ(calibrated->c_miss(), transferred->c_miss());
+}
+
+TEST(CacheAwareModel, FormulaNamesAllThreeTerms) {
+  core::CacheAwareModel m(1.0, 2.0, 3.0, work_table(10'000));
+  const std::string f = m.formula();
+  EXPECT_NE(f.find("FLOPS(Q)"), std::string::npos);
+  EXPECT_NE(f.find("ACC(Q)"), std::string::npos);
+  EXPECT_NE(f.find("MISS(Q;cache)"), std::string::npos);
+}
+
+TEST(CacheAwareModel, RejectsDegenerateInput) {
+  EXPECT_THROW(core::fit_cache_aware({{1, 1}, {2, 2}}, work_table(1000)),
+               ccaperf::Error);
+  EXPECT_THROW(core::fit_cache_aware({{1, 1}, {2, 2}, {3, 3}}, {}), ccaperf::Error);
+}
+
+}  // namespace

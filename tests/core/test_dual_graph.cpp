@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dual_graph.hpp"
+
+namespace {
+
+cca::WiringDiagram sample_wiring() {
+  cca::WiringDiagram w;
+  auto node = [](const char* inst, const char* cls) {
+    return cca::WiringDiagram::Node{inst, cls, {}, {}};
+  };
+  w.nodes = {node("driver", "ShockDriver"), node("rk2", "RK2"),
+             node("invflux", "InviscidFlux"), node("flux", "GodunovFlux")};
+  w.connections = {
+      cca::Connection{"driver", "integrator", "rk2", "integrator"},
+      cca::Connection{"rk2", "invflux", "invflux", "invflux"},
+      cca::Connection{"invflux", "flux", "flux", "flux"},
+  };
+  return w;
+}
+
+core::DualGraph sample_dual() {
+  return core::DualGraph::build(
+      sample_wiring(),
+      [](const std::string& inst) -> std::pair<double, double> {
+        if (inst == "flux") return {10'000.0, 0.0};
+        if (inst == "invflux") return {2'000.0, 0.0};
+        if (inst == "rk2") return {500.0, 3'000.0};
+        return {1.0, 0.0};  // driver: negligible
+      },
+      [](const cca::Connection& c) { return c.uses_port == "flux" ? 384.0 : 8.0; });
+}
+
+TEST(DualGraph, BuildMirrorsWiring) {
+  const auto g = sample_dual();
+  ASSERT_EQ(g.vertices().size(), 4u);
+  ASSERT_EQ(g.edges().size(), 3u);
+  const int flux = g.vertex_index("flux");
+  ASSERT_GE(flux, 0);
+  EXPECT_DOUBLE_EQ(g.vertices()[static_cast<std::size_t>(flux)].compute_us, 10'000.0);
+  EXPECT_EQ(g.vertices()[static_cast<std::size_t>(flux)].class_name, "GodunovFlux");
+  // Edge weights carried over.
+  bool found = false;
+  for (const auto& e : g.edges()) {
+    if (e.port == "flux") {
+      EXPECT_DOUBLE_EQ(e.invocations, 384.0);
+      EXPECT_EQ(g.vertices()[static_cast<std::size_t>(e.caller)].instance, "invflux");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DualGraph, TotalAndCommSplit) {
+  const auto g = sample_dual();
+  EXPECT_DOUBLE_EQ(g.total_us(), 10'000.0 + 2'000.0 + 3'500.0 + 1.0);
+  const int rk2 = g.vertex_index("rk2");
+  EXPECT_DOUBLE_EQ(g.vertices()[static_cast<std::size_t>(rk2)].comm_us, 3'000.0);
+}
+
+TEST(DualGraph, NegligibleVerticesIdentified) {
+  const auto g = sample_dual();
+  const auto drop = g.negligible(0.05);  // < 5% of ~15.5ms -> only driver
+  ASSERT_EQ(drop.size(), 1u);
+  EXPECT_EQ(drop[0], "driver");
+}
+
+TEST(DualGraph, PruneRemovesVerticesAndTheirEdges) {
+  const auto pruned = sample_dual().pruned(0.05);
+  EXPECT_EQ(pruned.vertices().size(), 3u);
+  EXPECT_EQ(pruned.edges().size(), 2u);  // driver->rk2 edge gone
+  EXPECT_EQ(pruned.vertex_index("driver"), -1);
+  // Remaining edge indices remapped consistently.
+  for (const auto& e : pruned.edges()) {
+    ASSERT_GE(e.caller, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.caller), pruned.vertices().size());
+    ASSERT_GE(e.callee, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.callee), pruned.vertices().size());
+  }
+}
+
+TEST(DualGraph, DotAndPrintRender) {
+  const auto g = sample_dual();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph dual"), std::string::npos);
+  EXPECT_NE(dot.find("\"invflux\" -> \"flux\""), std::string::npos);
+  EXPECT_NE(dot.find("N=384"), std::string::npos);
+  std::ostringstream os;
+  g.print(os);
+  EXPECT_NE(os.str().find("GodunovFlux"), std::string::npos);
+}
+
+TEST(DualGraph, UnknownVertexIndexIsMinusOne) {
+  EXPECT_EQ(sample_dual().vertex_index("ghost"), -1);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Assembly optimization: exhaustive prod(Ci) enumeration, pure-time
+// selection, and the QoS accuracy weight flipping the EFM/Godunov choice
+// (the paper's §5 trade-off).
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using core::AssemblyOptimizer;
+using core::Candidate;
+using core::Slot;
+
+struct Models {
+  // EFM-like: cheap linear. Godunov-like: ~2x the slope (Eq. 1 ratio).
+  core::PolynomialModel efm{{-8.13, 0.16}};
+  core::PolynomialModel godunov{{-963.0, 0.315}};
+  core::PolynomialModel states{{5.0, 0.05}};
+  core::PolynomialModel states_alt{{2.0, 0.06}};
+};
+
+Slot flux_slot(const Models& m) {
+  Slot s;
+  s.functionality = "FluxPort";
+  s.candidates = {Candidate{"EFMFlux", &m.efm, 0.7},
+                  Candidate{"GodunovFlux", &m.godunov, 1.0}};
+  s.workload = {{50'000.0, 200.0}, {120'000.0, 50.0}};
+  return s;
+}
+
+Slot states_slot(const Models& m) {
+  Slot s;
+  s.functionality = "StatesPort";
+  s.candidates = {Candidate{"States", &m.states, 1.0},
+                  Candidate{"StatesAlt", &m.states_alt, 1.0}};
+  s.workload = {{50'000.0, 250.0}};
+  return s;
+}
+
+TEST(Optimizer, EnumeratesAllAssemblies) {
+  Models m;
+  AssemblyOptimizer opt;
+  opt.add_slot(flux_slot(m));
+  opt.add_slot(states_slot(m));
+  EXPECT_EQ(opt.assembly_count(), 4u);
+  const auto all = opt.evaluate_all();
+  EXPECT_EQ(all.size(), 4u);
+  // Sorted by cost ascending.
+  for (std::size_t k = 1; k < all.size(); ++k)
+    EXPECT_LE(all[k - 1].cost, all[k].cost);
+}
+
+TEST(Optimizer, PureTimeChoosesEfm) {
+  // "From a performance point of view, EFMFlux has better characteristics."
+  Models m;
+  AssemblyOptimizer opt;
+  opt.add_slot(flux_slot(m));
+  const auto best = opt.best(0.0);
+  EXPECT_EQ(best.selection.at("FluxPort"), "EFMFlux");
+  // Predicted time equals the workload-weighted model sum.
+  const double expected =
+      200.0 * m.efm.predict(50'000.0) + 50.0 * m.efm.predict(120'000.0);
+  EXPECT_NEAR(best.predicted_time_us, expected, 1e-6);
+  EXPECT_DOUBLE_EQ(best.min_accuracy, 0.7);
+}
+
+TEST(Optimizer, QosWeightFlipsToGodunov) {
+  // "GodunovFlux is the preferred choice for scientists (it is more
+  // accurate)": a strong enough accuracy weight must select it.
+  Models m;
+  AssemblyOptimizer opt;
+  opt.add_slot(flux_slot(m));
+  EXPECT_EQ(opt.best(0.0).selection.at("FluxPort"), "EFMFlux");
+  EXPECT_EQ(opt.best(10.0).selection.at("FluxPort"), "GodunovFlux");
+}
+
+TEST(Optimizer, CrossoverWeightIsMonotone) {
+  Models m;
+  AssemblyOptimizer opt;
+  opt.add_slot(flux_slot(m));
+  bool flipped = false;
+  std::string prev = "EFMFlux";
+  for (double w = 0.0; w <= 10.0; w += 0.25) {
+    const std::string now = opt.best(w).selection.at("FluxPort");
+    if (now != prev) {
+      EXPECT_EQ(now, "GodunovFlux");
+      EXPECT_FALSE(flipped) << "choice flipped twice";
+      flipped = true;
+      prev = now;
+    }
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(Optimizer, IndependentSlotsOptimizedIndependently) {
+  Models m;
+  AssemblyOptimizer opt(1'000.0);  // fixed remainder of the dual
+  opt.add_slot(flux_slot(m));
+  opt.add_slot(states_slot(m));
+  const auto best = opt.best(0.0);
+  EXPECT_EQ(best.selection.at("FluxPort"), "EFMFlux");
+  // StatesAlt: 2 + 0.06*50000 = 3002/invocation vs 5 + 2500 = 2505: States wins.
+  EXPECT_EQ(best.selection.at("StatesPort"), "States");
+  EXPECT_GT(best.predicted_time_us, 1'000.0);
+}
+
+TEST(Optimizer, RejectsEmptyOrUnmodeledSlots) {
+  AssemblyOptimizer opt;
+  EXPECT_THROW(opt.evaluate_all(), ccaperf::Error);
+  Slot empty;
+  empty.functionality = "X";
+  EXPECT_THROW(opt.add_slot(empty), ccaperf::Error);
+  Slot unmodeled;
+  unmodeled.functionality = "Y";
+  unmodeled.candidates = {Candidate{"C", nullptr, 1.0}};
+  EXPECT_THROW(opt.add_slot(unmodeled), ccaperf::Error);
+}
+
+TEST(Optimizer, NegativeModelPredictionsClampToZero) {
+  // Linear fits can go negative at small Q (the paper's -963 + 0.315 Q);
+  // the composite cost must not reward that.
+  core::PolynomialModel negative{{-963.0, 0.315}};
+  Slot s;
+  s.functionality = "F";
+  s.candidates = {Candidate{"C", &negative, 1.0}};
+  s.workload = {{10.0, 100.0}};  // predict(10) < 0
+  AssemblyOptimizer opt;
+  opt.add_slot(s);
+  EXPECT_DOUBLE_EQ(opt.best().predicted_time_us, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Proxies: identical-interface interception, parameter extraction,
+// forwarding fidelity (bit-identical results), and the AMRMesh proxy's
+// per-level communication records.
+
+#include <gtest/gtest.h>
+
+#include "components/amrmesh_component.hpp"
+#include "components/flux_components.hpp"
+#include "components/states_component.hpp"
+#include "core/instrumented_app.hpp"
+#include "mpp/runtime.hpp"
+
+namespace {
+
+using amr::Box;
+using euler::Array2;
+using euler::Dir;
+using euler::kNcomp;
+
+/// Repo with the pieces a proxy rig needs.
+cca::ComponentRepository proxy_repo() {
+  cca::ComponentRepository repo;
+  const euler::GasModel gas;
+  repo.register_class("TauMeasurement",
+                      [] { return std::make_unique<core::TauMeasurementComponent>(); });
+  repo.register_class("Mastermind",
+                      [] { return std::make_unique<core::MastermindComponent>(); });
+  repo.register_class("States",
+                      [gas] { return std::make_unique<components::StatesComponent>(gas); });
+  repo.register_class("EFMFlux",
+                      [gas] { return std::make_unique<components::EFMFluxComponent>(gas); });
+  repo.register_class("GodunovFlux", [gas] {
+    return std::make_unique<components::GodunovFluxComponent>(gas);
+  });
+  repo.register_class("StatesProxy",
+                      [] { return std::make_unique<core::StatesProxy>(); });
+  repo.register_class("FluxProxy", [] {
+    return std::make_unique<core::FluxProxy>("g_proxy::compute()");
+  });
+  return repo;
+}
+
+struct ProxyRig {
+  cca::Framework fw{proxy_repo()};
+  core::MastermindComponent* mm = nullptr;
+  core::TauMeasurementComponent* tau = nullptr;
+
+  ProxyRig() {
+    fw.instantiate("tau", "TauMeasurement");
+    fw.instantiate("mm", "Mastermind");
+    fw.instantiate("states", "States");
+    fw.instantiate("flux", "GodunovFlux");
+    fw.instantiate("sc_proxy", "StatesProxy");
+    fw.instantiate("g_proxy", "FluxProxy");
+    fw.connect("mm", "measurement", "tau", "measurement");
+    fw.connect("sc_proxy", "monitor", "mm", "monitor");
+    fw.connect("sc_proxy", "states_real", "states", "states");
+    fw.connect("g_proxy", "monitor", "mm", "monitor");
+    fw.connect("g_proxy", "flux_real", "flux", "flux");
+    mm = dynamic_cast<core::MastermindComponent*>(&fw.component("mm"));
+    tau = dynamic_cast<core::TauMeasurementComponent*>(&fw.component("tau"));
+  }
+};
+
+amr::PatchData<double> test_patch(const Box& interior) {
+  amr::PatchData<double> u(interior, 2, kNcomp);
+  const euler::GasModel gas;
+  const Box g = u.grown_box();
+  for (int j = g.lo().j; j <= g.hi().j; ++j)
+    for (int i = g.lo().i; i <= g.hi().i; ++i) {
+      const euler::Prim w{1.0 + 0.01 * i + 0.02 * j, 0.1, -0.05,
+                          1.0 + 0.005 * i, 1.0};
+      double U[kNcomp];
+      euler::prim_to_cons(w, gas, U);
+      for (int c = 0; c < kNcomp; ++c) u(i, j, c) = U[c];
+    }
+  return u;
+}
+
+TEST(StatesProxy, ForwardsBitIdenticalResults) {
+  ProxyRig rig;
+  const Box interior{0, 0, 15, 7};
+  const auto u = test_patch(interior);
+  int nx = 0, ny = 0;
+  euler::face_dims(interior, Dir::x, nx, ny);
+
+  auto* proxied = rig.fw.services("sc_proxy")
+                      .provided_as<components::StatesPort>("states");
+  auto* direct =
+      rig.fw.services("states").provided_as<components::StatesPort>("states");
+
+  Array2 l1(nx, ny, kNcomp), r1(nx, ny, kNcomp);
+  Array2 l2(nx, ny, kNcomp), r2(nx, ny, kNcomp);
+  proxied->compute(u, interior, Dir::x, l1, r1);
+  direct->compute(u, interior, Dir::x, l2, r2);
+  EXPECT_EQ(l1.raw(), l2.raw());
+  EXPECT_EQ(r1.raw(), r2.raw());
+}
+
+TEST(StatesProxy, ExtractsArraySizeAndMode) {
+  ProxyRig rig;
+  const Box interior{0, 0, 15, 7};
+  const auto u = test_patch(interior);
+  auto* proxied = rig.fw.services("sc_proxy")
+                      .provided_as<components::StatesPort>("states");
+  for (Dir dir : {Dir::x, Dir::y}) {
+    int nx = 0, ny = 0;
+    euler::face_dims(interior, dir, nx, ny);
+    Array2 l(nx, ny, kNcomp), r(nx, ny, kNcomp);
+    proxied->compute(u, interior, dir, l, r);
+  }
+  const core::Record* rec = rig.mm->record("sc_proxy::compute()");
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->count(), 2u);
+  // Q = input array cells including ghosts: (16+4)*(8+4).
+  EXPECT_DOUBLE_EQ(rec->invocations()[0].params.at("Q"), 20.0 * 12.0);
+  EXPECT_DOUBLE_EQ(rec->invocations()[0].params.at("mode"), 0.0);
+  EXPECT_DOUBLE_EQ(rec->invocations()[1].params.at("mode"), 1.0);
+  // Timer appears under the paper's name.
+  EXPECT_TRUE(rig.tau->registry().has_timer("sc_proxy::compute()"));
+}
+
+TEST(FluxProxy, ForwardsAndRecords) {
+  ProxyRig rig;
+  const Box interior{0, 0, 15, 7};
+  const auto u = test_patch(interior);
+  int nx = 0, ny = 0;
+  euler::face_dims(interior, Dir::x, nx, ny);
+  Array2 l(nx, ny, kNcomp), r(nx, ny, kNcomp), f1(nx, ny, kNcomp),
+      f2(nx, ny, kNcomp);
+  auto* states =
+      rig.fw.services("states").provided_as<components::StatesPort>("states");
+  states->compute(u, interior, Dir::x, l, r);
+
+  auto* proxied =
+      rig.fw.services("g_proxy").provided_as<components::FluxPort>("flux");
+  auto* direct = rig.fw.services("flux").provided_as<components::FluxPort>("flux");
+  proxied->compute(l, r, Dir::x, f1);
+  direct->compute(l, r, Dir::x, f2);
+  EXPECT_EQ(f1.raw(), f2.raw());
+
+  // Pass-through metadata.
+  EXPECT_EQ(proxied->method_name(), "GodunovFlux");
+  EXPECT_DOUBLE_EQ(proxied->accuracy(), 1.0);
+
+  const core::Record* rec = rig.mm->record("g_proxy::compute()");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->invocations()[0].params.at("Q"),
+                   static_cast<double>(nx) * ny);
+}
+
+TEST(AMRMeshProxy, RecordsPerLevelCommunication) {
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    components::AppConfig cfg = components::AppConfig::case_study();
+    cfg.mesh.domain = amr::Box{0, 0, 47, 23};
+    cfg.mesh.max_levels = 2;
+    cfg.mesh.level0_patch_size = 12;
+    cfg.mesh.geom = amr::Geometry{0.0, 0.0, 2.0 / 48.0, 1.0 / 24.0};
+    auto repo = components::make_repository(world, cfg);
+    core::register_pmm_classes(repo, cfg);
+    cca::Framework fw(std::move(repo));
+    fw.instantiate("mesh", "AMRMesh");
+    fw.instantiate("tau", "TauMeasurement");
+    fw.instantiate("mm", "Mastermind");
+    fw.instantiate("icc_proxy", "AMRMeshProxy");
+    fw.connect("mm", "measurement", "tau", "measurement");
+    fw.connect("icc_proxy", "monitor", "mm", "monitor");
+    fw.connect("icc_proxy", "mesh_real", "mesh", "mesh");
+
+    auto* mesh =
+        fw.services("icc_proxy").provided_as<components::MeshPort>("mesh");
+    mesh->initialize();
+    mesh->ghost_update(0);
+    mesh->ghost_update(1);
+    mesh->ghost_update(0);
+
+    auto* mm = dynamic_cast<core::MastermindComponent*>(&fw.component("mm"));
+    const core::Record* rec = mm->record("icc_proxy::ghost_update()");
+    ASSERT_NE(rec, nullptr);
+    // initialize() also issues ghost updates internally? No — those run on
+    // the real component, below the proxy. Exactly our 3 calls are seen.
+    ASSERT_EQ(rec->count(), 3u);
+    EXPECT_DOUBLE_EQ(rec->invocations()[0].params.at("level"), 0.0);
+    EXPECT_DOUBLE_EQ(rec->invocations()[1].params.at("level"), 1.0);
+    EXPECT_GT(rec->invocations()[0].params.at("cells"), 0.0);
+    // initialize was monitored too.
+    EXPECT_NE(mm->record("icc_proxy::initialize()"), nullptr);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Shock/interface problem setup: Rankine-Hugoniot consistency, state
+// layout across the domain, hierarchy fill, BC spec, and the density
+// gradient flagger.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "euler/problem.hpp"
+#include "mpp/runtime.hpp"
+
+namespace {
+
+using euler::Prim;
+using euler::ShockInterfaceProblem;
+
+TEST(Problem, RankineHugoniotMach15) {
+  ShockInterfaceProblem prob;
+  const Prim post = prob.post_shock_state();
+  // gamma = 1.4, Ms = 1.5 textbook values.
+  EXPECT_NEAR(post.p / prob.p0, 2.4583, 1e-3);
+  EXPECT_NEAR(post.rho / prob.rho_air, 1.8621, 1e-3);
+  const double c0 = std::sqrt(1.4 * prob.p0 / prob.rho_air);
+  EXPECT_NEAR(post.u / c0, 0.6944, 1e-3);
+  EXPECT_DOUBLE_EQ(post.phi, 1.0);
+}
+
+TEST(Problem, RankineHugoniotSatisfiesJumpConditions) {
+  // Verify mass and momentum conservation across the shock in the
+  // shock-stationary frame for a range of Mach numbers.
+  for (double mach : {1.1, 1.5, 2.0, 3.0}) {
+    ShockInterfaceProblem prob;
+    prob.mach = mach;
+    const Prim post = prob.post_shock_state();
+    const double c0 = std::sqrt(1.4 * prob.p0 / prob.rho_air);
+    const double ws = mach * c0;  // shock speed
+    const double m0 = prob.rho_air * ws;           // pre-shock mass flux
+    const double m1 = post.rho * (ws - post.u);    // post-shock mass flux
+    EXPECT_NEAR(m0, m1, 1e-10 * m0);
+    const double p0m = prob.p0 + m0 * ws;
+    const double p1m = post.p + m1 * (ws - post.u);
+    EXPECT_NEAR(p0m, p1m, 1e-9 * p0m);
+  }
+}
+
+TEST(Problem, StateLayoutAcrossDomain) {
+  ShockInterfaceProblem prob;
+  const double lx = 2.0, ly = 1.0;
+  // Left of the shock: post-shock air (moving).
+  const Prim a = prob.state_at(0.1, 0.5, lx, ly);
+  EXPECT_GT(a.u, 0.0);
+  EXPECT_GT(a.p, prob.p0);
+  // Between shock and interface: quiescent air.
+  const Prim b = prob.state_at(0.5, 0.5, lx, ly);
+  EXPECT_DOUBLE_EQ(b.u, 0.0);
+  EXPECT_DOUBLE_EQ(b.rho, prob.rho_air);
+  EXPECT_DOUBLE_EQ(b.phi, 1.0);
+  // Far right: freon.
+  const Prim c = prob.state_at(1.9, 0.5, lx, ly);
+  EXPECT_DOUBLE_EQ(c.phi, 0.0);
+  EXPECT_NEAR(c.rho, prob.rho_air * prob.density_ratio, 1e-12);
+  EXPECT_DOUBLE_EQ(c.p, prob.p0);  // pressure equilibrium at the interface
+}
+
+TEST(Problem, InterfaceIsPerturbed) {
+  ShockInterfaceProblem prob;
+  const double lx = 2.0, ly = 1.0;
+  const double xi = prob.interface_x * lx;
+  // At the perturbation crest the interface shifts by `amplitude * lx`.
+  const Prim at_crest = prob.state_at(xi + 0.5 * prob.amplitude * lx, 0.0, lx, ly);
+  const Prim at_trough =
+      prob.state_at(xi + 0.5 * prob.amplitude * lx, ly / (2.0 * prob.mode), lx, ly);
+  EXPECT_NE(at_crest.phi, at_trough.phi);
+}
+
+TEST(Problem, BcSpecReflectsYMomentum) {
+  ShockInterfaceProblem prob;
+  const amr::BcSpec bc = prob.bc();
+  EXPECT_EQ(bc.ylo, amr::BcType::reflecting);
+  EXPECT_EQ(bc.xlo, amr::BcType::transmissive);
+  ASSERT_EQ(bc.reflect_sign_y.size(), static_cast<std::size_t>(euler::kNcomp));
+  EXPECT_DOUBLE_EQ(bc.reflect_sign_y[euler::kMy], -1.0);
+  EXPECT_DOUBLE_EQ(bc.reflect_sign_y[euler::kRho], 1.0);
+}
+
+TEST(Problem, FillHierarchyProducesPhysicalStates) {
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    amr::HierarchyConfig cfg;
+    cfg.domain = amr::Box{0, 0, 47, 23};
+    cfg.max_levels = 2;
+    cfg.ncomp = euler::kNcomp;
+    cfg.level0_patch_size = 12;
+    cfg.geom = amr::Geometry{0.0, 0.0, 2.0 / 48.0, 1.0 / 24.0};
+    amr::Hierarchy h(world, cfg);
+    h.init_level0();
+    ShockInterfaceProblem prob;
+    prob.fill_hierarchy(h);
+    for (auto& [id, data] : h.level(0).local_data()) {
+      const amr::Box box = h.level(0).patch(id).box;
+      for (int j = box.lo().j; j <= box.hi().j; ++j)
+        for (int i = box.lo().i; i <= box.hi().i; ++i) {
+          double U[euler::kNcomp];
+          for (int c = 0; c < euler::kNcomp; ++c) U[c] = data(i, j, c);
+          const Prim w = euler::cons_to_prim(U, prob.gas);
+          EXPECT_GT(w.rho, 0.0);
+          EXPECT_GT(w.p, 0.0);
+          EXPECT_GE(w.phi, -1e-12);
+          EXPECT_LE(w.phi, 1.0 + 1e-12);
+        }
+    }
+  });
+}
+
+TEST(Problem, FlaggerMarksShockAndInterface) {
+  mpp::Runtime::run(1, [](mpp::Comm& world) {
+    amr::HierarchyConfig cfg;
+    cfg.domain = amr::Box{0, 0, 63, 31};
+    cfg.max_levels = 2;
+    cfg.ncomp = euler::kNcomp;
+    cfg.level0_patch_size = 64;  // one patch
+    cfg.geom = amr::Geometry{0.0, 0.0, 2.0 / 64.0, 1.0 / 32.0};
+    amr::Hierarchy h(world, cfg);
+    h.init_level0();
+    ShockInterfaceProblem prob;
+    prob.fill_hierarchy(h);
+    amr::FlagField flags(h.domain_at(0));
+    for (const auto& p : h.level(0).patches())
+      ShockInterfaceProblem::flag_density_gradient(h, 0, p, flags, 0.08);
+    EXPECT_GT(flags.count(), 0);
+    // Flags concentrate near the shock (x ~ 0.15*2.0 -> i ~ 9-10) and the
+    // interface (x ~ 0.8 -> i ~ 25-26); quiescent regions stay clean.
+    EXPECT_EQ(flags.count_in(amr::Box{40, 8, 60, 24}), 0);
+    EXPECT_GT(flags.count_in(amr::Box{20, 0, 32, 31}), 0);
+  });
+}
+
+}  // namespace

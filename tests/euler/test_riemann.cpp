@@ -1,0 +1,136 @@
+// Exact Riemann solver: canonical Toro test problems (known star-region
+// values), symmetry, trivial problems, two-gamma interfaces, and the
+// data-dependent iteration counts that drive GodunovFlux's variability.
+
+#include <gtest/gtest.h>
+
+#include "euler/riemann.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using euler::GasModel;
+using euler::Prim;
+
+GasModel air_only() {
+  GasModel gas;
+  gas.gamma2 = 1.4;  // both gases are air: classic single-gamma problems
+  return gas;
+}
+
+TEST(Riemann, TrivialProblemReturnsInputState) {
+  const Prim w{1.0, 0.5, 0.1, 1.0, 1.0};
+  const auto r = euler::exact_riemann(w, w, air_only());
+  EXPECT_NEAR(r.p_star, 1.0, 1e-6);
+  EXPECT_NEAR(r.u_star, 0.5, 1e-6);
+  EXPECT_NEAR(r.sampled.rho, 1.0, 1e-6);
+  EXPECT_NEAR(r.sampled.p, 1.0, 1e-6);
+}
+
+TEST(Riemann, SodShockTube) {
+  // Toro test 1: p* = 0.30313, u* = 0.92745 (gamma = 1.4).
+  const Prim l{1.0, 0.0, 0.0, 1.0, 1.0};
+  const Prim r{0.125, 0.0, 0.0, 0.1, 1.0};
+  const auto res = euler::exact_riemann(l, r, air_only());
+  EXPECT_NEAR(res.p_star, 0.30313, 5e-4);
+  EXPECT_NEAR(res.u_star, 0.92745, 5e-4);
+  // Sample at x/t = 0 sits inside the left rarefaction-to-contact region:
+  // rho = 0.42632 (Toro Table 4.3's rho*L).
+  EXPECT_NEAR(res.sampled.rho, 0.42632, 5e-3);
+}
+
+TEST(Riemann, Toro123RarefactionProblem) {
+  // Toro test 2: two strong rarefactions, p* = 0.00189, u* = 0.
+  const Prim l{1.0, -2.0, 0.0, 0.4, 1.0};
+  const Prim r{1.0, 2.0, 0.0, 0.4, 1.0};
+  const auto res = euler::exact_riemann(l, r, air_only());
+  EXPECT_NEAR(res.p_star, 0.00189, 5e-4);
+  EXPECT_NEAR(res.u_star, 0.0, 1e-6);
+}
+
+TEST(Riemann, StrongShockProblem) {
+  // Toro test 3: p* = 460.894, u* = 19.5975.
+  const Prim l{1.0, 0.0, 0.0, 1000.0, 1.0};
+  const Prim r{1.0, 0.0, 0.0, 0.01, 1.0};
+  const auto res = euler::exact_riemann(l, r, air_only());
+  EXPECT_NEAR(res.p_star, 460.894, 0.5);
+  EXPECT_NEAR(res.u_star, 19.5975, 0.01);
+}
+
+TEST(Riemann, MirrorSymmetry) {
+  // Swapping sides and negating velocities mirrors the solution.
+  const Prim l{1.0, 0.3, 0.0, 2.0, 1.0};
+  const Prim r{0.5, -0.1, 0.0, 0.7, 1.0};
+  const auto fwd = euler::exact_riemann(l, r, air_only());
+  Prim lm = r, rm = l;
+  lm.u = -r.u;
+  rm.u = -l.u;
+  const auto mir = euler::exact_riemann(lm, rm, air_only());
+  EXPECT_NEAR(fwd.p_star, mir.p_star, 1e-10);
+  EXPECT_NEAR(fwd.u_star, -mir.u_star, 1e-10);
+}
+
+TEST(Riemann, ContactUpwindsTransverseAndPhi) {
+  // u* > 0: interface state carries the LEFT side's v and phi.
+  const Prim l{1.0, 1.0, 0.25, 1.0, 1.0};
+  const Prim r{1.0, 1.0, -0.75, 1.0, 0.0};
+  const auto res = euler::exact_riemann(l, r, air_only());
+  EXPECT_GT(res.u_star, 0.0);
+  EXPECT_DOUBLE_EQ(res.sampled.v, 0.25);
+  EXPECT_DOUBLE_EQ(res.sampled.phi, 1.0);
+}
+
+TEST(Riemann, TwoGammaInterface) {
+  // Air/Freon at rest with equal pressure: nothing should move.
+  GasModel gas;  // gamma1=1.4, gamma2=1.13
+  const Prim air{1.0, 0.0, 0.0, 1.0, 1.0};
+  const Prim freon{3.33, 0.0, 0.0, 1.0, 0.0};
+  const auto res = euler::exact_riemann(air, freon, gas);
+  EXPECT_NEAR(res.p_star, 1.0, 1e-8);
+  EXPECT_NEAR(res.u_star, 0.0, 1e-8);
+}
+
+TEST(Riemann, ShockHittingFreonProducesTransmittedCompression) {
+  GasModel gas;
+  // Post-shock air driving into quiescent freon.
+  const Prim driver{1.862, 0.694, 0.0, 2.458, 1.0};
+  const Prim freon{3.33, 0.0, 0.0, 1.0, 0.0};
+  const auto res = euler::exact_riemann(driver, freon, gas);
+  EXPECT_GT(res.p_star, 1.0);   // compression transmitted
+  EXPECT_GT(res.u_star, 0.0);   // interface accelerates downstream
+}
+
+TEST(Riemann, IterationCountGrowsWithJumpStrength) {
+  // The mechanism behind GodunovFlux's variance (Fig. 7): stronger jumps
+  // take more Newton iterations.
+  const Prim quiet_l{1.0, 0.0, 0.0, 1.0, 1.0};
+  const Prim quiet_r{0.99, 0.0, 0.0, 0.99, 1.0};
+  const Prim strong_l{1.0, 0.0, 0.0, 1000.0, 1.0};
+  const Prim strong_r{1.0, 0.0, 0.0, 0.01, 1.0};
+  const auto quiet = euler::exact_riemann(quiet_l, quiet_r, air_only());
+  const auto strong = euler::exact_riemann(strong_l, strong_r, air_only());
+  EXPECT_GT(strong.iterations, quiet.iterations);
+  EXPECT_LE(strong.iterations, 40);
+}
+
+TEST(Riemann, NonPhysicalInputRejected) {
+  const Prim ok{1.0, 0.0, 0.0, 1.0, 1.0};
+  Prim bad = ok;
+  bad.rho = -1.0;
+  EXPECT_THROW(euler::exact_riemann(bad, ok, air_only()), ccaperf::Error);
+  bad = ok;
+  bad.p = 0.0;
+  EXPECT_THROW(euler::exact_riemann(ok, bad, air_only()), ccaperf::Error);
+}
+
+TEST(Riemann, SupersonicRightRunningFlowSamplesLeftState) {
+  // Everything moves supersonically to the right: x/t=0 sees the left state.
+  const Prim l{1.0, 5.0, 0.3, 1.0, 1.0};
+  const Prim r{1.0, 5.0, -0.3, 1.0, 0.0};
+  const auto res = euler::exact_riemann(l, r, air_only());
+  EXPECT_NEAR(res.sampled.rho, 1.0, 1e-8);
+  EXPECT_NEAR(res.sampled.u, 5.0, 1e-8);
+  EXPECT_DOUBLE_EQ(res.sampled.v, 0.3);
+}
+
+}  // namespace

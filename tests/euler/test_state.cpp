@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "euler/state.hpp"
+
+namespace {
+
+using euler::GasModel;
+using euler::Prim;
+
+TEST(GasModel, PureGasGammas) {
+  GasModel gas;
+  EXPECT_DOUBLE_EQ(gas.gamma_of(1.0), 1.4);
+  EXPECT_DOUBLE_EQ(gas.gamma_of(0.0), 1.13);
+}
+
+TEST(GasModel, MixtureGammaBetweenPureValues) {
+  GasModel gas;
+  const double g = gas.gamma_of(0.5);
+  EXPECT_GT(g, 1.13);
+  EXPECT_LT(g, 1.4);
+  // 1/(g-1) is the arithmetic mean of the pure inverses.
+  const double inv = 0.5 / 0.4 + 0.5 / 0.13;
+  EXPECT_NEAR(g, 1.0 + 1.0 / inv, 1e-14);
+}
+
+TEST(GasModel, PhiClampedOutsideUnitInterval) {
+  GasModel gas;
+  EXPECT_DOUBLE_EQ(gas.gamma_of(1.7), gas.gamma_of(1.0));
+  EXPECT_DOUBLE_EQ(gas.gamma_of(-0.2), gas.gamma_of(0.0));
+}
+
+TEST(State, PrimConsRoundTrip) {
+  GasModel gas;
+  const Prim w{1.3, 0.7, -0.4, 2.1, 0.6};
+  double U[euler::kNcomp];
+  euler::prim_to_cons(w, gas, U);
+  const Prim back = euler::cons_to_prim(U, gas);
+  EXPECT_NEAR(back.rho, w.rho, 1e-14);
+  EXPECT_NEAR(back.u, w.u, 1e-14);
+  EXPECT_NEAR(back.v, w.v, 1e-14);
+  EXPECT_NEAR(back.p, w.p, 1e-13);
+  EXPECT_NEAR(back.phi, w.phi, 1e-14);
+}
+
+TEST(State, ConservedLayout) {
+  GasModel gas;
+  const Prim w{2.0, 3.0, 4.0, 5.0, 1.0};
+  double U[euler::kNcomp];
+  euler::prim_to_cons(w, gas, U);
+  EXPECT_DOUBLE_EQ(U[euler::kRho], 2.0);
+  EXPECT_DOUBLE_EQ(U[euler::kMx], 6.0);
+  EXPECT_DOUBLE_EQ(U[euler::kMy], 8.0);
+  EXPECT_DOUBLE_EQ(U[euler::kRphi], 2.0);
+  // E = p/(gamma-1) + rho |v|^2 / 2 with gamma = 1.4 (phi = 1).
+  EXPECT_NEAR(U[euler::kE], 5.0 / 0.4 + 0.5 * 2.0 * 25.0, 1e-13);
+}
+
+TEST(State, SoundSpeedIdealGas) {
+  GasModel gas;
+  const Prim w{1.4, 0.0, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(euler::sound_speed(w, gas), 1.0, 1e-14);  // sqrt(1.4*1/1.4)
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Property test: CacheSim against an independent brute-force reference
+// model (exact LRU over sets) on randomized access traces, plus
+// hierarchy-consistency invariants.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "hwc/cache_sim.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+/// Deliberately naive reference: per-set std::list in LRU order.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::size_t size, std::size_t line, std::size_t ways)
+      : line_(line), ways_(ways), sets_(size / (line * ways)) {}
+
+  bool access_line(std::uint64_t line_addr) {  // returns hit
+    const std::uint64_t set = line_addr % sets_;
+    auto& lru = sets_state_[set];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (*it == line_addr) {
+        lru.erase(it);
+        lru.push_front(line_addr);
+        return true;
+      }
+    }
+    lru.push_front(line_addr);
+    if (lru.size() > ways_) lru.pop_back();
+    return false;
+  }
+
+  std::uint64_t access(std::uintptr_t addr, std::size_t bytes) {
+    std::uint64_t misses = 0;
+    const std::uint64_t first = addr / line_;
+    const std::uint64_t last = (addr + bytes - 1) / line_;
+    for (std::uint64_t l = first; l <= last; ++l)
+      if (!access_line(l)) ++misses;
+    return misses;
+  }
+
+ private:
+  std::size_t line_, ways_, sets_;
+  std::map<std::uint64_t, std::list<std::uint64_t>> sets_state_;
+};
+
+class CacheVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheVsReference, IdenticalMissStreamOnRandomTrace) {
+  const std::uint64_t seed = GetParam();
+  ccaperf::Rng rng(seed);
+  hwc::CacheSim sim(4096, 64, 2);  // 32 sets, 2-way: small enough to stress
+  ReferenceCache ref(4096, 64, 2);
+
+  for (int k = 0; k < 20'000; ++k) {
+    // Mix of hot region, cold sweeps, and straddling accesses.
+    std::uintptr_t addr;
+    const double roll = rng.uniform();
+    if (roll < 0.5)
+      addr = static_cast<std::uintptr_t>(rng.uniform_int(0, 2047));  // hot
+    else
+      addr = static_cast<std::uintptr_t>(rng.uniform_int(0, 1 << 20));
+    const auto bytes = static_cast<std::size_t>(rng.uniform_int(1, 96));
+    const bool write = rng.uniform() < 0.3;
+    EXPECT_EQ(sim.access(addr, bytes, write), ref.access(addr, bytes))
+        << "seed " << seed << " step " << k;
+  }
+  EXPECT_EQ(sim.counters().accesses, sim.counters().hits + sim.counters().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheVsReference, ::testing::Values(1, 2, 3, 4));
+
+TEST(CacheHierarchy, L2TrafficEqualsL1MissesPlusWritebacks) {
+  ccaperf::Rng rng(9);
+  hwc::CacheSim l2(64 * 1024, 64, 8);
+  hwc::CacheSim l1(2048, 64, 2);
+  l1.set_lower(&l2);
+  for (int k = 0; k < 50'000; ++k)
+    l1.access(static_cast<std::uintptr_t>(rng.uniform_int(0, 1 << 18)), 8,
+              rng.uniform() < 0.4);
+  EXPECT_EQ(l2.counters().accesses,
+            l1.counters().misses + l1.counters().writebacks);
+}
+
+TEST(CacheHierarchy, InclusionOfRecentLine) {
+  hwc::CacheSim l2(64 * 1024, 64, 8);
+  hwc::CacheSim l1(1024, 64, 1);
+  l1.set_lower(&l2);
+  l1.access(0x1000, 8, false);
+  // Evict from tiny L1; the line must still hit in the large L2.
+  l1.access(0x1000 + 1024, 8, false);
+  l2.reset_counters();
+  l1.access(0x1000, 8, false);  // L1 miss -> L2 lookup
+  EXPECT_EQ(l2.counters().hits, 1u);
+  EXPECT_EQ(l2.counters().misses, 0u);
+}
+
+}  // namespace

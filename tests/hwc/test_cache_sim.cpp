@@ -1,0 +1,178 @@
+// CacheSim behaviour on hand-computable traces: hits/misses/evictions for
+// direct-mapped and set-associative configurations, LRU order, write-backs,
+// multi-level forwarding, and the sequential-vs-strided working-set effect
+// that underlies the paper's Figs. 4-5.
+
+#include <gtest/gtest.h>
+
+#include "hwc/cache_sim.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using hwc::CacheSim;
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim c(1024, 64, 1);  // 16 sets, direct mapped
+  EXPECT_EQ(c.access(0x0, 8, false), 1u);
+  EXPECT_EQ(c.access(0x0, 8, false), 0u);
+  EXPECT_EQ(c.access(0x8, 8, false), 0u);  // same line
+  EXPECT_EQ(c.counters().accesses, 3u);
+  EXPECT_EQ(c.counters().misses, 1u);
+  EXPECT_EQ(c.counters().hits, 2u);
+}
+
+TEST(CacheSim, DirectMappedConflict) {
+  CacheSim c(1024, 64, 1);  // 16 sets: addresses 1024 bytes apart collide
+  c.access(0x0, 8, false);
+  c.access(1024, 8, false);  // evicts line 0
+  EXPECT_EQ(c.counters().evictions, 1u);
+  EXPECT_EQ(c.access(0x0, 8, false), 1u);  // misses, evicting line 1024
+  EXPECT_EQ(c.counters().evictions, 2u);
+}
+
+TEST(CacheSim, TwoWayAssociativityAvoidsConflict) {
+  CacheSim c(2048, 64, 2);  // 16 sets, 2-way
+  c.access(0x0, 8, false);
+  c.access(2048, 8, false);  // same set, second way
+  EXPECT_EQ(c.access(0x0, 8, false), 0u);
+  EXPECT_EQ(c.access(2048, 8, false), 0u);
+  EXPECT_EQ(c.counters().misses, 2u);
+}
+
+TEST(CacheSim, LruEvictsLeastRecentlyUsed) {
+  CacheSim c(2048, 64, 2);  // 16 sets, 2-way
+  const std::uintptr_t a = 0, b = 2048, d = 4096;  // all map to set 0
+  c.access(a, 8, false);
+  c.access(b, 8, false);
+  c.access(a, 8, false);   // a now most recent
+  c.access(d, 8, false);   // evicts b
+  EXPECT_EQ(c.access(a, 8, false), 0u);
+  EXPECT_EQ(c.access(b, 8, false), 1u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesBothLines) {
+  CacheSim c(1024, 64, 1);
+  EXPECT_EQ(c.access(60, 8, false), 2u);  // crosses the 64-byte boundary
+  EXPECT_EQ(c.counters().accesses, 2u);
+}
+
+TEST(CacheSim, WritebackOnDirtyEviction) {
+  CacheSim l2(65536, 64, 8);
+  CacheSim l1(1024, 64, 1);
+  l1.set_lower(&l2);
+  l1.access(0x0, 8, true);     // dirty line in l1
+  l1.access(1024, 8, false);   // evicts dirty line -> writeback to l2
+  EXPECT_EQ(l1.counters().writebacks, 1u);
+  // L2 saw: fill for 0x0, fill for 1024, writeback of 0x0 (a hit there).
+  EXPECT_EQ(l2.counters().accesses, 3u);
+  EXPECT_EQ(l2.counters().hits, 1u);
+}
+
+TEST(CacheSim, CleanEvictionDoesNotWriteBack) {
+  CacheSim c(1024, 64, 1);
+  c.access(0x0, 8, false);
+  c.access(1024, 8, false);
+  EXPECT_EQ(c.counters().evictions, 1u);
+  EXPECT_EQ(c.counters().writebacks, 0u);
+}
+
+TEST(CacheSim, MissesForwardToLowerLevel) {
+  CacheSim l2(65536, 64, 8);
+  CacheSim l1(1024, 64, 2);
+  l1.set_lower(&l2);
+  l1.access(0x0, 8, false);
+  EXPECT_EQ(l2.counters().misses, 1u);
+  l1.access(0x0, 8, false);  // l1 hit: l2 untouched
+  EXPECT_EQ(l2.counters().accesses, 1u);
+}
+
+TEST(CacheSim, FlushInvalidatesEverything) {
+  CacheSim c(1024, 64, 1);
+  c.access(0x0, 8, false);
+  c.flush();
+  EXPECT_EQ(c.access(0x0, 8, false), 1u);
+}
+
+TEST(CacheSim, ResetCountersKeepsContents) {
+  CacheSim c(1024, 64, 1);
+  c.access(0x0, 8, false);
+  c.reset_counters();
+  EXPECT_EQ(c.counters().accesses, 0u);
+  EXPECT_EQ(c.access(0x0, 8, false), 0u);  // still cached
+}
+
+TEST(CacheSim, SequentialSweepMissesOncePerLine) {
+  CacheSim c(512 * 1024, 64, 8);
+  // 4096 doubles = 32 KB = 512 lines, well inside the cache.
+  for (int i = 0; i < 4096; ++i)
+    c.access(static_cast<std::uintptr_t>(i) * 8, 8, false);
+  EXPECT_EQ(c.counters().misses, 4096u * 8 / 64);
+}
+
+TEST(CacheSim, WorkingSetLargerThanCacheThrashesWhenStrided) {
+  // The Fig. 5 mechanism: a strided sweep over an array bigger than the
+  // cache misses on (nearly) every access, while the same data swept
+  // sequentially misses once per line (8 doubles).
+  const std::size_t n = 128 * 1024;  // 1 MB of doubles, 2x the 512 kB cache
+  const std::size_t stride = 1024;   // column walk of a 1024-wide matrix
+
+  CacheSim seq(512 * 1024, 64, 8);
+  for (std::size_t i = 0; i < n; ++i)
+    seq.access(static_cast<std::uintptr_t>(i * 8), 8, false);
+
+  CacheSim str(512 * 1024, 64, 8);
+  for (std::size_t col = 0; col < stride; ++col)
+    for (std::size_t row = 0; row < n / stride; ++row)
+      str.access(static_cast<std::uintptr_t>((row * stride + col) * 8), 8, false);
+
+  const double seq_rate = seq.counters().miss_rate();
+  const double str_rate = str.counters().miss_rate();
+  EXPECT_NEAR(seq_rate, 1.0 / 8.0, 0.01);
+  EXPECT_GT(str_rate, 0.9);  // essentially every access misses
+  EXPECT_GT(str_rate / seq_rate, 4.0);
+}
+
+TEST(CacheSim, SmallWorkingSetSameCostBothOrders) {
+  // Cache-resident arrays: both access orders hit after the cold pass —
+  // the paper's "for small, largely cache-resident arrays, both the modes
+  // take roughly the same time".
+  const std::size_t n = 4096;  // 32 kB
+  const std::size_t stride = 64;
+  auto run = [&](bool strided) {
+    CacheSim c(512 * 1024, 64, 8);
+    for (int pass = 0; pass < 4; ++pass) {
+      if (strided) {
+        for (std::size_t col = 0; col < stride; ++col)
+          for (std::size_t row = 0; row < n / stride; ++row)
+            c.access((row * stride + col) * 8, 8, false);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) c.access(i * 8, 8, false);
+      }
+    }
+    return c.counters().miss_rate();
+  };
+  EXPECT_NEAR(run(false), run(true), 0.005);
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(CacheSim(1000, 64, 1), ccaperf::Error);   // size % (line*ways)
+  EXPECT_THROW(CacheSim(1024, 48, 1), ccaperf::Error);   // non-pow2 line
+  EXPECT_THROW(CacheSim(1024, 64, 0), ccaperf::Error);   // zero ways
+}
+
+TEST(CacheSim, ZeroByteAccessIsFree) {
+  CacheSim c(1024, 64, 1);
+  EXPECT_EQ(c.access(0, 0, false), 0u);
+  EXPECT_EQ(c.counters().accesses, 0u);
+}
+
+TEST(CacheSim, XeonHierarchyWired) {
+  hwc::XeonHierarchy xeon;
+  EXPECT_EQ(xeon.l1.lower(), &xeon.l2);
+  EXPECT_EQ(xeon.l2.size_bytes(), 512u * 1024u);
+  xeon.l1.access(0x0, 8, false);
+  EXPECT_EQ(xeon.l2.counters().misses, 1u);
+}
+
+}  // namespace

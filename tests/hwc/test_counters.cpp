@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "hwc/counters.hpp"
+
+namespace {
+
+TEST(CounterRegistry, RegisterAndRead) {
+  hwc::CounterRegistry reg;
+  std::uint64_t value = 42;
+  reg.add_source(hwc::kFpOps, [&value] { return value; });
+  EXPECT_TRUE(reg.has(hwc::kFpOps));
+  EXPECT_EQ(reg.read(hwc::kFpOps), 42u);
+  value = 100;
+  EXPECT_EQ(reg.read(hwc::kFpOps), 100u);
+}
+
+TEST(CounterRegistry, UnknownCounterThrows) {
+  hwc::CounterRegistry reg;
+  EXPECT_FALSE(reg.has("PAPI_NOPE"));
+  EXPECT_THROW(reg.read("PAPI_NOPE"), ccaperf::Error);
+}
+
+TEST(CounterRegistry, ReadAllPreservesRegistrationOrder) {
+  hwc::CounterRegistry reg;
+  reg.add_source("b_counter", [] { return std::uint64_t{2}; });
+  reg.add_source("a_counter", [] { return std::uint64_t{1}; });
+  const auto all = reg.read_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "b_counter");
+  EXPECT_EQ(all[0].second, 2u);
+  EXPECT_EQ(all[1].first, "a_counter");
+}
+
+TEST(CounterRegistry, ReplaceExistingSource) {
+  hwc::CounterRegistry reg;
+  reg.add_source("x", [] { return std::uint64_t{1}; });
+  reg.add_source("x", [] { return std::uint64_t{9}; });
+  EXPECT_EQ(reg.read("x"), 9u);
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+TEST(CounterRegistry, NullSourceRejected) {
+  hwc::CounterRegistry reg;
+  EXPECT_THROW(reg.add_source("x", nullptr), ccaperf::Error);
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hwc/probe.hpp"
+
+namespace {
+
+TEST(NullProbe, CompilesAwayAndAcceptsCalls) {
+  hwc::NullProbe p;
+  p.load(nullptr, 8);
+  p.store(nullptr, 8);
+  p.flops(100);
+  static_assert(!hwc::NullProbe::kCounting);
+}
+
+TEST(CacheProbe, CountsLoadsStoresFlops) {
+  hwc::CacheSim cache(1024, 64, 1);
+  hwc::CacheProbe p(&cache);
+  std::vector<double> v(16);
+  p.load(v.data(), 8);
+  p.load(v.data() + 1, 8);
+  p.store(v.data() + 2, 8);
+  p.flops(7);
+  p.flops(3);
+  EXPECT_EQ(p.counts().loads, 2u);
+  EXPECT_EQ(p.counts().stores, 1u);
+  EXPECT_EQ(p.counts().flops, 10u);
+  EXPECT_GE(cache.counters().accesses, 3u);
+}
+
+TEST(CacheProbe, RoutesTrafficThroughCache) {
+  hwc::CacheSim cache(1024, 64, 1);
+  hwc::CacheProbe p(&cache);
+  std::vector<double> v(8);  // one line's worth (aligned enough for test)
+  for (auto& x : v) p.load(&x, sizeof x);
+  EXPECT_GE(cache.counters().hits, 5u);  // most accesses share a line
+}
+
+TEST(CacheProbe, ResetClearsCounts) {
+  hwc::CacheSim cache(1024, 64, 1);
+  hwc::CacheProbe p(&cache);
+  double x = 0;
+  p.load(&x, 8);
+  p.flops(1);
+  p.reset();
+  EXPECT_EQ(p.counts().loads, 0u);
+  EXPECT_EQ(p.counts().flops, 0u);
+}
+
+TEST(CacheProbe, NullCacheRejected) {
+  EXPECT_THROW(hwc::CacheProbe(nullptr), ccaperf::Error);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Collective semantics: every collective compared against a locally
+// computed reference, across a sweep of communicator sizes.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpp/runtime.hpp"
+
+namespace {
+
+using mpp::Comm;
+using mpp::Runtime;
+
+class CollectivesAtSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesAtSize, BarrierCompletes) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    for (int i = 0; i < 5; ++i) world.barrier();
+  });
+}
+
+TEST_P(CollectivesAtSize, BcastFromEveryRoot) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    for (int root = 0; root < world.size(); ++root) {
+      std::vector<double> data(4, -1.0);
+      if (world.rank() == root)
+        for (std::size_t i = 0; i < data.size(); ++i)
+          data[i] = root * 10.0 + static_cast<double>(i);
+      world.bcast<double>(data, root);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_DOUBLE_EQ(data[i], root * 10.0 + static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, AllreduceSum) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    const int n = world.size();
+    std::vector<long> in(3), out(3);
+    for (int i = 0; i < 3; ++i) in[static_cast<std::size_t>(i)] = world.rank() + i;
+    world.allreduce<long>(in, out);
+    const long ranksum = static_cast<long>(n) * (n - 1) / 2;
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], ranksum + static_cast<long>(n) * i);
+  });
+}
+
+TEST_P(CollectivesAtSize, AllreduceMinMax) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    const double mine = 1.0 + world.rank();
+    EXPECT_DOUBLE_EQ((world.allreduce_value<mpp::MinOp<double>>(mine)), 1.0);
+    EXPECT_DOUBLE_EQ((world.allreduce_value<mpp::MaxOp<double>>(mine)),
+                     static_cast<double>(world.size()));
+  });
+}
+
+TEST_P(CollectivesAtSize, ReduceToEveryRoot) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    for (int root = 0; root < world.size(); ++root) {
+      std::vector<int> in{world.rank()}, out{-1};
+      world.reduce<int>(in, out, root);
+      if (world.rank() == root)
+        EXPECT_EQ(out[0], world.size() * (world.size() - 1) / 2);
+      else
+        EXPECT_EQ(out[0], -1);
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, AllgatherAssemblesRankChunks) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    const std::vector<int> mine{world.rank() * 2, world.rank() * 2 + 1};
+    std::vector<int> all(static_cast<std::size_t>(world.size()) * 2);
+    world.allgather<int>(mine, all);
+    for (std::size_t i = 0; i < all.size(); ++i)
+      EXPECT_EQ(all[i], static_cast<int>(i));
+  });
+}
+
+TEST_P(CollectivesAtSize, GatherToRoot) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    const std::vector<int> mine{world.rank() + 100};
+    std::vector<int> all(static_cast<std::size_t>(world.size()));
+    world.gather<int>(mine, all, 0);
+    if (world.rank() == 0) {
+      for (int r = 0; r < world.size(); ++r)
+        EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 100);
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, AllgathervVariableChunks) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    // Rank r contributes r+1 elements, value = r.
+    const auto n = static_cast<std::size_t>(world.size());
+    std::vector<std::size_t> counts(n);
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      counts[r] = r + 1;
+      total += r + 1;
+    }
+    std::vector<int> mine(static_cast<std::size_t>(world.rank()) + 1, world.rank());
+    std::vector<int> all(total, -1);
+    world.allgatherv<int>(mine, all, counts);
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t k = 0; k < counts[r]; ++k)
+        EXPECT_EQ(all[pos++], static_cast<int>(r));
+  });
+}
+
+TEST_P(CollectivesAtSize, AlltoallTransposesChunks) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    const auto n = static_cast<std::size_t>(world.size());
+    std::vector<int> out(n), in(n);
+    // in[d] = value I address to rank d.
+    for (std::size_t d = 0; d < n; ++d)
+      in[d] = world.rank() * 1000 + static_cast<int>(d);
+    world.alltoall<int>(in, out);
+    // out[s] = what rank s addressed to me.
+    for (std::size_t s = 0; s < n; ++s)
+      EXPECT_EQ(out[s], static_cast<int>(s) * 1000 + world.rank());
+  });
+}
+
+TEST_P(CollectivesAtSize, BackToBackCollectivesDoNotCrosstalk) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const double x = world.rank() + iter * 10.0;
+      const double sum = world.allreduce_value<>(x);
+      const int n = world.size();
+      EXPECT_DOUBLE_EQ(sum, n * (n - 1) / 2.0 + iter * 10.0 * n);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesAtSize, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Collectives, MixedP2PAndCollectives) {
+  Runtime::run(3, [](Comm& world) {
+    // Interleave a nonblocking exchange ring with allreduces.
+    for (int iter = 0; iter < 10; ++iter) {
+      const int next = (world.rank() + 1) % world.size();
+      const int prev = (world.rank() + world.size() - 1) % world.size();
+      int out = world.rank() + iter, in = -1;
+      mpp::Request rr = world.irecv_bytes(&in, sizeof in, prev, iter);
+      mpp::Request sr = world.isend_bytes(&out, sizeof out, next, iter);
+      const double total = world.allreduce_value<>(1.0);
+      EXPECT_DOUBLE_EQ(total, 3.0);
+      rr.wait();
+      sr.wait();
+      EXPECT_EQ(in, prev + iter);
+    }
+  });
+}
+
+}  // namespace

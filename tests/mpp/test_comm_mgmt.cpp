@@ -1,0 +1,119 @@
+// Communicator management: dup isolates matching contexts, split builds
+// correct subgroups, wtime is monotone.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpp/runtime.hpp"
+
+namespace {
+
+using mpp::Comm;
+using mpp::Runtime;
+
+TEST(CommMgmt, DupPreservesRankAndSize) {
+  Runtime::run(3, [](Comm& world) {
+    Comm dup = world.dup();
+    EXPECT_EQ(dup.rank(), world.rank());
+    EXPECT_EQ(dup.size(), world.size());
+  });
+}
+
+TEST(CommMgmt, DupIsolatesMessageMatching) {
+  // A message sent on `world` must not match a receive posted on the dup,
+  // even with identical (source, tag).
+  Runtime::run(2, [](Comm& world) {
+    Comm dup = world.dup();
+    if (world.rank() == 0) {
+      const int on_world = 1, on_dup = 2;
+      world.send_bytes(&on_world, sizeof(int), 1, 0);
+      dup.send_bytes(&on_dup, sizeof(int), 1, 0);
+    } else {
+      int v = 0;
+      dup.recv_bytes(&v, sizeof v, 0, 0);
+      EXPECT_EQ(v, 2);
+      world.recv_bytes(&v, sizeof v, 0, 0);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(CommMgmt, DupCollectivesIndependent) {
+  Runtime::run(3, [](Comm& world) {
+    Comm dup = world.dup();
+    const double a = world.allreduce_value<>(1.0);
+    const double b = dup.allreduce_value<>(2.0);
+    EXPECT_DOUBLE_EQ(a, 3.0);
+    EXPECT_DOUBLE_EQ(b, 6.0);
+  });
+}
+
+TEST(CommMgmt, SplitEvenOdd) {
+  Runtime::run(5, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    const int expected_size = world.rank() % 2 == 0 ? 3 : 2;
+    EXPECT_EQ(sub.size(), expected_size);
+    EXPECT_EQ(sub.rank(), world.rank() / 2);
+    // Collective inside the subgroup only sums subgroup members.
+    const double sum = sub.allreduce_value<>(static_cast<double>(world.rank()));
+    const double expected = world.rank() % 2 == 0 ? 0.0 + 2 + 4 : 1.0 + 3;
+    EXPECT_DOUBLE_EQ(sum, expected);
+  });
+}
+
+TEST(CommMgmt, SplitKeyControlsOrdering) {
+  Runtime::run(4, [](Comm& world) {
+    // Reverse the rank order within one subgroup via keys.
+    Comm sub = world.split(0, -world.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), world.size() - 1 - world.rank());
+  });
+}
+
+TEST(CommMgmt, SplitSubgroupP2PUsesGroupRanks) {
+  Runtime::run(4, [](Comm& world) {
+    Comm sub = world.split(world.rank() / 2, world.rank());
+    ASSERT_EQ(sub.size(), 2);
+    // Group rank 0 sends to group rank 1 inside each pair.
+    if (sub.rank() == 0) {
+      const int v = world.rank();
+      sub.send_bytes(&v, sizeof v, 1, 0);
+    } else {
+      int v = -1;
+      sub.recv_bytes(&v, sizeof v, 0, 0);
+      EXPECT_EQ(v, world.rank() - 1);  // pair partner's world rank
+    }
+  });
+}
+
+TEST(CommMgmt, NestedSplit) {
+  Runtime::run(8, [](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    const double sum = quarter.allreduce_value<>(1.0);
+    EXPECT_DOUBLE_EQ(sum, 2.0);
+  });
+}
+
+TEST(CommMgmt, WtimeMonotoneAndPositive) {
+  Runtime::run(2, [](Comm& world) {
+    const double t0 = world.wtime();
+    EXPECT_GE(t0, 0.0);
+    double prev = t0;
+    for (int i = 0; i < 100; ++i) {
+      const double t = world.wtime();
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  });
+}
+
+TEST(CommMgmt, WorldRankOfIdentityOnWorld) {
+  Runtime::run(3, [](Comm& world) {
+    for (int r = 0; r < world.size(); ++r) EXPECT_EQ(world.world_rank_of(r), r);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Property test for MPI_Comm_split semantics: random colors/keys on up to
+// 8 ranks must produce consistent subgroups (size, rank order by key,
+// isolation of collectives and matching between subgroups).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpp/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+class SplitProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitProperty, RandomColorsGiveConsistentSubgroups) {
+  const std::uint64_t seed = GetParam();
+  mpp::Runtime::run(6, [&](mpp::Comm& world) {
+    // Same RNG on every rank -> everyone knows everyone's (color, key).
+    ccaperf::Rng rng(seed);
+    std::vector<int> colors(6), keys(6);
+    for (int r = 0; r < 6; ++r) {
+      colors[static_cast<std::size_t>(r)] = static_cast<int>(rng.uniform_int(0, 2));
+      keys[static_cast<std::size_t>(r)] = static_cast<int>(rng.uniform_int(-5, 5));
+    }
+    const int me = world.rank();
+    const int my_color = colors[static_cast<std::size_t>(me)];
+    mpp::Comm sub = world.split(my_color, keys[static_cast<std::size_t>(me)]);
+
+    // Expected subgroup: members with my color, stable-sorted by key.
+    std::vector<int> members;
+    for (int r = 0; r < 6; ++r)
+      if (colors[static_cast<std::size_t>(r)] == my_color) members.push_back(r);
+    std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+      return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+    });
+    ASSERT_EQ(sub.size(), static_cast<int>(members.size()));
+    int expected_rank = -1;
+    for (std::size_t k = 0; k < members.size(); ++k)
+      if (members[k] == me) expected_rank = static_cast<int>(k);
+    EXPECT_EQ(sub.rank(), expected_rank);
+    for (int r = 0; r < sub.size(); ++r)
+      EXPECT_EQ(sub.world_rank_of(r), members[static_cast<std::size_t>(r)]);
+
+    // Collective isolation: subgroup allreduce sums only its members.
+    double expected_sum = 0;
+    for (int r : members) expected_sum += r;
+    EXPECT_DOUBLE_EQ(sub.allreduce_value<>(static_cast<double>(me)), expected_sum);
+
+    // Matching isolation: a tag-0 ring inside the subgroup never leaks
+    // across colors.
+    if (sub.size() > 1) {
+      const int next = (sub.rank() + 1) % sub.size();
+      const int prev = (sub.rank() + sub.size() - 1) % sub.size();
+      int out = 1000 * my_color + sub.rank(), in = -1;
+      mpp::Request rr = sub.irecv_bytes(&in, sizeof in, prev, 0);
+      sub.send_bytes(&out, sizeof out, next, 0);
+      rr.wait();
+      EXPECT_EQ(in, 1000 * my_color + prev);
+    }
+    world.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitProperty,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace {
+
+using ccaperf::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  // 2, 4, 4, 4, 5, 5, 7, 9 -> mean 5, population sd 2 (classic example).
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  ccaperf::Rng rng(11);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.sample_variance(), 30.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using ccaperf::CsvWriter;
+using ccaperf::TextTable;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Every data line starts at the same column for field 2.
+  const auto l1 = s.find("x");
+  const auto l2 = s.find("longer");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l2, std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, RuleRendersDashes) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"r1"});
+  t.add_rule();
+  t.add_row({"r2"});
+  const std::string s = t.to_string();
+  // header rule + explicit rule
+  std::size_t dashes = 0, pos = 0;
+  while ((pos = s.find("--", pos)) != std::string::npos) {
+    ++dashes;
+    pos = s.find('\n', pos);
+    if (pos == std::string::npos) break;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTable, EmptyTableRendersNothing) {
+  TextTable t;
+  EXPECT_TRUE(t.to_string().empty());
+}
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(ccaperf::fmt_double(1.5), "1.5");
+  EXPECT_EQ(ccaperf::fmt_double(0.125, 3), "0.125");
+}
+
+TEST(Format, FmtSci) {
+  EXPECT_EQ(ccaperf::fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// MpiHookAdapter: mpp calls must appear as "MPI_*()" timers in the MPI
+// group of the calling rank's registry, with message-size events, and the
+// group sum must track communication time (the Mastermind's MPI-time
+// source).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpp/runtime.hpp"
+#include "tau/mpi_adapter.hpp"
+
+namespace {
+
+TEST(MpiAdapter, TimesPointToPointCalls) {
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    tau::Registry reg;
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+
+    std::vector<double> buf(64);
+    if (world.rank() == 0) {
+      world.send<double>(buf, 1, 0);
+    } else {
+      world.recv<double>(buf, 0, 0);
+    }
+    world.barrier();
+
+    if (world.rank() == 0) {
+      EXPECT_TRUE(reg.has_timer("MPI_Send()"));
+      EXPECT_EQ(reg.calls(reg.timer("MPI_Send()")), 1u);
+    } else {
+      EXPECT_TRUE(reg.has_timer("MPI_Recv()"));
+    }
+    EXPECT_TRUE(reg.has_timer("MPI_Barrier()"));
+    EXPECT_EQ(reg.stats_at(reg.timer("MPI_Barrier()", tau::kMpiGroup)).group,
+              tau::kMpiGroup);
+  });
+}
+
+TEST(MpiAdapter, RecordsMessageSizeEvents) {
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    tau::Registry reg;
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+
+    std::vector<double> buf(100);
+    if (world.rank() == 0)
+      world.send<double>(buf, 1, 0);
+    else
+      world.recv<double>(buf, 0, 0);
+
+    const auto& events = reg.events();
+    auto it = events.find("Message size (bytes)");
+    ASSERT_NE(it, events.end());
+    EXPECT_DOUBLE_EQ(it->second.max(), 800.0);
+  });
+}
+
+TEST(MpiAdapter, GroupSumTracksCommunicationTime) {
+  // With a modeled 2ms latency, the MPI group inclusive sum on the
+  // receiving rank must reflect the wait.
+  mpp::NetworkModel net;
+  net.latency_us = 2000.0;
+  mpp::Runtime::run(2, net, [](mpp::Comm& world) {
+    tau::Registry reg;
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+
+    int v = 7;
+    if (world.rank() == 0) {
+      world.send_bytes(&v, sizeof v, 1, 0);
+    } else {
+      world.recv_bytes(&v, sizeof v, 0, 0);
+      EXPECT_GE(reg.group_inclusive_us(tau::kMpiGroup), 1800.0);
+    }
+  });
+}
+
+TEST(MpiAdapter, WaitsomeAppearsUnderItsOwnName) {
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    tau::Registry reg;
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+
+    int v = 0;
+    std::vector<mpp::Request> reqs;
+    if (world.rank() == 0) {
+      reqs.push_back(world.irecv_bytes(&v, sizeof v, 1, 0));
+      std::vector<int> done;
+      while (mpp::wait_some(reqs, done) == 0) {
+      }
+      EXPECT_TRUE(reg.has_timer("MPI_Waitsome()"));
+      EXPECT_TRUE(reg.has_timer("MPI_Irecv()"));
+    } else {
+      world.send_bytes(&v, sizeof v, 0, 0);
+    }
+    world.barrier();
+  });
+}
+
+TEST(MpiAdapter, HooksUninstallCleanly) {
+  mpp::Runtime::run(1, [](mpp::Comm& world) {
+    tau::Registry reg;
+    {
+      tau::MpiHookAdapter adapter(reg);
+      mpp::HooksInstaller install(&adapter);
+      world.barrier();
+    }
+    world.barrier();  // no hooks: must not touch the registry
+    EXPECT_EQ(reg.calls(reg.timer("MPI_Barrier()", tau::kMpiGroup)), 1u);
+  });
+}
+
+TEST(MpiAdapter, DisablingMpiGroupSuppressesRecording) {
+  // "At runtime, a user can enable or disable all MPI timers via their
+  // group identifier."
+  mpp::Runtime::run(1, [](mpp::Comm& world) {
+    tau::Registry reg;
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+    reg.set_group_enabled(tau::kMpiGroup, false);
+    world.barrier();
+    reg.set_group_enabled(tau::kMpiGroup, true);
+    world.barrier();
+    EXPECT_EQ(reg.calls(reg.timer("MPI_Barrier()", tau::kMpiGroup)), 1u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// FUNCTION SUMMARY emission: row construction, mean-over-ranks, sorting,
+// percentage/usec-per-call math, and the Fig. 3 formatting helpers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tau/profile.hpp"
+
+namespace {
+
+using tau::ProfileRow;
+
+TEST(ProfileFormat, MsecWithCommas) {
+  EXPECT_EQ(tau::fmt_msec(27'262'000.0), "27,262");
+  EXPECT_EQ(tau::fmt_msec(1'000.0), "1");
+  EXPECT_EQ(tau::fmt_msec(0.0), "0");
+}
+
+TEST(ProfileFormat, TotalSwitchesToMinutesAboveOneMinute) {
+  // The paper's root row shows 1:52.032 for ~112 seconds.
+  EXPECT_EQ(tau::fmt_total_msec(112'032'000.0), "1:52.032");
+  EXPECT_EQ(tau::fmt_total_msec(27'262'000.0), "27,262");
+  EXPECT_EQ(tau::fmt_total_msec(61'000'000.0), "1:01.000");
+}
+
+TEST(ProfileRows, SortedByInclusiveDescending) {
+  tau::Registry reg;
+  const auto big = reg.timer("big()");
+  const auto small = reg.timer("small()");
+  reg.start(big);
+  reg.start(small);
+  reg.stop(small);
+  reg.stop(big);
+  const auto rows = tau::profile_rows(reg);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "big()");
+  EXPECT_GE(rows[0].inclusive_us, rows[1].inclusive_us);
+}
+
+TEST(MeanRows, AveragesOverRanksByName) {
+  std::vector<std::vector<ProfileRow>> per_rank(2);
+  per_rank[0].push_back(ProfileRow{"f()", 100.0, 200.0, 4});
+  per_rank[1].push_back(ProfileRow{"f()", 300.0, 400.0, 6});
+  per_rank[1].push_back(ProfileRow{"g()", 10.0, 10.0, 1});
+  const auto mean = tau::mean_rows(per_rank);
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean[0].name, "f()");
+  EXPECT_DOUBLE_EQ(mean[0].exclusive_us, 200.0);
+  EXPECT_DOUBLE_EQ(mean[0].inclusive_us, 300.0);
+  EXPECT_DOUBLE_EQ(mean[0].calls, 5.0);
+  // g() missing on rank 0 contributes zero there (divided by 2 ranks).
+  EXPECT_DOUBLE_EQ(mean[1].inclusive_us, 5.0);
+  EXPECT_DOUBLE_EQ(mean[1].calls, 0.5);
+}
+
+TEST(FunctionSummary, RendersPaperLayout) {
+  std::vector<ProfileRow> rows{
+      ProfileRow{"int main(int, char **)", 55'244'000.0, 112'032'939.0, 1},
+      ProfileRow{"MPI_Waitsome()", 27'262'000.0, 27'262'000.0, 12.75},
+  };
+  std::ostringstream os;
+  tau::write_function_summary(os, rows, "mean");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("FUNCTION SUMMARY (mean):"), std::string::npos);
+  EXPECT_NE(s.find("%Time"), std::string::npos);
+  EXPECT_NE(s.find("usec/call"), std::string::npos);
+  EXPECT_NE(s.find("100.0"), std::string::npos);       // root %time
+  EXPECT_NE(s.find("1:52.033"), std::string::npos);    // minutes format (rounded)
+  EXPECT_NE(s.find("MPI_Waitsome()"), std::string::npos);
+  EXPECT_NE(s.find("12.75"), std::string::npos);       // fractional mean calls
+  // MPI_Waitsome %time = 27262/112033 = 24.3 — the paper's headline number.
+  EXPECT_NE(s.find("24.3"), std::string::npos);
+}
+
+TEST(FunctionSummary, EmptyRowsStillRendersHeader) {
+  std::ostringstream os;
+  tau::write_function_summary(os, {}, "rank 0");
+  EXPECT_NE(os.str().find("FUNCTION SUMMARY (rank 0):"), std::string::npos);
+}
+
+TEST(ProfileFile, DumpsPerRankSummaryFile) {
+  tau::Registry reg;
+  const auto t = reg.timer("work()");
+  reg.start(t);
+  reg.stop(t);
+  const std::string dir = "tau_profile_test_dump";
+  const std::string path = tau::write_profile_file(dir, 2, reg);
+  EXPECT_NE(path.find("profile.rank2.txt"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("FUNCTION SUMMARY (rank 2):"), std::string::npos);
+  EXPECT_NE(content.str().find("work()"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FunctionSummary, PerCallColumn) {
+  std::vector<ProfileRow> rows{ProfileRow{"f()", 1000.0, 2000.0, 4}};
+  std::ostringstream os;
+  tau::write_function_summary(os, rows, "x");
+  EXPECT_NE(os.str().find("500"), std::string::npos);  // 2000us / 4 calls
+}
+
+}  // namespace

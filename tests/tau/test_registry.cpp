@@ -1,0 +1,234 @@
+// Timer semantics: inclusive vs exclusive accounting, nesting, recursion,
+// LIFO enforcement, group enable/disable, atomic events, counters and
+// mid-run query snapshots.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+#include "tau/registry.hpp"
+
+namespace {
+
+using tau::Registry;
+
+void spin_us(double us) {
+  const auto until = tau::Clock::now() + std::chrono::duration<double, std::micro>(us);
+  while (tau::Clock::now() < until) {
+  }
+}
+
+TEST(Registry, TimerCreationIsIdempotent) {
+  Registry reg;
+  const auto a = reg.timer("foo()");
+  const auto b = reg.timer("foo()");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.num_timers(), 1u);
+  EXPECT_TRUE(reg.has_timer("foo()"));
+  EXPECT_FALSE(reg.has_timer("bar()"));
+}
+
+TEST(Registry, CallsAndInclusiveAccumulate) {
+  Registry reg;
+  const auto t = reg.timer("work()");
+  for (int i = 0; i < 3; ++i) {
+    reg.start(t);
+    spin_us(200);
+    reg.stop(t);
+  }
+  EXPECT_EQ(reg.calls(t), 3u);
+  EXPECT_GE(reg.inclusive_us(t), 3 * 180.0);
+  EXPECT_DOUBLE_EQ(reg.inclusive_us(t), reg.exclusive_us(t));
+}
+
+TEST(Registry, NestedTimersSplitInclusiveExclusive) {
+  Registry reg;
+  const auto outer = reg.timer("outer()");
+  const auto inner = reg.timer("inner()");
+  reg.start(outer);
+  spin_us(300);
+  reg.start(inner);
+  spin_us(500);
+  reg.stop(inner);
+  spin_us(300);
+  reg.stop(outer);
+
+  // outer inclusive covers everything; outer exclusive excludes inner.
+  EXPECT_GE(reg.inclusive_us(outer), reg.inclusive_us(inner));
+  EXPECT_NEAR(reg.exclusive_us(outer),
+              reg.inclusive_us(outer) - reg.inclusive_us(inner), 50.0);
+  EXPECT_DOUBLE_EQ(reg.inclusive_us(inner), reg.exclusive_us(inner));
+}
+
+TEST(Registry, RecursionCountsInclusiveOnceAtOutermost) {
+  Registry reg;
+  const auto t = reg.timer("recursive()");
+  reg.start(t);
+  spin_us(200);
+  reg.start(t);  // recursive activation
+  spin_us(200);
+  reg.stop(t);
+  spin_us(200);
+  reg.stop(t);
+  EXPECT_EQ(reg.calls(t), 2u);
+  // Inclusive must be ~600us (not ~800: the inner 200 counted once).
+  EXPECT_LT(reg.inclusive_us(t), 750.0);
+  EXPECT_GE(reg.inclusive_us(t), 550.0);
+}
+
+TEST(Registry, StopOutOfOrderThrows) {
+  Registry reg;
+  const auto a = reg.timer("a()");
+  const auto b = reg.timer("b()");
+  reg.start(a);
+  reg.start(b);
+  EXPECT_THROW(reg.stop(a), ccaperf::Error);
+  reg.stop(b);
+  reg.stop(a);
+}
+
+TEST(Registry, StopWithoutStartThrows) {
+  Registry reg;
+  const auto a = reg.timer("a()");
+  EXPECT_THROW(reg.stop(a), ccaperf::Error);
+}
+
+TEST(Registry, DisabledGroupRecordsNothing) {
+  Registry reg;
+  reg.set_group_enabled("MPI", false);
+  const auto t = reg.timer("MPI_Send()", "MPI");
+  reg.start(t);
+  spin_us(100);
+  reg.stop(t);
+  EXPECT_EQ(reg.calls(t), 0u);
+  EXPECT_DOUBLE_EQ(reg.inclusive_us(t), 0.0);
+}
+
+TEST(Registry, DisabledChildTimeFoldsIntoParentExclusive) {
+  Registry reg;
+  reg.set_group_enabled("MPI", false);
+  const auto outer = reg.timer("outer()");
+  const auto mpi = reg.timer("MPI_Send()", "MPI");
+  reg.start(outer);
+  reg.start(mpi);
+  spin_us(400);
+  reg.stop(mpi);
+  reg.stop(outer);
+  // As if uninstrumented: the 400us stays in outer's exclusive time.
+  EXPECT_GE(reg.exclusive_us(outer), 350.0);
+}
+
+TEST(Registry, DisabledParentPassesEnabledChildThrough) {
+  Registry reg;
+  reg.set_group_enabled("WRAP", false);
+  const auto root = reg.timer("root()");
+  const auto wrap = reg.timer("wrapper()", "WRAP");
+  const auto leaf = reg.timer("leaf()");
+  reg.start(root);
+  reg.start(wrap);
+  reg.start(leaf);
+  spin_us(400);
+  reg.stop(leaf);
+  reg.stop(wrap);
+  reg.stop(root);
+  // leaf's time must subtract from root's exclusive through the disabled
+  // wrapper.
+  EXPECT_LT(reg.exclusive_us(root), 200.0);
+  EXPECT_GE(reg.inclusive_us(root), 380.0);
+}
+
+TEST(Registry, ReEnablingGroupResumesRecording) {
+  Registry reg;
+  const auto t = reg.timer("MPI_Send()", "MPI");
+  reg.set_group_enabled("MPI", false);
+  reg.start(t);
+  reg.stop(t);
+  reg.set_group_enabled("MPI", true);
+  reg.start(t);
+  reg.stop(t);
+  EXPECT_EQ(reg.calls(t), 1u);
+}
+
+TEST(Registry, GroupInclusiveSumsMembers) {
+  Registry reg;
+  const auto a = reg.timer("MPI_Send()", "MPI");
+  const auto b = reg.timer("MPI_Recv()", "MPI");
+  const auto c = reg.timer("compute()");
+  for (auto t : {a, b, c}) {
+    reg.start(t);
+    spin_us(150);
+    reg.stop(t);
+  }
+  const double mpi = reg.group_inclusive_us("MPI");
+  EXPECT_NEAR(mpi, reg.inclusive_us(a) + reg.inclusive_us(b), 1.0);
+  EXPECT_LT(mpi, reg.inclusive_us(a) + reg.inclusive_us(b) + reg.inclusive_us(c));
+}
+
+TEST(Registry, MidRunQueryIncludesRunningPartial) {
+  Registry reg;
+  const auto t = reg.timer("long()");
+  reg.start(t);
+  spin_us(500);
+  // Query while running: TAU's cumulative semantics require the elapsed
+  // portion to be visible (the Mastermind differences two such queries).
+  EXPECT_GE(reg.inclusive_us(t), 450.0);
+  EXPECT_GE(reg.exclusive_us(t), 450.0);
+  reg.stop(t);
+}
+
+TEST(Registry, MidRunGroupQueryIncludesRunningMpiCall) {
+  Registry reg;
+  const auto t = reg.timer("MPI_Waitsome()", "MPI");
+  reg.start(t);
+  spin_us(300);
+  EXPECT_GE(reg.group_inclusive_us("MPI"), 250.0);
+  reg.stop(t);
+}
+
+TEST(Registry, ScopedTimerBalances) {
+  Registry reg;
+  const auto t = reg.timer("scoped()");
+  {
+    tau::ScopedTimer s(reg, t);
+    spin_us(100);
+  }
+  EXPECT_EQ(reg.calls(t), 1u);
+  EXPECT_EQ(reg.stack_depth(), 0u);
+}
+
+TEST(Registry, AtomicEventStatistics) {
+  Registry reg;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    reg.trigger("Message size", v);
+  const auto& e = reg.events().at("Message size");
+  EXPECT_EQ(e.count(), 8u);
+  EXPECT_DOUBLE_EQ(e.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(e.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(e.min(), 2.0);
+  EXPECT_DOUBLE_EQ(e.max(), 9.0);
+}
+
+TEST(Registry, CountersAppearInRegistry) {
+  Registry reg;
+  std::uint64_t misses = 0;
+  reg.counters().add_source(hwc::kL2Dcm, [&misses] { return misses; });
+  misses = 17;
+  EXPECT_EQ(reg.counters().read(hwc::kL2Dcm), 17u);
+}
+
+TEST(Registry, SnapshotContainsAllTimers) {
+  Registry reg;
+  const auto a = reg.timer("a()");
+  reg.start(a);
+  reg.stop(a);
+  reg.timer("b()", "G2");
+  const auto rows = reg.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "a()");
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_EQ(rows[1].group, "G2");
+}
+
+}  // namespace

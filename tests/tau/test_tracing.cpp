@@ -1,0 +1,102 @@
+// TAU's tracing measurement option: timestamped enter/exit events with
+// proper nesting, group-disable filtering, and text dump.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tau/registry.hpp"
+
+namespace {
+
+using tau::Registry;
+
+TEST(Tracing, DisabledByDefault) {
+  Registry reg;
+  const auto t = reg.timer("f()");
+  reg.start(t);
+  reg.stop(t);
+  EXPECT_FALSE(reg.tracing());
+  EXPECT_TRUE(reg.trace().empty());
+}
+
+TEST(Tracing, RecordsEnterExitPairs) {
+  Registry reg;
+  reg.set_tracing(true);
+  const auto a = reg.timer("a()");
+  const auto b = reg.timer("b()");
+  reg.start(a);
+  reg.start(b);
+  reg.stop(b);
+  reg.stop(a);
+  const auto& tr = reg.trace();
+  ASSERT_EQ(tr.size(), 4u);
+  EXPECT_TRUE(tr[0].enter);
+  EXPECT_EQ(tr[0].id, a);
+  EXPECT_TRUE(tr[1].enter);
+  EXPECT_EQ(tr[1].id, b);
+  EXPECT_FALSE(tr[2].enter);
+  EXPECT_EQ(tr[2].id, b);
+  EXPECT_FALSE(tr[3].enter);
+  EXPECT_EQ(tr[3].id, a);
+}
+
+TEST(Tracing, TimestampsMonotone) {
+  Registry reg;
+  reg.set_tracing(true);
+  const auto t = reg.timer("f()");
+  for (int k = 0; k < 10; ++k) {
+    reg.start(t);
+    reg.stop(t);
+  }
+  double prev = -1.0;
+  for (const auto& e : reg.trace()) {
+    EXPECT_GE(e.t_us, prev);
+    prev = e.t_us;
+  }
+}
+
+TEST(Tracing, DisabledGroupsProduceNoEvents) {
+  Registry reg;
+  reg.set_tracing(true);
+  reg.set_group_enabled("MPI", false);
+  const auto t = reg.timer("MPI_Send()", "MPI");
+  reg.start(t);
+  reg.stop(t);
+  EXPECT_TRUE(reg.trace().empty());
+}
+
+TEST(Tracing, ReenableResetsTrace) {
+  Registry reg;
+  reg.set_tracing(true);
+  const auto t = reg.timer("f()");
+  reg.start(t);
+  reg.stop(t);
+  EXPECT_EQ(reg.trace().size(), 2u);
+  reg.set_tracing(true);
+  EXPECT_TRUE(reg.trace().empty());
+}
+
+TEST(Tracing, DumpFormat) {
+  Registry reg;
+  reg.set_tracing(true);
+  const auto t = reg.timer("work()");
+  reg.start(t);
+  reg.stop(t);
+  std::ostringstream os;
+  reg.dump_trace(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("enter work()"), std::string::npos);
+  EXPECT_NE(s.find("exit work()"), std::string::npos);
+}
+
+TEST(Tracing, ProfilingStillAccumulatesWhileTracing) {
+  Registry reg;
+  reg.set_tracing(true);
+  const auto t = reg.timer("f()");
+  reg.start(t);
+  reg.stop(t);
+  EXPECT_EQ(reg.calls(t), 1u);
+}
+
+}  // namespace
