@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modeltransfer.dir/bench_ablation_modeltransfer.cpp.o"
+  "CMakeFiles/bench_ablation_modeltransfer.dir/bench_ablation_modeltransfer.cpp.o.d"
+  "bench_ablation_modeltransfer"
+  "bench_ablation_modeltransfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modeltransfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

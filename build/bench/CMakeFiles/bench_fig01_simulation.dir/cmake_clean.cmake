@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_simulation.dir/bench_fig01_simulation.cpp.o"
+  "CMakeFiles/bench_fig01_simulation.dir/bench_fig01_simulation.cpp.o.d"
+  "bench_fig01_simulation"
+  "bench_fig01_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_wiring.dir/bench_fig02_wiring.cpp.o"
+  "CMakeFiles/bench_fig02_wiring.dir/bench_fig02_wiring.cpp.o.d"
+  "bench_fig02_wiring"
+  "bench_fig02_wiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_wiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

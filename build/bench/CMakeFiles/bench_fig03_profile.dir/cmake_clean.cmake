@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_profile.dir/bench_fig03_profile.cpp.o"
+  "CMakeFiles/bench_fig03_profile.dir/bench_fig03_profile.cpp.o.d"
+  "bench_fig03_profile"
+  "bench_fig03_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

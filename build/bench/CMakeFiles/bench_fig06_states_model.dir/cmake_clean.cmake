@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_states_model.dir/bench_fig06_states_model.cpp.o"
+  "CMakeFiles/bench_fig06_states_model.dir/bench_fig06_states_model.cpp.o.d"
+  "bench_fig06_states_model"
+  "bench_fig06_states_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_states_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_optimizer.dir/assembly_optimizer.cpp.o"
+  "CMakeFiles/assembly_optimizer.dir/assembly_optimizer.cpp.o.d"
+  "assembly_optimizer"
+  "assembly_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

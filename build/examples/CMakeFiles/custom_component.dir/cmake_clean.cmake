@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_component.dir/custom_component.cpp.o"
+  "CMakeFiles/custom_component.dir/custom_component.cpp.o.d"
+  "custom_component"
+  "custom_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shock_interface.dir/shock_interface.cpp.o"
+  "CMakeFiles/shock_interface.dir/shock_interface.cpp.o.d"
+  "shock_interface"
+  "shock_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shock_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/bc.cpp" "src/amr/CMakeFiles/ccaperf_amr.dir/bc.cpp.o" "gcc" "src/amr/CMakeFiles/ccaperf_amr.dir/bc.cpp.o.d"
+  "/root/repo/src/amr/berger_rigoutsos.cpp" "src/amr/CMakeFiles/ccaperf_amr.dir/berger_rigoutsos.cpp.o" "gcc" "src/amr/CMakeFiles/ccaperf_amr.dir/berger_rigoutsos.cpp.o.d"
+  "/root/repo/src/amr/box.cpp" "src/amr/CMakeFiles/ccaperf_amr.dir/box.cpp.o" "gcc" "src/amr/CMakeFiles/ccaperf_amr.dir/box.cpp.o.d"
+  "/root/repo/src/amr/exchange.cpp" "src/amr/CMakeFiles/ccaperf_amr.dir/exchange.cpp.o" "gcc" "src/amr/CMakeFiles/ccaperf_amr.dir/exchange.cpp.o.d"
+  "/root/repo/src/amr/hierarchy.cpp" "src/amr/CMakeFiles/ccaperf_amr.dir/hierarchy.cpp.o" "gcc" "src/amr/CMakeFiles/ccaperf_amr.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/amr/load_balance.cpp" "src/amr/CMakeFiles/ccaperf_amr.dir/load_balance.cpp.o" "gcc" "src/amr/CMakeFiles/ccaperf_amr.dir/load_balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_amr.dir/bc.cpp.o"
+  "CMakeFiles/ccaperf_amr.dir/bc.cpp.o.d"
+  "CMakeFiles/ccaperf_amr.dir/berger_rigoutsos.cpp.o"
+  "CMakeFiles/ccaperf_amr.dir/berger_rigoutsos.cpp.o.d"
+  "CMakeFiles/ccaperf_amr.dir/box.cpp.o"
+  "CMakeFiles/ccaperf_amr.dir/box.cpp.o.d"
+  "CMakeFiles/ccaperf_amr.dir/exchange.cpp.o"
+  "CMakeFiles/ccaperf_amr.dir/exchange.cpp.o.d"
+  "CMakeFiles/ccaperf_amr.dir/hierarchy.cpp.o"
+  "CMakeFiles/ccaperf_amr.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/ccaperf_amr.dir/load_balance.cpp.o"
+  "CMakeFiles/ccaperf_amr.dir/load_balance.cpp.o.d"
+  "libccaperf_amr.a"
+  "libccaperf_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

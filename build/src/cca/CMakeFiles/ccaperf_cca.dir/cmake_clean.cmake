@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_cca.dir/framework.cpp.o"
+  "CMakeFiles/ccaperf_cca.dir/framework.cpp.o.d"
+  "libccaperf_cca.a"
+  "libccaperf_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

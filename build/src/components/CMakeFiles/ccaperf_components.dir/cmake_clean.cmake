@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_components.dir/app_assembly.cpp.o"
+  "CMakeFiles/ccaperf_components.dir/app_assembly.cpp.o.d"
+  "libccaperf_components.a"
+  "libccaperf_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_model.cpp" "src/core/CMakeFiles/ccaperf_core.dir/cache_model.cpp.o" "gcc" "src/core/CMakeFiles/ccaperf_core.dir/cache_model.cpp.o.d"
+  "/root/repo/src/core/dual_graph.cpp" "src/core/CMakeFiles/ccaperf_core.dir/dual_graph.cpp.o" "gcc" "src/core/CMakeFiles/ccaperf_core.dir/dual_graph.cpp.o.d"
+  "/root/repo/src/core/instrumented_app.cpp" "src/core/CMakeFiles/ccaperf_core.dir/instrumented_app.cpp.o" "gcc" "src/core/CMakeFiles/ccaperf_core.dir/instrumented_app.cpp.o.d"
+  "/root/repo/src/core/mastermind.cpp" "src/core/CMakeFiles/ccaperf_core.dir/mastermind.cpp.o" "gcc" "src/core/CMakeFiles/ccaperf_core.dir/mastermind.cpp.o.d"
+  "/root/repo/src/core/modeling.cpp" "src/core/CMakeFiles/ccaperf_core.dir/modeling.cpp.o" "gcc" "src/core/CMakeFiles/ccaperf_core.dir/modeling.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/ccaperf_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/ccaperf_core.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cca/CMakeFiles/ccaperf_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/ccaperf_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/ccaperf_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/euler/CMakeFiles/ccaperf_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/ccaperf_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/ccaperf_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_core.dir/cache_model.cpp.o"
+  "CMakeFiles/ccaperf_core.dir/cache_model.cpp.o.d"
+  "CMakeFiles/ccaperf_core.dir/dual_graph.cpp.o"
+  "CMakeFiles/ccaperf_core.dir/dual_graph.cpp.o.d"
+  "CMakeFiles/ccaperf_core.dir/instrumented_app.cpp.o"
+  "CMakeFiles/ccaperf_core.dir/instrumented_app.cpp.o.d"
+  "CMakeFiles/ccaperf_core.dir/mastermind.cpp.o"
+  "CMakeFiles/ccaperf_core.dir/mastermind.cpp.o.d"
+  "CMakeFiles/ccaperf_core.dir/modeling.cpp.o"
+  "CMakeFiles/ccaperf_core.dir/modeling.cpp.o.d"
+  "CMakeFiles/ccaperf_core.dir/optimizer.cpp.o"
+  "CMakeFiles/ccaperf_core.dir/optimizer.cpp.o.d"
+  "libccaperf_core.a"
+  "libccaperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/euler/kernels.cpp" "src/euler/CMakeFiles/ccaperf_euler.dir/kernels.cpp.o" "gcc" "src/euler/CMakeFiles/ccaperf_euler.dir/kernels.cpp.o.d"
+  "/root/repo/src/euler/problem.cpp" "src/euler/CMakeFiles/ccaperf_euler.dir/problem.cpp.o" "gcc" "src/euler/CMakeFiles/ccaperf_euler.dir/problem.cpp.o.d"
+  "/root/repo/src/euler/riemann.cpp" "src/euler/CMakeFiles/ccaperf_euler.dir/riemann.cpp.o" "gcc" "src/euler/CMakeFiles/ccaperf_euler.dir/riemann.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/ccaperf_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/ccaperf_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_euler.dir/kernels.cpp.o"
+  "CMakeFiles/ccaperf_euler.dir/kernels.cpp.o.d"
+  "CMakeFiles/ccaperf_euler.dir/problem.cpp.o"
+  "CMakeFiles/ccaperf_euler.dir/problem.cpp.o.d"
+  "CMakeFiles/ccaperf_euler.dir/riemann.cpp.o"
+  "CMakeFiles/ccaperf_euler.dir/riemann.cpp.o.d"
+  "libccaperf_euler.a"
+  "libccaperf_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

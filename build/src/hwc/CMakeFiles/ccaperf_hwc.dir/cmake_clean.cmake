@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_hwc.dir/cache_sim.cpp.o"
+  "CMakeFiles/ccaperf_hwc.dir/cache_sim.cpp.o.d"
+  "libccaperf_hwc.a"
+  "libccaperf_hwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_hwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccaperf_hwc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ccaperf_hwc.
+# This may be replaced when dependencies are built.

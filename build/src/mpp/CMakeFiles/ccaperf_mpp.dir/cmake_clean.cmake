@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_mpp.dir/comm.cpp.o"
+  "CMakeFiles/ccaperf_mpp.dir/comm.cpp.o.d"
+  "CMakeFiles/ccaperf_mpp.dir/fabric.cpp.o"
+  "CMakeFiles/ccaperf_mpp.dir/fabric.cpp.o.d"
+  "CMakeFiles/ccaperf_mpp.dir/runtime.cpp.o"
+  "CMakeFiles/ccaperf_mpp.dir/runtime.cpp.o.d"
+  "libccaperf_mpp.a"
+  "libccaperf_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

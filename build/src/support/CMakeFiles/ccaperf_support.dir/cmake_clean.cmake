@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_support.dir/log.cpp.o"
+  "CMakeFiles/ccaperf_support.dir/log.cpp.o.d"
+  "CMakeFiles/ccaperf_support.dir/table.cpp.o"
+  "CMakeFiles/ccaperf_support.dir/table.cpp.o.d"
+  "libccaperf_support.a"
+  "libccaperf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

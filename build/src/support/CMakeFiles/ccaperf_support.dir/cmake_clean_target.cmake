@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccaperf_support.a"
+)

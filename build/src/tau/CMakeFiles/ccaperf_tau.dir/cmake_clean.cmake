@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccaperf_tau.dir/profile.cpp.o"
+  "CMakeFiles/ccaperf_tau.dir/profile.cpp.o.d"
+  "CMakeFiles/ccaperf_tau.dir/registry.cpp.o"
+  "CMakeFiles/ccaperf_tau.dir/registry.cpp.o.d"
+  "libccaperf_tau.a"
+  "libccaperf_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccaperf_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

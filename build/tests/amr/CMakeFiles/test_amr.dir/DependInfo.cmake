@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amr/test_bc.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_bc.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_bc.cpp.o.d"
+  "/root/repo/tests/amr/test_berger_rigoutsos.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_berger_rigoutsos.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_berger_rigoutsos.cpp.o.d"
+  "/root/repo/tests/amr/test_box.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_box.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_box.cpp.o.d"
+  "/root/repo/tests/amr/test_exchange.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_exchange.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_exchange.cpp.o.d"
+  "/root/repo/tests/amr/test_exchange_property.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_exchange_property.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_exchange_property.cpp.o.d"
+  "/root/repo/tests/amr/test_hierarchy.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_hierarchy.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/amr/test_load_balance.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_load_balance.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_load_balance.cpp.o.d"
+  "/root/repo/tests/amr/test_patch_data.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_patch_data.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_patch_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/ccaperf_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

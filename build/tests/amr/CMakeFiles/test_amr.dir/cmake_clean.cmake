@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amr.dir/test_bc.cpp.o"
+  "CMakeFiles/test_amr.dir/test_bc.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_berger_rigoutsos.cpp.o"
+  "CMakeFiles/test_amr.dir/test_berger_rigoutsos.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_box.cpp.o"
+  "CMakeFiles/test_amr.dir/test_box.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_exchange.cpp.o"
+  "CMakeFiles/test_amr.dir/test_exchange.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_exchange_property.cpp.o"
+  "CMakeFiles/test_amr.dir/test_exchange_property.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_hierarchy.cpp.o"
+  "CMakeFiles/test_amr.dir/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_load_balance.cpp.o"
+  "CMakeFiles/test_amr.dir/test_load_balance.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_patch_data.cpp.o"
+  "CMakeFiles/test_amr.dir/test_patch_data.cpp.o.d"
+  "test_amr"
+  "test_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

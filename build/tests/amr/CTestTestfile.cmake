@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/amr
+# Build directory: /root/repo/build/tests/amr
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_amr "/root/repo/build/tests/amr/test_amr")
+set_tests_properties(test_amr PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/amr/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/amr/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca.dir/test_framework.cpp.o"
+  "CMakeFiles/test_cca.dir/test_framework.cpp.o.d"
+  "test_cca"
+  "test_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cca
+# Build directory: /root/repo/build/tests/cca
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_cca "/root/repo/build/tests/cca/test_cca")
+set_tests_properties(test_cca PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/cca/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/cca/CMakeLists.txt;0;")

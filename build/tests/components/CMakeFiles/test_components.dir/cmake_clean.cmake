@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_components.dir/test_app.cpp.o"
+  "CMakeFiles/test_components.dir/test_app.cpp.o.d"
+  "CMakeFiles/test_components.dir/test_freestream.cpp.o"
+  "CMakeFiles/test_components.dir/test_freestream.cpp.o.d"
+  "test_components"
+  "test_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

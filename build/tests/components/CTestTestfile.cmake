@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/components
+# Build directory: /root/repo/build/tests/components
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_components "/root/repo/build/tests/components/test_components")
+set_tests_properties(test_components PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/components/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/components/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_cache_model.cpp.o"
+  "CMakeFiles/test_core.dir/test_cache_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_dual_graph.cpp.o"
+  "CMakeFiles/test_core.dir/test_dual_graph.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_instrumented_app.cpp.o"
+  "CMakeFiles/test_core.dir/test_instrumented_app.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_mastermind.cpp.o"
+  "CMakeFiles/test_core.dir/test_mastermind.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_modeling.cpp.o"
+  "CMakeFiles/test_core.dir/test_modeling.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_optimizer.cpp.o"
+  "CMakeFiles/test_core.dir/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_proxies.cpp.o"
+  "CMakeFiles/test_core.dir/test_proxies.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

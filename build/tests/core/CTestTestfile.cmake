@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_core "/root/repo/build/tests/core/test_core")
+set_tests_properties(test_core PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/core/CMakeLists.txt;0;")

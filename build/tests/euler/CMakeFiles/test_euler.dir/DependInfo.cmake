@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/euler/test_efm.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_efm.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_efm.cpp.o.d"
+  "/root/repo/tests/euler/test_kernels.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_kernels.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/euler/test_problem.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_problem.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_problem.cpp.o.d"
+  "/root/repo/tests/euler/test_riemann.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_riemann.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_riemann.cpp.o.d"
+  "/root/repo/tests/euler/test_riemann_properties.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_riemann_properties.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_riemann_properties.cpp.o.d"
+  "/root/repo/tests/euler/test_sod_tube.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_sod_tube.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_sod_tube.cpp.o.d"
+  "/root/repo/tests/euler/test_state.cpp" "tests/euler/CMakeFiles/test_euler.dir/test_state.cpp.o" "gcc" "tests/euler/CMakeFiles/test_euler.dir/test_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/euler/CMakeFiles/ccaperf_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/ccaperf_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/ccaperf_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_euler.dir/test_efm.cpp.o"
+  "CMakeFiles/test_euler.dir/test_efm.cpp.o.d"
+  "CMakeFiles/test_euler.dir/test_kernels.cpp.o"
+  "CMakeFiles/test_euler.dir/test_kernels.cpp.o.d"
+  "CMakeFiles/test_euler.dir/test_problem.cpp.o"
+  "CMakeFiles/test_euler.dir/test_problem.cpp.o.d"
+  "CMakeFiles/test_euler.dir/test_riemann.cpp.o"
+  "CMakeFiles/test_euler.dir/test_riemann.cpp.o.d"
+  "CMakeFiles/test_euler.dir/test_riemann_properties.cpp.o"
+  "CMakeFiles/test_euler.dir/test_riemann_properties.cpp.o.d"
+  "CMakeFiles/test_euler.dir/test_sod_tube.cpp.o"
+  "CMakeFiles/test_euler.dir/test_sod_tube.cpp.o.d"
+  "CMakeFiles/test_euler.dir/test_state.cpp.o"
+  "CMakeFiles/test_euler.dir/test_state.cpp.o.d"
+  "test_euler"
+  "test_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/euler
+# Build directory: /root/repo/build/tests/euler
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_euler "/root/repo/build/tests/euler/test_euler")
+set_tests_properties(test_euler PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/euler/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/euler/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hwc/test_cache_properties.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o.d"
+  "/root/repo/tests/hwc/test_cache_sim.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/hwc/test_counters.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_counters.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/hwc/test_probe.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_probe.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwc/CMakeFiles/ccaperf_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

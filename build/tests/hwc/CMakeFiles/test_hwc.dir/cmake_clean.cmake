@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o"
+  "CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o.d"
+  "CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o"
+  "CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o.d"
+  "CMakeFiles/test_hwc.dir/test_counters.cpp.o"
+  "CMakeFiles/test_hwc.dir/test_counters.cpp.o.d"
+  "CMakeFiles/test_hwc.dir/test_probe.cpp.o"
+  "CMakeFiles/test_hwc.dir/test_probe.cpp.o.d"
+  "test_hwc"
+  "test_hwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

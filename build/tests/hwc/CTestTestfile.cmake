@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hwc
+# Build directory: /root/repo/build/tests/hwc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_hwc "/root/repo/build/tests/hwc/test_hwc")
+set_tests_properties(test_hwc PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/hwc/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/hwc/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpp/test_collectives.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_collectives.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/mpp/test_comm_mgmt.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o.d"
+  "/root/repo/tests/mpp/test_netmodel.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_netmodel.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_netmodel.cpp.o.d"
+  "/root/repo/tests/mpp/test_p2p.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_p2p.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_p2p.cpp.o.d"
+  "/root/repo/tests/mpp/test_requests.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_requests.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_requests.cpp.o.d"
+  "/root/repo/tests/mpp/test_split_property.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_split_property.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_split_property.cpp.o.d"
+  "/root/repo/tests/mpp/test_stress.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_stress.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/mpp/test_watchdog.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_watchdog.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

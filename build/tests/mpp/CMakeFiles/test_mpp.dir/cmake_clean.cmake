@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpp.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_netmodel.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_netmodel.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_p2p.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_p2p.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_requests.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_requests.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_split_property.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_split_property.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_stress.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_stress.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_watchdog.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_watchdog.cpp.o.d"
+  "test_mpp"
+  "test_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

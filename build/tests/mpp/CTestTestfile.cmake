@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpp
+# Build directory: /root/repo/build/tests/mpp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_mpp "/root/repo/build/tests/mpp/test_mpp")
+set_tests_properties(test_mpp PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/mpp/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/mpp/CMakeLists.txt;0;")

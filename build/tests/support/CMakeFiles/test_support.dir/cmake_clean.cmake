@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/test_rng.cpp.o"
+  "CMakeFiles/test_support.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_stats.cpp.o"
+  "CMakeFiles/test_support.dir/test_stats.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_table.cpp.o"
+  "CMakeFiles/test_support.dir/test_table.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tau/test_mpi_adapter.cpp" "tests/tau/CMakeFiles/test_tau.dir/test_mpi_adapter.cpp.o" "gcc" "tests/tau/CMakeFiles/test_tau.dir/test_mpi_adapter.cpp.o.d"
+  "/root/repo/tests/tau/test_profile.cpp" "tests/tau/CMakeFiles/test_tau.dir/test_profile.cpp.o" "gcc" "tests/tau/CMakeFiles/test_tau.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/tau/test_registry.cpp" "tests/tau/CMakeFiles/test_tau.dir/test_registry.cpp.o" "gcc" "tests/tau/CMakeFiles/test_tau.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/tau/test_tracing.cpp" "tests/tau/CMakeFiles/test_tau.dir/test_tracing.cpp.o" "gcc" "tests/tau/CMakeFiles/test_tau.dir/test_tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tau/CMakeFiles/ccaperf_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/ccaperf_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

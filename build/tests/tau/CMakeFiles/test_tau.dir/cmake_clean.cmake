@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tau.dir/test_mpi_adapter.cpp.o"
+  "CMakeFiles/test_tau.dir/test_mpi_adapter.cpp.o.d"
+  "CMakeFiles/test_tau.dir/test_profile.cpp.o"
+  "CMakeFiles/test_tau.dir/test_profile.cpp.o.d"
+  "CMakeFiles/test_tau.dir/test_registry.cpp.o"
+  "CMakeFiles/test_tau.dir/test_registry.cpp.o.d"
+  "CMakeFiles/test_tau.dir/test_tracing.cpp.o"
+  "CMakeFiles/test_tau.dir/test_tracing.cpp.o.d"
+  "test_tau"
+  "test_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tau
+# Build directory: /root/repo/build/tests/tau
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_tau "/root/repo/build/tests/tau/test_tau")
+set_tests_properties(test_tau PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/tau/CMakeLists.txt;1;ccaperf_add_test;/root/repo/tests/tau/CMakeLists.txt;0;")
