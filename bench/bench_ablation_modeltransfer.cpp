@@ -10,10 +10,12 @@
 namespace {
 
 /// Work counts of one States invocation (X+Y sweep average) at a shape,
-/// replayed through a given L2 size.
-core::WorkCounts count_work(const bench::PatchShape& shape, std::size_t l2_bytes,
+/// replayed through an L2 with the given geometry.
+core::WorkCounts count_work(const bench::PatchShape& shape,
+                            const hwc::CacheSim& l2_geometry,
                             const euler::GasModel& gas) {
-  hwc::CacheSim l2(l2_bytes, 64, 8);
+  hwc::CacheSim l2(l2_geometry.size_bytes(), l2_geometry.line_bytes(),
+                   l2_geometry.associativity());
   hwc::CacheSim l1(8 * 1024, 64, 4);
   l1.set_lower(&l2);
   hwc::CacheProbe probe(&l1);
@@ -36,9 +38,20 @@ core::WorkCounts count_work(const bench::PatchShape& shape, std::size_t l2_bytes
 std::vector<core::WorkCounts> work_table(std::size_t l2_bytes,
                                          const euler::GasModel& gas) {
   std::vector<core::WorkCounts> t;
+  const hwc::CacheSim l2(l2_bytes, 64, 8);
   for (const auto& shape : bench::paper_q_sweep())
-    t.push_back(count_work(shape, l2_bytes, gas));
+    t.push_back(count_work(shape, l2, gas));
   return t;
+}
+
+/// WorkCounter for core::retarget: maps Q back to the paper sweep shape and
+/// replays the kernel under the requested geometry.
+core::WorkCounter states_counter(const euler::GasModel& gas) {
+  return [&gas](double q, const hwc::CacheSim& geometry) {
+    for (const auto& shape : bench::paper_q_sweep())
+      if (static_cast<double>(shape.q) == q) return count_work(shape, geometry, gas);
+    ccaperf::raise("states_counter: q not in the paper sweep");
+  };
 }
 
 }  // namespace
@@ -54,8 +67,11 @@ int main() {
   std::cout << "  T(Q) = " << model->formula() << "   [R^2 "
             << ccaperf::fmt_double(model->r2, 4) << "]\n\n";
 
-  const auto half = core::retarget(*model, work_table(256 * 1024, gas));
-  const auto twice = core::retarget(*model, work_table(1024 * 1024, gas));
+  // Retarget by re-simulation only: the counter replays States through the
+  // new geometry at the calibrated Q points — no re-measurement.
+  const auto counter = states_counter(gas);
+  const auto half = core::retarget(*model, counter, hwc::CacheSim(256 * 1024, 64, 8));
+  const auto twice = core::retarget(*model, counter, hwc::CacheSim(1024 * 1024, 64, 8));
 
   std::cout << "predicted States time (us) per cache size — no re-measurement "
                "for the 256 kB / 1 MB columns:\n\n";

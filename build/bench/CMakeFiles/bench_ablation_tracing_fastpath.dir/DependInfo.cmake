@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_tracing_fastpath.cpp" "bench/CMakeFiles/bench_ablation_tracing_fastpath.dir/bench_ablation_tracing_fastpath.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_tracing_fastpath.dir/bench_ablation_tracing_fastpath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccaperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/ccaperf_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/ccaperf_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/ccaperf_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/euler/CMakeFiles/ccaperf_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/ccaperf_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/ccaperf_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/ccaperf_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccaperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tracing_fastpath.dir/bench_ablation_tracing_fastpath.cpp.o"
+  "CMakeFiles/bench_ablation_tracing_fastpath.dir/bench_ablation_tracing_fastpath.cpp.o.d"
+  "bench_ablation_tracing_fastpath"
+  "bench_ablation_tracing_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tracing_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

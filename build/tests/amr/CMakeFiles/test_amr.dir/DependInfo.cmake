@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/amr/test_berger_rigoutsos.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_berger_rigoutsos.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_berger_rigoutsos.cpp.o.d"
   "/root/repo/tests/amr/test_box.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_box.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_box.cpp.o.d"
   "/root/repo/tests/amr/test_exchange.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_exchange.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_exchange.cpp.o.d"
+  "/root/repo/tests/amr/test_exchange_coalesce.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_exchange_coalesce.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_exchange_coalesce.cpp.o.d"
   "/root/repo/tests/amr/test_exchange_property.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_exchange_property.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_exchange_property.cpp.o.d"
   "/root/repo/tests/amr/test_hierarchy.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_hierarchy.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_hierarchy.cpp.o.d"
   "/root/repo/tests/amr/test_load_balance.cpp" "tests/amr/CMakeFiles/test_amr.dir/test_load_balance.cpp.o" "gcc" "tests/amr/CMakeFiles/test_amr.dir/test_load_balance.cpp.o.d"

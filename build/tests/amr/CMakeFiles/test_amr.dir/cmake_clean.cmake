@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_amr.dir/test_box.cpp.o.d"
   "CMakeFiles/test_amr.dir/test_exchange.cpp.o"
   "CMakeFiles/test_amr.dir/test_exchange.cpp.o.d"
+  "CMakeFiles/test_amr.dir/test_exchange_coalesce.cpp.o"
+  "CMakeFiles/test_amr.dir/test_exchange_coalesce.cpp.o.d"
   "CMakeFiles/test_amr.dir/test_exchange_property.cpp.o"
   "CMakeFiles/test_amr.dir/test_exchange_property.cpp.o.d"
   "CMakeFiles/test_amr.dir/test_hierarchy.cpp.o"

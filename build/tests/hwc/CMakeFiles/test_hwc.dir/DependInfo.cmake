@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hwc/test_access_run.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_access_run.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_access_run.cpp.o.d"
   "/root/repo/tests/hwc/test_cache_properties.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o.d"
   "/root/repo/tests/hwc/test_cache_sim.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o.d"
   "/root/repo/tests/hwc/test_counters.cpp" "tests/hwc/CMakeFiles/test_hwc.dir/test_counters.cpp.o" "gcc" "tests/hwc/CMakeFiles/test_hwc.dir/test_counters.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_hwc.dir/test_access_run.cpp.o"
+  "CMakeFiles/test_hwc.dir/test_access_run.cpp.o.d"
   "CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o"
   "CMakeFiles/test_hwc.dir/test_cache_properties.cpp.o.d"
   "CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o"

@@ -293,5 +293,8 @@ tests/hwc/CMakeFiles/test_hwc.dir/test_cache_sim.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/hwc/cache_sim.hpp /root/repo/src/support/error.hpp \
- /usr/include/c++/12/source_location
+ /root/repo/src/hwc/cache_sim.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/support/error.hpp /usr/include/c++/12/source_location

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/mpp/test_collectives.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_collectives.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_collectives.cpp.o.d"
   "/root/repo/tests/mpp/test_comm_mgmt.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o.d"
+  "/root/repo/tests/mpp/test_fabric_pool.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_fabric_pool.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_fabric_pool.cpp.o.d"
   "/root/repo/tests/mpp/test_netmodel.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_netmodel.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_netmodel.cpp.o.d"
   "/root/repo/tests/mpp/test_p2p.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_p2p.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_p2p.cpp.o.d"
   "/root/repo/tests/mpp/test_requests.cpp" "tests/mpp/CMakeFiles/test_mpp.dir/test_requests.cpp.o" "gcc" "tests/mpp/CMakeFiles/test_mpp.dir/test_requests.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_mpp.dir/test_collectives.cpp.o.d"
   "CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o"
   "CMakeFiles/test_mpp.dir/test_comm_mgmt.cpp.o.d"
+  "CMakeFiles/test_mpp.dir/test_fabric_pool.cpp.o"
+  "CMakeFiles/test_mpp.dir/test_fabric_pool.cpp.o.d"
   "CMakeFiles/test_mpp.dir/test_netmodel.cpp.o"
   "CMakeFiles/test_mpp.dir/test_netmodel.cpp.o.d"
   "CMakeFiles/test_mpp.dir/test_p2p.cpp.o"

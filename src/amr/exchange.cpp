@@ -1,5 +1,7 @@
 #include "amr/exchange.hpp"
 
+#include <map>
+#include <span>
 #include <vector>
 
 namespace amr {
@@ -27,7 +29,7 @@ ExchangeStats exchange_copy(mpp::Comm& comm,
   ExchangeStats stats;
 
   // Identical plan on every rank: deterministic double loop over shared
-  // metadata. Tag = tag_base + item index.
+  // metadata.
   std::vector<PlanItem> plan;
   for (const PatchInfo& d : dst_patches) {
     const Box region = dst_region(d);
@@ -41,59 +43,80 @@ ExchangeStats exchange_copy(mpp::Comm& comm,
   }
   stats.plan_items = plan.size();
 
-  // Local copies + sends.
-  std::vector<mpp::Request> send_reqs;
-  std::vector<std::vector<double>> send_bufs;  // keep alive until waited
+  // Coalesce off-rank items by counterpart rank: one packed message per
+  // (peer, direction). Both sides walk the shared ascending plan order, so
+  // segment offsets agree without carrying any header. std::map keeps peer
+  // iteration deterministic across ranks.
+  std::map<int, std::vector<std::size_t>> send_groups;  // dest rank -> plan idx
+  std::map<int, std::vector<std::size_t>> recv_groups;  // src rank  -> plan idx
   for (std::size_t k = 0; k < plan.size(); ++k) {
     const PlanItem& item = plan[k];
-    if (item.src_owner != me) continue;
-    const PatchData<double>* src = src_data(item.src_id);
-    CCAPERF_REQUIRE(src != nullptr, "exchange_copy: missing local source data");
-    if (item.dst_owner == me) {
+    if (item.src_owner == me && item.dst_owner == me) {
+      const PatchData<double>* src = src_data(item.src_id);
+      CCAPERF_REQUIRE(src != nullptr, "exchange_copy: missing local source data");
       PatchData<double>* dst = dst_data(item.dst_id);
       CCAPERF_REQUIRE(dst != nullptr, "exchange_copy: missing local dest data");
       dst->copy_from(*src, item.box);
       ++stats.local_copies;
-    } else {
-      send_bufs.emplace_back();
-      src->pack(item.box, send_bufs.back());
-      send_reqs.push_back(comm.isend<double>(send_bufs.back(), item.dst_owner,
-                                             tag_base + static_cast<int>(k)));
-      ++stats.messages_sent;
-      stats.bytes_sent += send_bufs.back().size() * sizeof(double);
+    } else if (item.src_owner == me) {
+      send_groups[item.dst_owner].push_back(k);
+    } else if (item.dst_owner == me) {
+      recv_groups[item.src_owner].push_back(k);
     }
   }
 
-  // Receives.
+  // Sends: pack every segment destined for one rank into one buffer. All
+  // messages of this exchange share tag_base (matching disambiguates by
+  // source rank).
+  std::vector<mpp::Request> send_reqs;
+  std::vector<std::vector<double>> send_bufs;  // keep alive until waited
+  send_reqs.reserve(send_groups.size());
+  send_bufs.reserve(send_groups.size());
+  for (const auto& [dest, items] : send_groups) {
+    send_bufs.emplace_back();
+    std::vector<double>& buf = send_bufs.back();
+    for (std::size_t k : items) {
+      const PlanItem& item = plan[k];
+      const PatchData<double>* src = src_data(item.src_id);
+      CCAPERF_REQUIRE(src != nullptr, "exchange_copy: missing local source data");
+      src->pack_append(item.box, buf);
+    }
+    send_reqs.push_back(comm.isend<double>(buf, dest, tag_base));
+    ++stats.messages_sent;
+    stats.segments_sent += items.size();
+    stats.bytes_sent += buf.size() * sizeof(double);
+  }
+
+  // Receives: one buffer per source rank, sized from the shared metadata.
   struct Pending {
-    std::size_t plan_index;
+    int src_rank = 0;
+    std::vector<std::size_t> items;  // plan indices, ascending
     std::vector<double> buffer;
   };
   std::vector<Pending> pending;
-  std::vector<mpp::Request> recv_reqs;
-  for (std::size_t k = 0; k < plan.size(); ++k) {
-    const PlanItem& item = plan[k];
-    if (item.dst_owner != me || item.src_owner == me) continue;
+  pending.reserve(recv_groups.size());
+  for (auto& [src_rank, items] : recv_groups) {
     Pending p;
-    p.plan_index = k;
-    const PatchData<double>* probe = nullptr;
-    // Buffer size: box cells x ncomp; ncomp read from the dest patch.
-    PatchData<double>* dst = dst_data(item.dst_id);
-    CCAPERF_REQUIRE(dst != nullptr, "exchange_copy: missing local dest data");
-    (void)probe;
-    p.buffer.resize(static_cast<std::size_t>(item.box.num_pts()) *
-                    static_cast<std::size_t>(dst->ncomp()));
+    p.src_rank = src_rank;
+    std::size_t total = 0;
+    for (std::size_t k : items) {
+      const PlanItem& item = plan[k];
+      PatchData<double>* dst = dst_data(item.dst_id);
+      CCAPERF_REQUIRE(dst != nullptr, "exchange_copy: missing local dest data");
+      total += static_cast<std::size_t>(item.box.num_pts()) *
+               static_cast<std::size_t>(dst->ncomp());
+    }
+    p.items = std::move(items);
+    p.buffer.resize(total);
     pending.push_back(std::move(p));
   }
+  std::vector<mpp::Request> recv_reqs;
   recv_reqs.reserve(pending.size());
-  for (Pending& p : pending) {
-    const PlanItem& item = plan[p.plan_index];
-    recv_reqs.push_back(comm.irecv<double>(p.buffer, item.src_owner,
-                                           tag_base + static_cast<int>(p.plan_index)));
-  }
+  for (Pending& p : pending)
+    recv_reqs.push_back(comm.irecv<double>(p.buffer, p.src_rank, tag_base));
 
-  // Complete receives with wait_some, unpacking as data lands (the
-  // paper's AMRMesh ghost-update pattern).
+  // Complete receives with wait_some, unpacking each packed message's
+  // segments as it lands (the paper's AMRMesh ghost-update pattern).
   std::size_t outstanding = recv_reqs.size();
   std::vector<int> done;
   while (outstanding > 0) {
@@ -101,10 +124,18 @@ ExchangeStats exchange_copy(mpp::Comm& comm,
     CCAPERF_REQUIRE(n > 0, "exchange_copy: wait_some made no progress");
     for (int idx : done) {
       Pending& p = pending[static_cast<std::size_t>(idx)];
-      const PlanItem& item = plan[p.plan_index];
-      PatchData<double>* dst = dst_data(item.dst_id);
-      dst->unpack(item.box, p.buffer);
+      const std::span<const double> msg(p.buffer);
+      std::size_t off = 0;
+      for (std::size_t k : p.items) {
+        const PlanItem& item = plan[k];
+        PatchData<double>* dst = dst_data(item.dst_id);
+        const std::size_t len = static_cast<std::size_t>(item.box.num_pts()) *
+                                static_cast<std::size_t>(dst->ncomp());
+        dst->unpack(item.box, msg.subspan(off, len));
+        off += len;
+      }
       ++stats.messages_received;
+      stats.segments_received += p.items.size();
       stats.bytes_received += p.buffer.size() * sizeof(double);
     }
     outstanding -= n;

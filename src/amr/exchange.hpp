@@ -3,11 +3,14 @@
 //
 // Copies box intersections between two distributed sets of patches that
 // share an index space. Every rank computes the identical transfer plan
-// from the (replicated) metadata; off-rank items become nonblocking
-// messages completed with wait_some — the exact Isend/Irecv/MPI_Waitsome
-// pattern whose cost dominates the paper's profile (Fig. 3: ~25% of run
-// time inside MPI_Waitsome invoked from AMRMesh's ghost-cell update and
-// load-balancing methods).
+// from the (replicated) metadata; off-rank items are coalesced into ONE
+// packed message per counterpart rank (both sides walk the shared plan
+// order, so segment offsets agree without any header), completed with
+// wait_some — the exact Isend/Irecv/MPI_Waitsome pattern whose cost
+// dominates the paper's profile (Fig. 3: ~25% of run time inside
+// MPI_Waitsome invoked from AMRMesh's ghost-cell update and load-balancing
+// methods). Coalescing turns the message count from O(overlapping patch
+// pairs) into O(neighbor ranks) per exchange round.
 //
 // Users: same-level ghost exchange, coarse->fine prolongation donors,
 // fine->coarse restriction, regrid data migration (all in hierarchy.cpp).
@@ -34,8 +37,10 @@ using DstRegion = std::function<Box(const PatchInfo&)>;
 struct ExchangeStats {
   std::size_t plan_items = 0;
   std::size_t local_copies = 0;
-  std::size_t messages_sent = 0;
-  std::size_t messages_received = 0;
+  std::size_t messages_sent = 0;      ///< packed messages (<= neighbor ranks)
+  std::size_t messages_received = 0;  ///< packed messages (<= neighbor ranks)
+  std::size_t segments_sent = 0;      ///< plan items carried by those messages
+  std::size_t segments_received = 0;
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
 };
@@ -43,8 +48,9 @@ struct ExchangeStats {
 /// Performs the copy. `src_valid(info)` gives the box of valid source
 /// cells (usually the interior). When `skip_same_id` is true, plan items
 /// with src.id == dst.id are dropped (ghost exchange on one level must not
-/// copy a patch onto itself). `tag_base` must leave plan.size() free tags;
-/// use a dedicated communicator or a monotone counter to avoid collisions.
+/// copy a patch onto itself). All coalesced messages of one exchange share
+/// `tag_base` (matching disambiguates by source rank); distinct concurrent
+/// exchanges need distinct tag_base values — use a monotone counter.
 ExchangeStats exchange_copy(mpp::Comm& comm,
                             const std::vector<PatchInfo>& src_patches,
                             const SrcAccessor& src_data,

@@ -95,9 +95,8 @@ ExchangeStats Hierarchy::fill_ghosts(int l, const BcSpec& bc) {
 
 ExchangeStats Hierarchy::exchange_and_bc(int l, const BcSpec& bc) {
   Level& lvl = level(l);
-  const auto max_items = static_cast<int>(lvl.patches().size() * lvl.patches().size());
   const ExchangeStats stats =
-      exchange_ghosts(comm_, lvl, cfg_.nghost, next_tag(std::max(1, max_items)));
+      exchange_ghosts(comm_, lvl, cfg_.nghost, next_tag(1));
   const Box dom = domain_at(l);
   for (auto& [id, data] : lvl.local_data()) fill_physical_bc(data, dom, bc);
   return stats;
@@ -130,11 +129,9 @@ std::map<int, PatchData<double>> Hierarchy::gather_coarse_halos(const Level& coa
     auto it = halos.find(id);
     return it == halos.end() ? nullptr : &it->second;
   };
-  const auto max_items =
-      static_cast<int>(halos_meta.size() * coarse.patches().size());
   exchange_copy(comm_, coarse.patches(), src, halos_meta, dst,
                 [](const PatchInfo& p) { return p.box; },
-                /*skip_same_id=*/false, next_tag(std::max(1, max_items)));
+                /*skip_same_id=*/false, next_tag(1));
   return halos;
 }
 
@@ -232,11 +229,9 @@ void Hierarchy::restrict_level(int fine_l) {
   auto dst_fn = [&coarse](int id) -> PatchData<double>* {
     return coarse.has_data(id) ? &coarse.data(id) : nullptr;
   };
-  const auto max_items =
-      static_cast<int>(avg_meta.size() * coarse.patches().size());
   exchange_copy(comm_, avg_meta, src_fn, coarse.patches(), dst_fn,
                 [](const PatchInfo& p) { return p.box; },
-                /*skip_same_id=*/false, next_tag(std::max(1, max_items)));
+                /*skip_same_id=*/false, next_tag(1));
 }
 
 void Hierarchy::merge_flags(FlagField& flags) {
@@ -328,11 +323,9 @@ void Hierarchy::regrid(const FlagFn& flag_fn, const BcSpec& bc) {
       auto dst_fn = [&fresh](int id) -> PatchData<double>* {
         return fresh.has_data(id) ? &fresh.data(id) : nullptr;
       };
-      const auto max_items =
-          static_cast<int>(old.patches().size() * fresh.patches().size());
       exchange_copy(comm_, old.patches(), src_fn, fresh.patches(), dst_fn,
                     [](const PatchInfo& p) { return p.box; },
-                    /*skip_same_id=*/false, next_tag(std::max(1, max_items)));
+                    /*skip_same_id=*/false, next_tag(1));
     }
 
     // 7. Install.
@@ -360,11 +353,9 @@ double Hierarchy::rebalance() {
     auto dst_fn = [&fresh](int id) -> PatchData<double>* {
       return fresh.has_data(id) ? &fresh.data(id) : nullptr;
     };
-    const auto max_items =
-        static_cast<int>(lvl.patches().size() * fresh.patches().size());
     exchange_copy(comm_, lvl.patches(), src_fn, fresh.patches(), dst_fn,
                   [](const PatchInfo& p) { return p.box; },
-                  /*skip_same_id=*/false, next_tag(std::max(1, max_items)));
+                  /*skip_same_id=*/false, next_tag(1));
     lvl = std::move(fresh);
   }
   return worst;

@@ -95,10 +95,17 @@ class PatchData {
 
   /// Serializes `box` x all components into `out` (row-major per comp).
   void pack(const Box& box, std::vector<T>& out) const {
+    out.clear();
+    pack_append(box, out);
+  }
+
+  /// Like pack, but appends to `out` — lets callers coalesce several
+  /// regions into one message buffer without intermediate copies.
+  void pack_append(const Box& box, std::vector<T>& out) const {
     CCAPERF_REQUIRE(grown_.contains(box), "pack: box outside patch");
-    out.resize(static_cast<std::size_t>(box.num_pts()) *
-               static_cast<std::size_t>(ncomp_));
-    std::size_t k = 0;
+    std::size_t k = out.size();
+    out.resize(k + static_cast<std::size_t>(box.num_pts()) *
+                       static_cast<std::size_t>(ncomp_));
     for (int c = 0; c < ncomp_; ++c)
       for (int j = box.lo().j; j <= box.hi().j; ++j) {
         std::memcpy(&out[k], &(*this)(box.lo().i, j, c),

@@ -101,4 +101,15 @@ std::unique_ptr<CacheAwareModel> retarget(const CacheAwareModel& calibrated,
                                            std::move(new_table));
 }
 
+std::unique_ptr<CacheAwareModel> retarget(const CacheAwareModel& calibrated,
+                                          const WorkCounter& counter,
+                                          const hwc::CacheSim& geometry) {
+  CCAPERF_REQUIRE(counter != nullptr, "retarget: null work counter");
+  std::vector<WorkCounts> table;
+  table.reserve(calibrated.table().size());
+  for (const WorkCounts& w : calibrated.table())
+    table.push_back(counter(w.q, geometry));
+  return retarget(calibrated, std::move(table));
+}
+
 }  // namespace core

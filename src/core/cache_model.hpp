@@ -77,4 +77,11 @@ std::unique_ptr<CacheAwareModel> fit_cache_aware(
 std::unique_ptr<CacheAwareModel> retarget(const CacheAwareModel& calibrated,
                                           std::vector<WorkCounts> new_table);
 
+/// Convenience overload: rebuilds the miss table by running `counter` (a
+/// traced-kernel replay, typically through hwc::CacheProbe's batched run
+/// API) at every tabulated Q of the calibrated model under `geometry`.
+std::unique_ptr<CacheAwareModel> retarget(const CacheAwareModel& calibrated,
+                                          const WorkCounter& counter,
+                                          const hwc::CacheSim& geometry);
+
 }  // namespace core

@@ -14,23 +14,39 @@ double minmod(double a, double b) {
   return std::abs(a) < std::abs(b) ? a : b;
 }
 
-/// Gathers cell (i,j) as a primitive quintuple in the face-normal frame of
-/// `dir`: (rho, u_n, u_t, p, phi). Every component read is probed.
+/// Byte stride between consecutive components of one face of an Array2
+/// (contiguous in the component-innermost layout).
+inline std::ptrdiff_t comp_stride_bytes(const Array2& a) {
+  return a.comp_stride() * static_cast<std::ptrdiff_t>(sizeof(double));
+}
+
+/// Gathers the four stencil cells around a face (k = -2..+1 along `dir`)
+/// as primitive quintuples in the face-normal frame: w[k] = (rho, u_n,
+/// u_t, p, phi). The four reads per component form one strided run — unit
+/// stride for X sweeps — probed through the batched cache-sim API.
 template <class Probe>
-inline void load_prim(const amr::PatchData<double>& U, int i, int j, Dir dir,
-                      const GasModel& gas, Probe& probe, double w[kNcomp]) {
-  double q[kNcomp];
-  for (int c = 0; c < kNcomp; ++c) {
-    probe.load(&U(i, j, c), sizeof(double));
-    q[c] = U(i, j, c);
+inline void load_prim_stencil(const amr::PatchData<double>& U, int i0, int j0,
+                              Dir dir, const GasModel& gas, Probe& probe,
+                              double w[4][kNcomp]) {
+  const int di = dir == Dir::x ? 1 : 0;
+  const int dj = dir == Dir::x ? 0 : 1;
+  const int im2 = i0 - 2 * di;
+  const int jm2 = j0 - 2 * dj;
+  const std::ptrdiff_t stride = (dir == Dir::x ? 1 : U.row_stride()) *
+                                static_cast<std::ptrdiff_t>(sizeof(double));
+  for (int c = 0; c < kNcomp; ++c)
+    probe.load_run(&U(im2, jm2, c), stride, 4, sizeof(double));
+  for (int k = 0; k < 4; ++k) {
+    double q[kNcomp];
+    for (int c = 0; c < kNcomp; ++c) q[c] = U(im2 + k * di, jm2 + k * dj, c);
+    const Prim p = cons_to_prim(q, gas);
+    probe.flops(18);  // conversion cost (divides, gamma closure)
+    w[k][0] = p.rho;
+    w[k][1] = dir == Dir::x ? p.u : p.v;
+    w[k][2] = dir == Dir::x ? p.v : p.u;
+    w[k][3] = p.p;
+    w[k][4] = p.phi;
   }
-  const Prim p = cons_to_prim(q, gas);
-  probe.flops(18);  // conversion cost (divides, gamma closure)
-  w[0] = p.rho;
-  w[1] = dir == Dir::x ? p.u : p.v;
-  w[2] = dir == Dir::x ? p.v : p.u;
-  w[3] = p.p;
-  w[4] = p.phi;
 }
 
 }  // namespace
@@ -49,30 +65,22 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
                   "compute_states: face array shape mismatch");
   KernelCounts counts;
 
-  // wm2, wm1, w0, wp1: primitive states at the four stencil cells around a
-  // face (face between cell -1 and cell 0 of the local numbering).
-  double wm2[kNcomp], wm1[kNcomp], w0[kNcomp], wp1[kNcomp];
+  // w[k]: primitive states at the four stencil cells around a face (face
+  // between cell -1 and cell 0 of the local numbering, k = -2..+1 mapped
+  // to 0..3).
+  double w[4][kNcomp];
+  const std::ptrdiff_t face_comp = comp_stride_bytes(left);
 
-  auto reconstruct_face = [&](int fi, int fj, auto cell_of) {
-    // cell_of(k) -> (i, j) of stencil cell k in {-2,-1,0,+1}.
-    auto [im2, jm2] = cell_of(-2);
-    auto [im1, jm1] = cell_of(-1);
-    auto [i0, j0] = cell_of(0);
-    auto [ip1, jp1] = cell_of(+1);
-    load_prim(U, im2, jm2, dir, gas, probe, wm2);
-    load_prim(U, im1, jm1, dir, gas, probe, wm1);
-    load_prim(U, i0, j0, dir, gas, probe, w0);
-    load_prim(U, ip1, jp1, dir, gas, probe, wp1);
+  auto reconstruct_face = [&](int fi, int fj, int i0, int j0) {
+    load_prim_stencil(U, i0, j0, dir, gas, probe, w);
     for (int c = 0; c < kNcomp; ++c) {
-      const double sl = minmod(wm1[c] - wm2[c], w0[c] - wm1[c]);
-      const double sr = minmod(w0[c] - wm1[c], wp1[c] - w0[c]);
-      const double lv = wm1[c] + 0.5 * sl;
-      const double rv = w0[c] - 0.5 * sr;
-      left(fi, fj, c) = lv;
-      right(fi, fj, c) = rv;
-      probe.store(left.addr(fi, fj, c), sizeof(double));
-      probe.store(right.addr(fi, fj, c), sizeof(double));
+      const double sl = minmod(w[1][c] - w[0][c], w[2][c] - w[1][c]);
+      const double sr = minmod(w[2][c] - w[1][c], w[3][c] - w[2][c]);
+      left(fi, fj, c) = w[1][c] + 0.5 * sl;
+      right(fi, fj, c) = w[2][c] - 0.5 * sr;
     }
+    probe.store_run(left.addr(fi, fj, 0), face_comp, kNcomp, sizeof(double));
+    probe.store_run(right.addr(fi, fj, 0), face_comp, kNcomp, sizeof(double));
     probe.flops(8 * kNcomp);
     ++counts.faces;
   };
@@ -83,7 +91,7 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
       const int j = interior.lo().j + fj;
       for (int fi = 0; fi < nx; ++fi) {
         const int i = interior.lo().i + fi;
-        reconstruct_face(fi, fj, [&](int k) { return std::pair{i + k, j}; });
+        reconstruct_face(fi, fj, i, j);
       }
     }
   } else {
@@ -92,7 +100,7 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
       const int i = interior.lo().i + fi;
       for (int fj = 0; fj < ny; ++fj) {
         const int j = interior.lo().j + fj;
-        reconstruct_face(fi, fj, [&](int k) { return std::pair{i, j + k}; });
+        reconstruct_face(fi, fj, i, j);
       }
     }
   }
@@ -101,20 +109,16 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
 
 namespace {
 
-/// Reads the 5 primitive face components with probing.
+/// Reads the 5 primitive face components, probed as one contiguous run.
 template <class Probe>
 inline Prim load_face_state(const Array2& a, int fi, int fj, Probe& probe) {
+  probe.load_run(a.addr(fi, fj, 0), comp_stride_bytes(a), kNcomp, sizeof(double));
   Prim w;
-  double q[kNcomp];
-  for (int c = 0; c < kNcomp; ++c) {
-    probe.load(a.addr(fi, fj, c), sizeof(double));
-    q[c] = a(fi, fj, c);
-  }
-  w.rho = q[0];
-  w.u = q[1];  // face-normal frame
-  w.v = q[2];
-  w.p = q[3];
-  w.phi = q[4];
+  w.rho = a(fi, fj, 0);
+  w.u = a(fi, fj, 1);  // face-normal frame
+  w.v = a(fi, fj, 2);
+  w.p = a(fi, fj, 3);
+  w.phi = a(fi, fj, 4);
   return w;
 }
 
@@ -126,7 +130,8 @@ inline void store_face_flux(Array2& flux, int fi, int fj, const FaceFlux& f,
   flux(fi, fj, 2) = f.mom_t;
   flux(fi, fj, 3) = f.energy;
   flux(fi, fj, 4) = f.phi_mass;
-  for (int c = 0; c < kNcomp; ++c) probe.store(flux.addr(fi, fj, c), sizeof(double));
+  probe.store_run(flux.addr(fi, fj, 0), comp_stride_bytes(flux), kNcomp,
+                  sizeof(double));
 }
 
 /// Shared sweep driver: walks faces in the direction-appropriate loop
@@ -235,7 +240,8 @@ void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
 }
 
 // Explicit instantiations: the production (NullProbe) and cache-traced
-// (CacheProbe) configurations.
+// (CacheProbe) configurations, plus the scalar-replay reference
+// (ScalarReplayProbe) that benches compare the batched fast path against.
 template KernelCounts compute_states<hwc::NullProbe>(const amr::PatchData<double>&,
                                                      const amr::Box&, Dir,
                                                      const GasModel&, Array2&,
@@ -257,5 +263,14 @@ template KernelCounts godunov_flux_sweep<hwc::CacheProbe>(const Array2&,
                                                           const Array2&, Dir,
                                                           const GasModel&, Array2&,
                                                           hwc::CacheProbe&);
+template KernelCounts compute_states<hwc::ScalarReplayProbe>(
+    const amr::PatchData<double>&, const amr::Box&, Dir, const GasModel&, Array2&,
+    Array2&, hwc::ScalarReplayProbe&);
+template KernelCounts efm_flux_sweep<hwc::ScalarReplayProbe>(
+    const Array2&, const Array2&, Dir, const GasModel&, Array2&,
+    hwc::ScalarReplayProbe&);
+template KernelCounts godunov_flux_sweep<hwc::ScalarReplayProbe>(
+    const Array2&, const Array2&, Dir, const GasModel&, Array2&,
+    hwc::ScalarReplayProbe&);
 
 }  // namespace euler

@@ -29,9 +29,11 @@ namespace euler {
 
 enum class Dir { x, y };
 
-/// Face-centered (or cell-centered) work array: row-major [ny][nx] per
-/// component, `i` fastest — same orientation as PatchData so strided
-/// access patterns carry over.
+/// Face-centered (or cell-centered) work array: row-major in (j, i) like
+/// PatchData (so the sequential/strided sweep distinction carries over),
+/// but with the component axis innermost — one face's 5-component state is
+/// contiguous, so kernels load/store it as a single short cache-line run
+/// instead of 5 plane-strided touches (the traced fast path's store side).
 class Array2 {
  public:
   Array2() = default;
@@ -53,12 +55,15 @@ class Array2 {
   std::vector<double>& raw() { return data_; }
   const std::vector<double>& raw() const { return data_; }
 
+  /// Elements between consecutive components of one face: 1 (contiguous).
+  static constexpr std::ptrdiff_t comp_stride() { return 1; }
+
  private:
   std::size_t index(int i, int j, int c) const {
-    return (static_cast<std::size_t>(c) * static_cast<std::size_t>(ny_) +
-            static_cast<std::size_t>(j)) *
-               static_cast<std::size_t>(nx_) +
-           static_cast<std::size_t>(i);
+    return (static_cast<std::size_t>(j) * static_cast<std::size_t>(nx_) +
+            static_cast<std::size_t>(i)) *
+               static_cast<std::size_t>(ncomp_) +
+           static_cast<std::size_t>(c);
   }
   int nx_ = 0, ny_ = 0, ncomp_ = 0;
   std::vector<double> data_;

@@ -1,5 +1,7 @@
 #include "hwc/cache_sim.hpp"
 
+#include <algorithm>
+
 namespace hwc {
 
 namespace {
@@ -21,59 +23,149 @@ CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes,
   sets_ = size_bytes_ / (line_bytes_ * assoc_);
   CCAPERF_REQUIRE(is_pow2(sets_), "CacheSim: set count must be a power of two");
   line_shift_ = log2u(line_bytes_);
+  tag_shift_ = log2u(sets_);
   ways_.assign(sets_ * assoc_, Way{});
+  mru_.assign(sets_, 0);
 }
 
-std::uint64_t CacheSim::touch_line(std::uint64_t line_addr, bool is_write) {
+CacheSim::Way* CacheSim::touch_way(std::uint64_t line_addr, bool is_write,
+                                   std::uint64_t& misses) {
   ++counters_.accesses;
   const std::uint64_t set = line_addr & (sets_ - 1);
-  const std::uint64_t tag = line_addr >> log2u(sets_);
+  const std::uint64_t tag = line_addr >> tag_shift_;
   Way* row = &ways_[static_cast<std::size_t>(set) * assoc_];
+  std::uint32_t& mru = mru_[static_cast<std::size_t>(set)];
 
-  // Hit?
+  // MRU way hint: repeat hits on the hottest line of a set skip the
+  // associativity scan entirely (the dominant event in a traced sweep).
+  if (Way& h = row[mru]; valid(h) && h.tag == tag) {
+    ++counters_.hits;
+    h.lru = ++stamp_;
+    h.dirty |= is_write;
+    return &h;
+  }
+
+  // One pass doubles as hit scan and victim pre-selection (first invalid
+  // way, else strict-LRU with lowest-index tie-break — identical choice to
+  // a separate victim scan).
+  std::size_t victim = 0;
+  bool found_invalid = false;
+  std::uint64_t oldest = ~std::uint64_t{0};
   for (std::size_t w = 0; w < assoc_; ++w) {
-    if (row[w].valid && row[w].tag == tag) {
+    if (!valid(row[w])) {
+      if (!found_invalid) {
+        victim = w;
+        found_invalid = true;
+      }
+      continue;
+    }
+    if (row[w].tag == tag) {
       ++counters_.hits;
       row[w].lru = ++stamp_;
       row[w].dirty |= is_write;
-      return 0;
+      mru = static_cast<std::uint32_t>(w);
+      return &row[w];
+    }
+    if (!found_invalid && row[w].lru < oldest) {
+      oldest = row[w].lru;
+      victim = w;
     }
   }
 
   // Miss: forward to the lower level, then fill (write-allocate).
   ++counters_.misses;
+  ++misses;
   if (lower_ != nullptr)
     lower_->access(line_addr << line_shift_, line_bytes_, is_write);
 
-  // Victim = invalid way if any, else LRU.
-  std::size_t victim = 0;
-  bool found_invalid = false;
-  std::uint64_t oldest = ~std::uint64_t{0};
-  for (std::size_t w = 0; w < assoc_; ++w) {
-    if (!row[w].valid) {
-      victim = w;
-      found_invalid = true;
-      break;
-    }
-    if (row[w].lru < oldest) {
-      oldest = row[w].lru;
-      victim = w;
-    }
-  }
   if (!found_invalid) {
     ++counters_.evictions;
     if (row[victim].dirty) {
       ++counters_.writebacks;
       // Dirty victim written back to the lower level.
       if (lower_ != nullptr) {
-        const std::uint64_t victim_line =
-            (row[victim].tag << log2u(sets_)) | set;
+        const std::uint64_t victim_line = (row[victim].tag << tag_shift_) | set;
         lower_->access(victim_line << line_shift_, line_bytes_, true);
       }
     }
   }
-  row[victim] = Way{tag, ++stamp_, true, is_write};
-  return 1;
+  row[victim] = Way{tag, ++stamp_, gen_, is_write};
+  mru = static_cast<std::uint32_t>(victim);
+  return &row[victim];
+}
+
+std::uint64_t CacheSim::touch_line(std::uint64_t line_addr, bool is_write) {
+  std::uint64_t misses = 0;
+  touch_way(line_addr, is_write, misses);
+  return misses;
+}
+
+std::uint64_t CacheSim::access_prebatch(std::uintptr_t addr, std::size_t bytes,
+                                        bool is_write) {
+  // Preserved pre-fastpath element path (see the header comment): hit scan
+  // and victim scan are separate passes, the tag shift is recomputed per
+  // touch, and there is no MRU way hint — exactly the per-element cost the
+  // batched API replaced. Do not "fix" this; it is the ablation baseline.
+  if (bytes == 0) return 0;
+  const std::uint64_t first = static_cast<std::uint64_t>(addr) >> line_shift_;
+  const std::uint64_t last =
+      static_cast<std::uint64_t>(addr + bytes - 1) >> line_shift_;
+  std::uint64_t total_misses = 0;
+  for (std::uint64_t line_addr = first; line_addr <= last; ++line_addr) {
+    ++counters_.accesses;
+    const std::uint64_t set = line_addr & (sets_ - 1);
+    const std::uint64_t tag = line_addr >> log2u(sets_);
+    Way* row = &ways_[static_cast<std::size_t>(set) * assoc_];
+
+    // Hit?
+    bool hit = false;
+    for (std::size_t w = 0; w < assoc_; ++w) {
+      if (valid(row[w]) && row[w].tag == tag) {
+        ++counters_.hits;
+        row[w].lru = ++stamp_;
+        row[w].dirty |= is_write;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) continue;
+
+    // Miss: forward to the lower level, then fill (write-allocate).
+    ++counters_.misses;
+    ++total_misses;
+    if (lower_ != nullptr)
+      lower_->access(line_addr << line_shift_, line_bytes_, is_write);
+
+    // Victim = invalid way if any, else LRU.
+    std::size_t victim = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::size_t w = 0; w < assoc_; ++w) {
+      if (!valid(row[w])) {
+        victim = w;
+        found_invalid = true;
+        break;
+      }
+      if (row[w].lru < oldest) {
+        oldest = row[w].lru;
+        victim = w;
+      }
+    }
+    if (!found_invalid) {
+      ++counters_.evictions;
+      if (row[victim].dirty) {
+        ++counters_.writebacks;
+        // Dirty victim written back to the lower level.
+        if (lower_ != nullptr) {
+          const std::uint64_t victim_line =
+              (row[victim].tag << log2u(sets_)) | set;
+          lower_->access(victim_line << line_shift_, line_bytes_, true);
+        }
+      }
+    }
+    row[victim] = Way{tag, ++stamp_, gen_, is_write};
+  }
+  return total_misses;
 }
 
 std::uint64_t CacheSim::access(std::uintptr_t addr, std::size_t bytes, bool is_write) {
@@ -88,8 +180,9 @@ std::uint64_t CacheSim::access(std::uintptr_t addr, std::size_t bytes, bool is_w
 }
 
 void CacheSim::flush() {
-  for (auto& w : ways_) w = Way{};
-  stamp_ = 0;
+  // O(1): advancing the generation invalidates every line; ways are
+  // lazily reclaimed (an out-of-generation way reads as invalid).
+  ++gen_;
 }
 
 void CacheSim::reset_counters() { counters_ = CacheCounters{}; }

@@ -68,21 +68,32 @@ std::optional<Status> Request::test() {
 }
 
 void Request::release() {
-  // Dropping the (unique) handle to a receive that was never matched must
-  // remove the posted entry, so the fabric does not later write through a
-  // pointer into memory the caller may have freed. Re-check `matched`
-  // under the mailbox lock: the sender matches under the same lock.
+  // Dropping the (unique) handle to an unmatched operation must remove its
+  // mailbox entry, so the fabric does not later read/write through a
+  // pointer into memory the caller may have freed: a posted receive for
+  // recv requests, a parked rendezvous descriptor for send requests.
+  // Re-check `matched` under the mailbox lock: the peer matches under the
+  // same lock.
   if (!state_) return;
   detail::ReqState& st = *state_;
-  if (st.kind == detail::ReqState::Kind::recv && st.mailbox != nullptr &&
-      !st.matched.load(std::memory_order_acquire)) {
+  if (st.mailbox != nullptr && !st.matched.load(std::memory_order_acquire)) {
     std::scoped_lock lock(st.mailbox->mu);
     if (!st.matched.load(std::memory_order_acquire)) {
-      auto& posted = st.mailbox->posted;
-      for (auto it = posted.begin(); it != posted.end(); ++it) {
-        if (it->post_id == st.post_id) {
-          posted.erase(it);
-          break;
+      if (st.kind == detail::ReqState::Kind::recv) {
+        auto& posted = st.mailbox->posted;
+        for (auto it = posted.begin(); it != posted.end(); ++it) {
+          if (it->post_id == st.post_id) {
+            posted.erase(it);
+            break;
+          }
+        }
+      } else {
+        auto& unexpected = st.mailbox->unexpected;
+        for (auto it = unexpected.begin(); it != unexpected.end(); ++it) {
+          if (it->rdv_send != nullptr && it->park_id == st.post_id) {
+            unexpected.erase(it);
+            break;
+          }
         }
       }
     }
@@ -169,12 +180,23 @@ void wait_all(std::span<Request> reqs) {
 // Point to point
 // ---------------------------------------------------------------------------
 
-void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes) {
+std::shared_ptr<detail::ReqState> Comm::make_send_state(int tag, std::size_t bytes) {
+  auto st = std::make_shared<detail::ReqState>();
+  st->kind = detail::ReqState::Kind::send;
+  st->status = Status{group_rank_, tag, bytes};
+  st->signal = &fabric_->signal(my_world_rank());
+  st->abort_flag = fabric_->abort_flag();
+  return st;
+}
+
+void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes,
+                   const std::shared_ptr<detail::ReqState>& sender) {
   const double delay = fabric_->delay_us(my_world_rank(), bytes);
   const Clock::time_point deliver_at = stamp_delay(delay);
 
   detail::Mailbox& mb = fabric_->mailbox(context_, dest);
   std::shared_ptr<detail::ReqState> completed;
+  bool rendezvous = false;
   {
     std::scoped_lock lock(mb.mu);
     for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
@@ -193,13 +215,26 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes) {
       detail::ParkedMessage msg;
       msg.src = group_rank_;
       msg.tag = tag;
-      if (bytes > 0)
-        msg.payload.assign(static_cast<const std::byte*>(data),
-                           static_cast<const std::byte*>(data) + bytes);
       msg.deliver_at = deliver_at;
+      if (bytes >= Fabric::kRendezvousBytes) {
+        // Rendezvous: park a descriptor into the sender's buffer; the
+        // matching receive copies once and completes the send.
+        msg.rdv_data = static_cast<const std::byte*>(data);
+        msg.rdv_bytes = bytes;
+        msg.rdv_send = sender;
+        msg.park_id = mb.next_post_id++;
+        sender->mailbox = &mb;
+        sender->post_id = msg.park_id;
+        rendezvous = true;
+      } else if (bytes > 0) {
+        msg.payload = fabric_->pool().acquire(bytes);
+        std::memcpy(msg.payload.data(), data, bytes);
+      }
       mb.unexpected.push_back(std::move(msg));
     }
   }
+  if (!rendezvous)
+    sender->matched.store(true, std::memory_order_release);  // buffered-eager
   if (completed) {
     completed->matched.store(true, std::memory_order_release);
     fabric_->signal(world_rank_of(dest)).notify();
@@ -212,13 +247,8 @@ Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest, int tag
   CCAPERF_REQUIRE(valid(), "isend on invalid communicator");
   CCAPERF_REQUIRE(dest >= 0 && dest < size(), "isend: destination out of range");
 
-  auto st = std::make_shared<detail::ReqState>();
-  st->kind = detail::ReqState::Kind::send;
-  st->status = Status{group_rank_, tag, bytes};
-  st->signal = &fabric_->signal(my_world_rank());
-  st->abort_flag = fabric_->abort_flag();
-  st->matched.store(true, std::memory_order_release);  // buffered-eager send
-  deliver(dest, tag, data, bytes);
+  auto st = make_send_state(tag, bytes);
+  deliver(dest, tag, data, bytes, st);
   return Request(std::move(st));
 }
 
@@ -234,32 +264,49 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
   st->abort_flag = fabric_->abort_flag();
   detail::Mailbox& mb = fabric_->mailbox(context_, group_rank_);
   st->mailbox = &mb;
+  std::shared_ptr<detail::ReqState> sender;  // rendezvous send to complete
   {
     std::scoped_lock lock(mb.mu);
     for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
       if (matches(src, tag, it->src, it->tag)) {
-        CCAPERF_REQUIRE(it->payload.size() <= capacity,
+        const bool rdv = (it->rdv_send != nullptr);
+        const std::size_t msg_bytes = rdv ? it->rdv_bytes : it->payload.size();
+        CCAPERF_REQUIRE(msg_bytes <= capacity,
                         "message truncation: receive buffer too small");
-        if (!it->payload.empty())
-          std::memcpy(buffer, it->payload.data(), it->payload.size());
-        st->status = Status{it->src, it->tag, it->payload.size()};
+        if (rdv) {
+          // Rendezvous: the one and only copy, sender buffer -> ours. The
+          // send completes now; stamp its delivery time before `matched`.
+          std::memcpy(buffer, it->rdv_data, msg_bytes);
+          sender = std::move(it->rdv_send);
+          sender->deliver_at = it->deliver_at;
+        } else if (msg_bytes > 0) {
+          std::memcpy(buffer, it->payload.data(), msg_bytes);
+          fabric_->pool().release(std::move(it->payload));
+        }
+        st->status = Status{it->src, it->tag, msg_bytes};
         st->deliver_at = it->deliver_at;
         mb.unexpected.erase(it);
         st->matched.store(true, std::memory_order_release);
-        hook.set_bytes(st->status.bytes);
-        return Request(std::move(st));
+        break;
       }
     }
-    detail::PostedRecv posted;
-    posted.src = src;
-    posted.tag = tag;
-    posted.buffer = static_cast<std::byte*>(buffer);
-    posted.capacity = capacity;
-    posted.post_id = mb.next_post_id++;
-    st->post_id = posted.post_id;
-    posted.state = st;
-    mb.posted.push_back(std::move(posted));
+    if (!st->matched.load(std::memory_order_relaxed)) {
+      detail::PostedRecv posted;
+      posted.src = src;
+      posted.tag = tag;
+      posted.buffer = static_cast<std::byte*>(buffer);
+      posted.capacity = capacity;
+      posted.post_id = mb.next_post_id++;
+      st->post_id = posted.post_id;
+      posted.state = st;
+      mb.posted.push_back(std::move(posted));
+    }
   }
+  if (sender) {
+    sender->matched.store(true, std::memory_order_release);
+    sender->signal->notify();
+  }
+  if (st->matched.load(std::memory_order_relaxed)) hook.set_bytes(st->status.bytes);
   return Request(std::move(st));
 }
 
@@ -268,7 +315,11 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
   hook.set_bytes(bytes);
   CCAPERF_REQUIRE(valid(), "send on invalid communicator");
   CCAPERF_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
-  deliver(dest, tag, data, bytes);  // buffered: completes locally
+  auto st = make_send_state(tag, bytes);
+  deliver(dest, tag, data, bytes, st);
+  // Small sends are buffered and complete locally; a rendezvous send
+  // blocks here until the matching receive has copied the data out.
+  Request(std::move(st)).wait_no_hook();
 }
 
 Status Comm::recv_bytes(void* buffer, std::size_t capacity, int src, int tag) {

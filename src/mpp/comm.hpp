@@ -104,6 +104,10 @@ class Comm {
   /// High-resolution wall clock, seconds since runtime start ("MPI_Wtime()").
   double wtime() const;
 
+  /// Introspection for tests/benches (not part of the MPI surface):
+  /// payload buffer-pool statistics of the underlying fabric.
+  detail::BufferPool::Stats pool_stats() const { return fabric_->pool().stats(); }
+
   /// MPI_Comm_dup: same group, fresh matching context (collective).
   Comm dup() const;
   /// MPI_Comm_split: subgroups by color, ordered by (key, rank) (collective).
@@ -235,8 +239,14 @@ class Comm {
 
   int my_world_rank() const { return world_rank_of(group_rank_); }
 
-  /// Copies `bytes` to `dest`'s mailbox, matching a posted receive if any.
-  void deliver(int dest, int tag, const void* data, std::size_t bytes);
+  /// Routes `bytes` to `dest`'s mailbox: matches a posted receive (one
+  /// direct copy), else parks a pooled eager copy (small messages) or a
+  /// zero-copy rendezvous descriptor holding `sender` (large messages).
+  /// Completes `sender` on the eager paths; rendezvous leaves it pending.
+  void deliver(int dest, int tag, const void* data, std::size_t bytes,
+               const std::shared_ptr<detail::ReqState>& sender);
+  /// Builds the ReqState every send variant shares.
+  std::shared_ptr<detail::ReqState> make_send_state(int tag, std::size_t bytes);
 
   /// Generic arrive/compute/depart collective. `deposit(bay, first)` adds
   /// this rank's contribution under the bay lock; `collect(bay)` copies the

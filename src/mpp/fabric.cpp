@@ -4,6 +4,62 @@
 
 namespace mpp {
 
+namespace detail {
+
+int BufferPool::acquire_class(std::size_t bytes) {
+  for (std::size_t c = 0; c < kClasses; ++c)
+    if (bytes <= (std::size_t{1} << (kMinClassLog2 + c))) return static_cast<int>(c);
+  return -1;
+}
+
+int BufferPool::release_class(std::size_t capacity) {
+  if (capacity < (std::size_t{1} << kMinClassLog2)) return -1;
+  std::size_t c = 0;
+  while (c + 1 < kClasses &&
+         (std::size_t{1} << (kMinClassLog2 + c + 1)) <= capacity)
+    ++c;
+  return static_cast<int>(c);
+}
+
+std::vector<std::byte> BufferPool::acquire(std::size_t bytes) {
+  const int cls = acquire_class(bytes);
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.acquires;
+    if (cls >= 0 && !free_[cls].empty()) {
+      std::vector<std::byte> slab = std::move(free_[cls].back());
+      free_[cls].pop_back();
+      ++stats_.reuses;
+      slab.resize(bytes);
+      return slab;
+    }
+  }
+  // Fresh slab, sized to its class so a future release files it back.
+  std::vector<std::byte> slab;
+  if (cls >= 0)
+    slab.reserve(std::size_t{1} << (kMinClassLog2 + static_cast<std::size_t>(cls)));
+  slab.resize(bytes);
+  return slab;
+}
+
+void BufferPool::release(std::vector<std::byte>&& slab) {
+  const int cls = release_class(slab.capacity());
+  std::scoped_lock lock(mu_);
+  ++stats_.releases;
+  if (cls < 0 || free_[cls].size() >= kMaxFreePerClass) {
+    ++stats_.discards;
+    return;  // slab freed on scope exit
+  }
+  free_[cls].push_back(std::move(slab));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace detail
+
 Fabric::Fabric(int world_size, NetworkModel net)
     : world_size_(world_size), net_(net) {
   CCAPERF_REQUIRE(world_size >= 1, "Fabric: world_size must be >= 1");

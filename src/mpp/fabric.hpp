@@ -5,10 +5,18 @@
 //  * Ranks are threads. Each communicator context owns one `Mailbox` per
 //    group rank, holding a queue of posted receives and a queue of
 //    unexpected messages (standard MPI matching structure).
-//  * Sends are buffered-eager: the payload is copied at the send call, a
-//    modeled delivery time is stamped (NetworkModel), and the send request
-//    completes immediately. Matching happens at send time if a receive is
-//    posted, otherwise the message parks in the unexpected queue.
+//  * Small sends are buffered-eager: the payload is copied at the send
+//    call into a slab from the fabric's BufferPool, a modeled delivery time
+//    is stamped (NetworkModel), and the send request completes immediately.
+//    Matching happens at send time if a receive is posted, otherwise the
+//    message parks in the unexpected queue; the matching receive returns
+//    the slab to the pool, so steady-state traffic allocates nothing.
+//  * Sends of kRendezvousBytes or more that find no posted receive take a
+//    rendezvous path instead: a zero-copy descriptor (pointer to the
+//    sender's buffer + the sender's request) parks in the unexpected queue
+//    and the send request stays incomplete until the matching receive
+//    copies once, sender buffer -> receive buffer. This halves the copy
+//    cost of large messages and bounds the staging memory.
 //  * Receive requests complete when (a) matched and (b) the modeled
 //    delivery time has passed; waits sleep until then, which is how network
 //    cost becomes visible wall-clock time in profiles.
@@ -82,12 +90,54 @@ struct ReqState {
   }
 };
 
-/// A message parked in the unexpected queue.
+/// A message parked in the unexpected queue. Two flavours share the slot:
+/// eager (payload holds a pooled copy of the data) and rendezvous
+/// (`rdv_send` is set; `rdv_data`/`rdv_bytes` point into the sender's
+/// still-live buffer and the sender's request completes only when a
+/// receive matches). Both flavours queue in send order, so matching stays
+/// non-overtaking per (source, tag) regardless of message size.
 struct ParkedMessage {
   int src = 0;
   int tag = 0;
   std::vector<std::byte> payload;
   Clock::time_point deliver_at{};
+  const std::byte* rdv_data = nullptr;
+  std::size_t rdv_bytes = 0;
+  std::shared_ptr<ReqState> rdv_send;
+  std::uint64_t park_id = 0;  ///< cancellation identity (rendezvous only)
+};
+
+/// Size-classed free list of message payload slabs (pow2 classes, 64 B up
+/// to the rendezvous cutoff). Thread-safe; a leaf lock — never held while
+/// taking another fabric lock.
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< acquires served from a free list
+    std::uint64_t releases = 0;  ///< slabs handed back
+    std::uint64_t discards = 0;  ///< handed-back slabs dropped (no class/full)
+  };
+
+  /// Returns a slab resized to exactly `bytes` (capacity may be larger).
+  std::vector<std::byte> acquire(std::size_t bytes);
+  /// Hands a slab back for reuse (freed if it fits no class or the class
+  /// free list is full).
+  void release(std::vector<std::byte>&& slab);
+  Stats stats() const;
+
+ private:
+  static constexpr std::size_t kMinClassLog2 = 6;   // 64 B
+  static constexpr std::size_t kMaxClassLog2 = 16;  // 64 KiB: rendezvous cutoff
+  static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+  static constexpr std::size_t kMaxFreePerClass = 64;
+
+  static int acquire_class(std::size_t bytes);     // smallest class holding bytes
+  static int release_class(std::size_t capacity);  // largest class within capacity
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::byte>> free_[kClasses];
+  Stats stats_;
 };
 
 /// A receive posted before its message arrived.
@@ -170,6 +220,7 @@ class Fabric {
 
   detail::Mailbox& mailbox(std::uint64_t context, int group_rank);
   detail::CollectiveBay& bay(std::uint64_t context);
+  detail::BufferPool& pool() { return pool_; }
   detail::RankSignal& signal(int world_rank) {
     return *signals_[static_cast<std::size_t>(world_rank)];
   }
@@ -183,6 +234,11 @@ class Fabric {
   /// Context id of the world communicator.
   static constexpr std::uint64_t world_context = 0;
 
+  /// Unmatched sends of at least this many bytes take the rendezvous path
+  /// (single copy, send completes at match time) instead of the
+  /// buffered-eager path (pooled staging copy, send completes immediately).
+  static constexpr std::size_t kRendezvousBytes = 64 * 1024;
+
  private:
   struct ContextState {
     std::vector<std::unique_ptr<detail::Mailbox>> mailboxes;
@@ -195,6 +251,7 @@ class Fabric {
   std::vector<ccaperf::Rng> rngs_;  // one jitter stream per world rank
   std::vector<std::unique_ptr<detail::RankSignal>> signals_;
 
+  detail::BufferPool pool_;
   std::mutex contexts_mu_;
   std::map<std::uint64_t, ContextState> contexts_;
   std::atomic<std::uint64_t> next_context_{1};
