@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate (ROADMAP.md): configure + build + run every `tier1`-labeled
+# ctest suite, then rebuild the measurement core (mastermind + tau suites)
+# under AddressSanitizer and run those two binaries. Intended for CI and
+# for a quick local pre-push check:
+#
+#   scripts/check_tier1.sh            # build/ + build-asan/
+#   BUILD_DIR=mybuild scripts/check_tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+ASAN_DIR=${ASAN_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+echo "== tier-1 suites (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+
+echo "== address-sanitized measurement suites (${ASAN_DIR}) =="
+cmake -B "${ASAN_DIR}" -S . -DCCAPERF_SANITIZE=address >/dev/null
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_tau test_core
+"${ASAN_DIR}/tests/tau/test_tau"
+"${ASAN_DIR}/tests/core/test_core"
+
+echo "tier1 + asan: OK"

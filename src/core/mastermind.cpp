@@ -4,39 +4,150 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <ostream>
-#include <set>
 
 #include "support/table.hpp"
 
 namespace core {
 
-void Record::dump_csv(std::ostream& os) const {
-  // Stable column set: union of parameter / counter names.
-  std::set<std::string> param_names;
-  std::set<std::string> counter_names;
-  for (const Invocation& inv : invocations_) {
-    for (const auto& [k, v] : inv.params) param_names.insert(k);
-    for (const auto& [k, v] : inv.counters) counter_names.insert(k);
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+// --- Record: columns ---------------------------------------------------------
+
+const Record::NamedColumn* Record::find_param(std::string_view name) const {
+  for (const NamedColumn& c : params_)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const Record::NamedColumn* Record::find_counter(std::string_view name) const {
+  for (const NamedColumn& c : counters_)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+std::vector<std::string> Record::param_names() const {
+  std::vector<std::string> out;
+  out.reserve(params_.size());
+  for (const NamedColumn& c : params_) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> Record::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const NamedColumn& c : counters_) out.push_back(c.name);
+  return out;
+}
+
+std::size_t Record::ensure_param_column(std::string_view name) {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (params_[i].name == name) return i;
+  params_.push_back(NamedColumn{std::string(name), {}});
+  params_.back().data.pad_to(completed_rows(), kNaN);
+  return params_.size() - 1;
+}
+
+std::size_t Record::ensure_counter_column(std::string_view name) {
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    if (counters_[i].name == name) return i;
+  counters_.push_back(NamedColumn{std::string(name), {}});
+  counters_.back().data.pad_to(completed_rows(), kNaN);
+  return counters_.size() - 1;
+}
+
+double Record::param_at(std::size_t i, std::string_view name) const {
+  const NamedColumn* c = find_param(name);
+  return (c != nullptr && i < c->data.size()) ? c->data[i] : kNaN;
+}
+
+double Record::counter_at(std::size_t i, std::string_view name) const {
+  const NamedColumn* c = find_counter(name);
+  return (c != nullptr && i < c->data.size()) ? c->data[i] : kNaN;
+}
+
+double Record::metric_at(std::size_t i, Metric m) const {
+  return m == Metric::wall ? wall_[i] : m == Metric::compute ? compute_[i] : mpi_[i];
+}
+
+// --- Record: appending -------------------------------------------------------
+
+void Record::add_times(double wall_us, double mpi_us, double compute_us) {
+  wall_.push_back(wall_us);
+  mpi_.push_back(mpi_us);
+  compute_.push_back(compute_us);
+  in_row_ = true;
+}
+
+void Record::set_param(std::size_t column, double value) {
+  params_[column].data.push_back(value);
+}
+
+void Record::set_counter(std::size_t column, double value) {
+  counters_[column].data.push_back(value);
+}
+
+void Record::finish_row() {
+  const std::size_t n = count();
+  for (NamedColumn& c : params_) c.data.pad_to(n, kNaN);
+  for (NamedColumn& c : counters_) c.data.pad_to(n, kNaN);
+  in_row_ = false;
+  const std::size_t row = n - 1;
+  for (Stream& s : streams_) {
+    const double q = params_[s.param_col].data[row];
+    if (!std::isnan(q)) s.fit->add(q, metric_at(row, s.metric));
   }
+}
+
+void Record::add(const Invocation& inv) {
+  // Resolve columns before opening the row so backfill targets completed
+  // rows only.
+  std::vector<std::pair<std::size_t, double>> pcols, ccols;
+  pcols.reserve(inv.params.size());
+  ccols.reserve(inv.counters.size());
+  for (const auto& [name, v] : inv.params) pcols.emplace_back(ensure_param_column(name), v);
+  for (const auto& [name, v] : inv.counters)
+    ccols.emplace_back(ensure_counter_column(name), v);
+  add_times(inv.wall_us, inv.mpi_us, inv.compute_us);
+  for (const auto& [col, v] : pcols) set_param(col, v);
+  for (const auto& [col, v] : ccols) set_counter(col, v);
+  finish_row();
+}
+
+// --- Record: consumption -----------------------------------------------------
+
+void Record::dump_csv(std::ostream& os) const {
+  // Stable column set: sorted union of parameter / counter names (the
+  // pre-columnar dump used std::set ordering).
+  std::vector<std::string> pnames = param_names();
+  std::vector<std::string> cnames = counter_names();
+  std::sort(pnames.begin(), pnames.end());
+  std::sort(cnames.begin(), cnames.end());
+
   ccaperf::CsvWriter csv(os);
   std::vector<std::string> header{"method", "wall_us", "mpi_us", "compute_us"};
-  for (const auto& p : param_names) header.push_back("param:" + p);
-  for (const auto& c : counter_names) header.push_back("hw:" + c);
+  for (const auto& p : pnames) header.push_back("param:" + p);
+  for (const auto& c : cnames) header.push_back("hw:" + c);
   csv.row(header);
-  for (const Invocation& inv : invocations_) {
-    std::vector<std::string> row{method_, ccaperf::fmt_double(inv.wall_us, 10),
-                                 ccaperf::fmt_double(inv.mpi_us, 10),
-                                 ccaperf::fmt_double(inv.compute_us, 10)};
-    for (const auto& p : param_names) {
-      auto it = inv.params.find(p);
-      row.push_back(it == inv.params.end() ? "" : ccaperf::fmt_double(it->second, 10));
+
+  std::vector<const NamedColumn*> pcols, ccols;
+  for (const auto& p : pnames) pcols.push_back(find_param(p));
+  for (const auto& c : cnames) ccols.push_back(find_counter(c));
+
+  std::vector<std::string> row;
+  for (std::size_t i = 0; i < count(); ++i) {
+    row.assign({method_, ccaperf::fmt_double(wall_[i], 10),
+                ccaperf::fmt_double(mpi_[i], 10), ccaperf::fmt_double(compute_[i], 10)});
+    for (const NamedColumn* c : pcols) {
+      const double v = c->data[i];
+      row.push_back(std::isnan(v) ? "" : ccaperf::fmt_double(v, 10));
     }
-    for (const auto& cn : counter_names) {
-      auto it = std::find_if(inv.counters.begin(), inv.counters.end(),
-                             [&](const auto& kv) { return kv.first == cn; });
-      row.push_back(it == inv.counters.end() ? ""
-                                             : ccaperf::fmt_double(it->second, 10));
+    for (const NamedColumn* c : ccols) {
+      const double v = c->data[i];
+      row.push_back(std::isnan(v) ? "" : ccaperf::fmt_double(v, 10));
     }
     csv.row(row);
   }
@@ -45,85 +156,212 @@ void Record::dump_csv(std::ostream& os) const {
 std::vector<std::pair<double, double>> Record::samples(const std::string& param,
                                                        Metric metric) const {
   std::vector<std::pair<double, double>> out;
-  out.reserve(invocations_.size());
-  for (const Invocation& inv : invocations_) {
-    auto it = inv.params.find(param);
-    if (it == inv.params.end()) continue;
-    const double t = metric == Metric::wall      ? inv.wall_us
-                     : metric == Metric::compute ? inv.compute_us
-                                                 : inv.mpi_us;
-    out.emplace_back(it->second, t);
+  const NamedColumn* p = find_param(param);
+  if (p == nullptr) return out;
+  out.reserve(count());
+  for (std::size_t i = 0; i < count(); ++i) {
+    const double q = p->data[i];
+    if (std::isnan(q)) continue;
+    out.emplace_back(q, metric_at(i, metric));
   }
   return out;
 }
 
+std::vector<std::pair<double, double>> Record::samples(
+    const std::string& param, const std::string& metric_source) const {
+  if (metric_source == "wall") return samples(param, Metric::wall);
+  if (metric_source == "compute") return samples(param, Metric::compute);
+  if (metric_source == "mpi") return samples(param, Metric::mpi);
+  std::vector<std::pair<double, double>> out;
+  const NamedColumn* p = find_param(param);
+  const NamedColumn* c = find_counter(metric_source);
+  if (p == nullptr || c == nullptr) return out;
+  out.reserve(count());
+  for (std::size_t i = 0; i < count(); ++i) {
+    const double q = p->data[i];
+    const double v = c->data[i];
+    if (std::isnan(q) || std::isnan(v)) continue;
+    out.emplace_back(q, v);
+  }
+  return out;
+}
+
+StreamingFitSet& Record::attach_stream(const std::string& param, Metric metric,
+                                       int max_poly_degree) {
+  Stream s;
+  s.param_col = ensure_param_column(param);
+  s.metric = metric;
+  s.fit = std::make_unique<StreamingFitSet>(max_poly_degree);
+  // Backfill completed rows so the stream always reflects the whole record.
+  const ChunkedColumn& qcol = params_[s.param_col].data;
+  for (std::size_t i = 0; i < count(); ++i)
+    if (!std::isnan(qcol[i])) s.fit->add(qcol[i], metric_at(i, metric));
+  streams_.push_back(std::move(s));
+  return *streams_.back().fit;
+}
+
+const std::vector<Invocation>& Record::invocations() const {
+  for (std::size_t i = rows_cache_.size(); i < count(); ++i) {
+    Invocation inv;
+    inv.wall_us = wall_[i];
+    inv.mpi_us = mpi_[i];
+    inv.compute_us = compute_[i];
+    for (const NamedColumn& c : params_)
+      if (!std::isnan(c.data[i])) inv.params[c.name] = c.data[i];
+    for (const NamedColumn& c : counters_)
+      if (!std::isnan(c.data[i])) inv.counters.emplace_back(c.name, c.data[i]);
+    rows_cache_.push_back(std::move(inv));
+  }
+  return rows_cache_;
+}
+
+// --- MastermindComponent -----------------------------------------------------
+
 tau::Registry& MastermindComponent::registry() {
-  return svc_->get_port_as<MeasurementPort>("measurement")->registry();
+  if (reg_ == nullptr) {
+    reg_ = &svc_->get_port_as<MeasurementPort>("measurement")->registry();
+    mpi_group_ = reg_->group_id(tau::kMpiGroup);
+  }
+  return *reg_;
+}
+
+MethodHandle MastermindComponent::intern_method(std::string_view key) {
+  for (std::size_t i = 0; i < methods_.size(); ++i)
+    if (methods_[i].key == key) return static_cast<MethodHandle>(i);
+  Method m;
+  m.key = std::string(key);
+  m.record = std::make_unique<Record>(m.key);
+  methods_.push_back(std::move(m));
+  return static_cast<MethodHandle>(methods_.size() - 1);
+}
+
+MethodHandle MastermindComponent::register_method(
+    const std::string& method_key, const std::vector<std::string>& param_names) {
+  CCAPERF_REQUIRE(param_names.size() <= kMaxMethodParams,
+                  "Mastermind::register_method: too many parameters for '" +
+                      method_key + "'");
+  const MethodHandle h = intern_method(method_key);
+  Method& m = methods_[h];
+  if (m.param_names.empty() && !param_names.empty()) {
+    m.param_names = param_names;
+    m.param_cols.clear();
+    for (const std::string& n : param_names)
+      m.param_cols.push_back(m.record->ensure_param_column(n));
+  } else {
+    CCAPERF_REQUIRE(param_names.empty() || param_names == m.param_names,
+                    "Mastermind::register_method: conflicting parameter names for '" +
+                        method_key + "'");
+  }
+  return h;
+}
+
+MastermindComponent::Open& MastermindComponent::push_open(MethodHandle h) {
+  if (open_depth_ == open_.size()) open_.emplace_back();
+  Open& o = open_[open_depth_++];
+  o.method = h;
+  o.n_params = 0;
+  o.extra_params.clear();  // keeps capacity: steady state allocates nothing
+  return o;
+}
+
+void MastermindComponent::start(MethodHandle method, ParamSpan params) {
+  tau::Registry& reg = registry();
+  CCAPERF_REQUIRE(method < methods_.size(), "Mastermind::start: bad method handle");
+  Method& m = methods_[method];
+  CCAPERF_REQUIRE(params.size == m.param_names.size(),
+                  "Mastermind::start: wrong parameter count for '" + m.key + "'");
+  Open& o = push_open(method);
+  o.n_params = static_cast<std::uint32_t>(params.size);
+  for (std::size_t i = 0; i < params.size; ++i) o.param_vals[i] = params.data[i];
+  // Parameter capture and snapshots happen OUTSIDE the method timer, so
+  // "these timings do not include the cost of the work done in the
+  // proxies" (§5).
+  o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
+  reg.counters().read_values(o.counters_start);
+  o.gen_start = reg.generation();
+  // Call-path detection: the enclosing monitored method (if any) is the
+  // caller of this invocation.
+  count_edge(open_depth_ >= 2 ? open_[open_depth_ - 2].method : kInvalidMethodHandle,
+             method);
+  if (!m.timer_resolved) {
+    m.timer = reg.timer(m.key, "PROXY");
+    m.timer_resolved = true;
+  }
+  reg.start(m.timer);
+}
+
+void MastermindComponent::stop(MethodHandle method) {
+  tau::Registry& reg = registry();
+  CCAPERF_REQUIRE(method < methods_.size(), "Mastermind::stop: bad method handle");
+  Method& m = methods_[method];
+  // The method timer's own activation is the invocation wall time — no
+  // extra clock readings beyond the two the registry already takes.
+  const double wall_us = m.timer_resolved ? reg.stop(m.timer) : 0.0;
+  CCAPERF_REQUIRE(open_depth_ > 0 && open_[open_depth_ - 1].method == method,
+                  "Mastermind::stop: mismatched monitoring stop for '" + m.key + "'");
+  Open& o = open_[--open_depth_];
+
+  Record& rec = *m.record;
+  const double mpi_us = reg.group_inclusive_us(mpi_group_) - o.mpi_us_start;
+  rec.add_times(wall_us, mpi_us, wall_us - mpi_us);
+  for (std::size_t i = 0; i < o.n_params; ++i)
+    rec.set_param(m.param_cols[i], o.param_vals[i]);
+  for (const auto& [col, v] : o.extra_params) rec.set_param(col, v);
+
+  reg.counters().read_values(counters_scratch_);
+  if (counters_scratch_.size() != m.counter_cols.size()) refresh_counter_columns(m);
+  for (std::size_t i = 0; i < counters_scratch_.size(); ++i) {
+    // A counter registered mid-invocation has no before-value: treat as 0.
+    const double before =
+        i < o.counters_start.size() ? static_cast<double>(o.counters_start[i]) : 0.0;
+    rec.set_counter(m.counter_cols[i], static_cast<double>(counters_scratch_[i]) - before);
+  }
+  rec.finish_row();
+
+  // Outermost window closed: nothing differences older generations any
+  // more, so the registry's change log can be compacted.
+  if (open_depth_ == 0) reg.retire_generations_before(reg.generation());
 }
 
 void MastermindComponent::start(const std::string& method_key, const ParamMap& params) {
   tau::Registry& reg = registry();
-  Open open;
-  open.key = method_key;
-  open.params = params;
-  // Parameter extraction and snapshots happen OUTSIDE the method timer, so
-  // "these timings do not include the cost of the work done in the
-  // proxies" (§5).
-  open.mpi_us_start = reg.group_inclusive_us(tau::kMpiGroup);
-  open.counters_start = reg.counters().read_all();
-  // Call-path detection: the enclosing monitored method (if any) is the
-  // caller of this invocation.
-  count_edge(open_.empty() ? std::string{} : open_.back().key, method_key);
-  open_.push_back(std::move(open));
-  reg.start(reg.timer(method_key, "PROXY"));
-  open_.back().wall_start = tau::Clock::now();
+  const MethodHandle h = intern_method(method_key);
+  Method& m = methods_[h];
+  Open& o = push_open(h);
+  for (const auto& [name, v] : params)
+    o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
+  o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
+  reg.counters().read_values(o.counters_start);
+  o.gen_start = reg.generation();
+  count_edge(open_depth_ >= 2 ? open_[open_depth_ - 2].method : kInvalidMethodHandle, h);
+  if (!m.timer_resolved) {
+    m.timer = reg.timer(m.key, "PROXY");
+    m.timer_resolved = true;
+  }
+  reg.start(m.timer);
 }
 
 void MastermindComponent::stop(const std::string& method_key) {
-  const tau::Clock::time_point wall_end = tau::Clock::now();
-  tau::Registry& reg = registry();
-  reg.stop(reg.timer(method_key, "PROXY"));
-
-  CCAPERF_REQUIRE(!open_.empty() && open_.back().key == method_key,
-                  "Mastermind::stop: mismatched monitoring stop for '" +
-                      method_key + "'");
-  Open open = std::move(open_.back());
-  open_.pop_back();
-
-  Invocation inv;
-  inv.params = std::move(open.params);
-  inv.wall_us =
-      std::chrono::duration<double, std::micro>(wall_end - open.wall_start).count();
-  inv.mpi_us = reg.group_inclusive_us(tau::kMpiGroup) - open.mpi_us_start;
-  inv.compute_us = inv.wall_us - inv.mpi_us;
-  const auto counters_end = reg.counters().read_all();
-  for (const auto& [name, value] : counters_end) {
-    auto it = std::find_if(open.counters_start.begin(), open.counters_start.end(),
-                           [&](const auto& kv) { return kv.first == name; });
-    const double before =
-        it == open.counters_start.end() ? 0.0 : static_cast<double>(it->second);
-    inv.counters.emplace_back(name, static_cast<double>(value) - before);
-  }
-
-  for (auto& [key, rec] : records_) {
-    if (key == method_key) {
-      rec.add(std::move(inv));
-      return;
-    }
-  }
-  records_.emplace_back(method_key, Record(method_key));
-  records_.back().second.add(std::move(inv));
+  stop(intern_method(method_key));
 }
 
-void MastermindComponent::count_edge(const std::string& caller,
-                                     const std::string& callee) {
-  for (CallEdge& e : edges_) {
-    if (e.caller == caller && e.callee == callee) {
-      ++e.count;
+void MastermindComponent::refresh_counter_columns(Method& m) {
+  m.counter_cols.clear();
+  for (const std::string& n : reg_->counters().names())
+    m.counter_cols.push_back(m.record->ensure_counter_column(n));
+}
+
+void MastermindComponent::count_edge(MethodHandle caller, MethodHandle callee) {
+  for (std::size_t i = 0; i < edge_ids_.size(); ++i) {
+    if (edge_ids_[i].first == caller && edge_ids_[i].second == callee) {
+      ++edges_[i].count;
       return;
     }
   }
-  edges_.push_back(CallEdge{caller, callee, 1});
+  edge_ids_.emplace_back(caller, callee);
+  edges_.push_back(CallEdge{
+      caller == kInvalidMethodHandle ? std::string{} : methods_[caller].key,
+      methods_[callee].key, 1});
 }
 
 std::uint64_t MastermindComponent::call_count(const std::string& caller,
@@ -134,26 +372,28 @@ std::uint64_t MastermindComponent::call_count(const std::string& caller,
 }
 
 const Record* MastermindComponent::record(const std::string& method_key) const {
-  for (const auto& [key, rec] : records_)
-    if (key == method_key) return &rec;
+  for (const Method& m : methods_)
+    if (m.key == method_key && m.record->count() > 0) return m.record.get();
   return nullptr;
 }
 
 std::vector<std::string> MastermindComponent::method_keys() const {
   std::vector<std::string> keys;
-  keys.reserve(records_.size());
-  for (const auto& [key, rec] : records_) keys.push_back(key);
+  keys.reserve(methods_.size());
+  for (const Method& m : methods_)
+    if (m.record->count() > 0) keys.push_back(m.key);
   return keys;
 }
 
 void MastermindComponent::dump_all(const std::string& dir, int rank) const {
   std::filesystem::create_directories(dir);
-  for (const auto& [key, rec] : records_) {
-    std::string name = key;
+  for (const Method& m : methods_) {
+    if (m.record->count() == 0) continue;
+    std::string name = m.key;
     for (char& ch : name)
       if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
     std::ofstream os(dir + "/" + name + ".rank" + std::to_string(rank) + ".csv");
-    rec.dump_csv(os);
+    m.record->dump_csv(os);
   }
 }
 

@@ -2,24 +2,65 @@
 // MastermindComponent — gathering, storing and reporting of measurement
 // data (paper §4.3).
 //
-// For each monitored method a Record holds one Invocation per call:
-// the proxy-extracted parameters, wall-clock time, MPI time (difference of
-// the TAU "MPI" group inclusive sum queried before and after the
-// invocation — "TAU measurements are made cumulatively, so in order to
-// obtain the measurements for a single invocation, measurements must be
-// made prior to the invocation and again after"), compute time
-// (wall - MPI), and hardware-counter deltas. On destruction (or on
-// demand) records dump their data to CSV files.
+// For each monitored method a Record holds one row per call: the
+// proxy-extracted parameters, wall-clock time, MPI time (difference of the
+// TAU "MPI" group inclusive sum queried before and after the invocation —
+// "TAU measurements are made cumulatively, so in order to obtain the
+// measurements for a single invocation, measurements must be made prior to
+// the invocation and again after"), compute time (wall - MPI), and
+// hardware-counter deltas. On destruction (or on demand) records dump
+// their data to CSV files.
+//
+// Storage is columnar (structure-of-arrays): each metric, parameter and
+// counter lives in its own chunked append-only column, so the per-call
+// append is a handful of doubles pushed into pre-grown chunks — no
+// per-invocation structs, maps or strings — and dump_csv/samples stream a
+// column instead of walking heap-heavy rows. The row-oriented Invocation
+// view survives as a materialized compatibility cache.
 
+#include <cmath>
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
+#include "core/modeling.hpp"
 #include "core/ports.hpp"
 
 namespace core {
 
-/// One monitored method call.
+/// Append-only column of doubles stored in fixed-size chunks: appends are
+/// amortized O(1) with no reallocation-copies, reads are stable, and one
+/// allocation buys kChunk further zero-allocation appends.
+class ChunkedColumn {
+ public:
+  static constexpr std::size_t kChunk = 4096;
+
+  std::size_t size() const { return size_; }
+
+  void push_back(double v) {
+    const std::size_t slot = size_ % kChunk;
+    if (slot == 0) chunks_.push_back(std::make_unique<double[]>(kChunk));
+    chunks_.back()[slot] = v;
+    ++size_;
+  }
+
+  double operator[](std::size_t i) const { return chunks_[i / kChunk][i % kChunk]; }
+
+  /// Pads with `fill` up to `n` entries (used to mark rows where an
+  /// optional column has no value).
+  void pad_to(std::size_t n, double fill) {
+    while (size_ < n) push_back(fill);
+  }
+
+ private:
+  std::vector<std::unique_ptr<double[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+/// One monitored method call — the row-oriented *view* of a Record, kept
+/// for compatibility with pre-columnar callers (see Record::invocations).
 struct Invocation {
   ParamMap params;
   double wall_us = 0.0;
@@ -28,16 +69,48 @@ struct Invocation {
   std::vector<std::pair<std::string, double>> counters;  ///< hw metric deltas
 };
 
-/// All invocations of one monitored method.
+/// All invocations of one monitored method, stored column-wise. Absent
+/// values (a parameter or counter that did not apply to a row) are NaN.
 class Record {
  public:
   explicit Record(std::string method) : method_(std::move(method)) {}
 
   const std::string& method() const { return method_; }
-  const std::vector<Invocation>& invocations() const { return invocations_; }
-  std::size_t count() const { return invocations_.size(); }
+  std::size_t count() const { return wall_.size(); }
 
-  void add(Invocation inv) { invocations_.push_back(std::move(inv)); }
+  // --- columnar access -------------------------------------------------------
+
+  double wall_us(std::size_t i) const { return wall_[i]; }
+  double mpi_us(std::size_t i) const { return mpi_[i]; }
+  double compute_us(std::size_t i) const { return compute_[i]; }
+
+  /// Names of the parameter / counter columns, in creation order.
+  std::vector<std::string> param_names() const;
+  std::vector<std::string> counter_names() const;
+
+  /// Column index for a parameter/counter, creating the column (NaN
+  /// backfilled for existing rows) on first use.
+  std::size_t ensure_param_column(std::string_view name);
+  std::size_t ensure_counter_column(std::string_view name);
+
+  /// Value at row `i` of the named column; NaN when absent.
+  double param_at(std::size_t i, std::string_view name) const;
+  double counter_at(std::size_t i, std::string_view name) const;
+
+  // --- appending (one row = one invocation) ----------------------------------
+  // add_times() opens row count()-1; set_param/set_counter fill optional
+  // columns of that row; finish_row() NaN-pads the rest and feeds any
+  // attached streaming fits.
+
+  void add_times(double wall_us, double mpi_us, double compute_us);
+  void set_param(std::size_t column, double value);
+  void set_counter(std::size_t column, double value);
+  void finish_row();
+
+  /// Row-oriented convenience append (the pre-columnar API).
+  void add(const Invocation& inv);
+
+  // --- consumption -----------------------------------------------------------
 
   /// CSV: one row per invocation; params and counters become columns.
   void dump_csv(std::ostream& os) const;
@@ -48,9 +121,47 @@ class Record {
   std::vector<std::pair<double, double>> samples(const std::string& param,
                                                  Metric metric = Metric::wall) const;
 
+  /// Same, with the metric source named: "wall", "compute", "mpi", or any
+  /// hardware-counter column (e.g. "PAPI_L2_DCM" for the Fig. 5
+  /// cache-access-ratio models). Unknown counters yield no samples.
+  std::vector<std::pair<double, double>> samples(const std::string& param,
+                                                 const std::string& metric_source) const;
+
+  /// Attaches a streaming model fit: existing rows are folded in once,
+  /// then every subsequent row updates the fit in O(1) (no re-scan at fit
+  /// time). Returns a reference stable for the Record's lifetime.
+  StreamingFitSet& attach_stream(const std::string& param, Metric metric,
+                                 int max_poly_degree = 2);
+
+  /// Row-oriented view, materialized lazily and extended incrementally.
+  /// Prefer the columnar accessors on hot paths.
+  const std::vector<Invocation>& invocations() const;
+
  private:
+  struct NamedColumn {
+    std::string name;
+    ChunkedColumn data;
+  };
+  struct Stream {
+    std::size_t param_col;
+    Metric metric;
+    std::unique_ptr<StreamingFitSet> fit;
+  };
+
+  const NamedColumn* find_param(std::string_view name) const;
+  const NamedColumn* find_counter(std::string_view name) const;
+  double metric_at(std::size_t i, Metric m) const;
+  /// Rows fully appended — excludes the row opened by add_times() until
+  /// finish_row() closes it (new columns backfill to this length).
+  std::size_t completed_rows() const { return in_row_ ? count() - 1 : count(); }
+
   std::string method_;
-  std::vector<Invocation> invocations_;
+  ChunkedColumn wall_, mpi_, compute_;
+  std::vector<NamedColumn> params_;
+  std::vector<NamedColumn> counters_;
+  std::vector<Stream> streams_;
+  bool in_row_ = false;
+  mutable std::vector<Invocation> rows_cache_;  // invocations() shim
 };
 
 class MastermindComponent final : public cca::Component, public MonitorPort {
@@ -62,6 +173,13 @@ class MastermindComponent final : public cca::Component, public MonitorPort {
     svc.register_uses_port("measurement", "pmm.MeasurementPort");
   }
 
+  // Handle fast path (allocation-free in steady state).
+  MethodHandle register_method(const std::string& method_key,
+                               const std::vector<std::string>& param_names) override;
+  void start(MethodHandle method, ParamSpan params) override;
+  void stop(MethodHandle method) override;
+
+  // String-keyed compatibility shim over the same records.
   void start(const std::string& method_key, const ParamMap& params) override;
   void stop(const std::string& method_key) override;
 
@@ -95,22 +213,46 @@ class MastermindComponent final : public cca::Component, public MonitorPort {
   ~MastermindComponent() override;
 
  private:
-  struct Open {
+  struct Method {
     std::string key;
-    ParamMap params;
-    tau::Clock::time_point wall_start;
+    std::vector<std::string> param_names;   ///< handle-path positional names
+    std::vector<std::size_t> param_cols;    ///< record columns, same order
+    std::unique_ptr<Record> record;
+    tau::TimerId timer = 0;
+    bool timer_resolved = false;
+    // Counter columns for the registry's current counter layout, resolved
+    // lazily and re-resolved only when counters are added.
+    std::vector<std::size_t> counter_cols;
+  };
+
+  /// In-flight monitored call. Pooled: popped entries keep their buffers,
+  /// so steady-state start/stop never allocates.
+  struct Open {
+    MethodHandle method = kInvalidMethodHandle;
+    double param_vals[kMaxMethodParams] = {};
+    std::uint32_t n_params = 0;
+    /// Shim-path parameters (arbitrary names): (record column, value).
+    std::vector<std::pair<std::size_t, double>> extra_params;
     double mpi_us_start = 0.0;
-    std::vector<std::pair<std::string, std::uint64_t>> counters_start;
+    tau::Generation gen_start = 0;
+    std::vector<std::uint64_t> counters_start;
   };
 
   tau::Registry& registry();
-
-  void count_edge(const std::string& caller, const std::string& callee);
+  MethodHandle intern_method(std::string_view key);
+  Open& push_open(MethodHandle h);
+  void refresh_counter_columns(Method& m);
+  void count_edge(MethodHandle caller, MethodHandle callee);
 
   cca::Services* svc_ = nullptr;
-  std::vector<std::pair<std::string, Record>> records_;
-  std::vector<Open> open_;  // LIFO of in-flight monitored calls
+  tau::Registry* reg_ = nullptr;          // resolved once through the port
+  tau::GroupId mpi_group_ = 0;            // interned with the registry
+  std::vector<Method> methods_;
+  std::vector<Open> open_;                // LIFO pool of in-flight calls
+  std::size_t open_depth_ = 0;
+  std::vector<std::uint64_t> counters_scratch_;
   std::vector<CallEdge> edges_;
+  std::vector<std::pair<MethodHandle, MethodHandle>> edge_ids_;  // parallel
   std::optional<std::string> dump_dir_;
   int dump_rank_ = 0;
 };

@@ -28,6 +28,22 @@ double AssemblyOptimizer::slot_time(const Slot& slot, const Candidate& c) const 
   return t;
 }
 
+AssemblyChoice AssemblyOptimizer::make_choice(const std::vector<std::size_t>& pick,
+                                              double accuracy_weight) const {
+  AssemblyChoice choice;
+  choice.predicted_time_us = fixed_time_us_;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const Slot& slot = slots_[s];
+    const Candidate& c = slot.candidates[pick[s]];
+    choice.selection[slot.functionality] = c.class_name;
+    choice.predicted_time_us += slot_time(slot, c);
+    choice.min_accuracy = std::min(choice.min_accuracy, c.accuracy);
+  }
+  choice.cost = choice.predicted_time_us *
+                (1.0 + accuracy_weight * (1.0 - choice.min_accuracy));
+  return choice;
+}
+
 std::vector<AssemblyChoice> AssemblyOptimizer::evaluate_all(
     double accuracy_weight) const {
   CCAPERF_REQUIRE(!slots_.empty(), "AssemblyOptimizer: no slots");
@@ -35,38 +51,129 @@ std::vector<AssemblyChoice> AssemblyOptimizer::evaluate_all(
   std::vector<std::size_t> pick(slots_.size(), 0);
 
   for (;;) {
-    AssemblyChoice choice;
-    choice.predicted_time_us = fixed_time_us_;
-    for (std::size_t s = 0; s < slots_.size(); ++s) {
-      const Slot& slot = slots_[s];
-      const Candidate& c = slot.candidates[pick[s]];
-      choice.selection[slot.functionality] = c.class_name;
-      choice.predicted_time_us += slot_time(slot, c);
-      choice.min_accuracy = std::min(choice.min_accuracy, c.accuracy);
-    }
-    choice.cost = choice.predicted_time_us *
-                  (1.0 + accuracy_weight * (1.0 - choice.min_accuracy));
-    results.push_back(std::move(choice));
+    results.push_back(make_choice(pick, accuracy_weight));
 
-    // Advance the mixed-radix counter over candidate indices.
-    std::size_t s = 0;
-    while (s < slots_.size()) {
+    // Advance the mixed-radix counter, last slot fastest, so assemblies
+    // enumerate in the same lexicographic order the selection tie-break
+    // uses (and stable_sort preserves for equal costs).
+    std::size_t s = slots_.size();
+    while (s-- > 0) {
       if (++pick[s] < slots_[s].candidates.size()) break;
       pick[s] = 0;
-      ++s;
     }
-    if (s == slots_.size()) break;
+    if (s == static_cast<std::size_t>(-1)) break;
   }
 
-  std::sort(results.begin(), results.end(),
-            [](const AssemblyChoice& a, const AssemblyChoice& b) {
-              return a.cost < b.cost;
-            });
+  std::stable_sort(results.begin(), results.end(),
+                   [](const AssemblyChoice& a, const AssemblyChoice& b) {
+                     return a.cost < b.cost;
+                   });
   return results;
 }
 
-AssemblyChoice AssemblyOptimizer::best(double accuracy_weight) const {
-  return evaluate_all(accuracy_weight).front();
+AssemblyChoice AssemblyOptimizer::best_exhaustive(double accuracy_weight) const {
+  CCAPERF_REQUIRE(!slots_.empty(), "AssemblyOptimizer: no slots");
+  // Minimum cost; ties go to the lexicographically smallest pick vector
+  // (slot insertion order major, candidate index order minor) — the same
+  // visit order as the branch-and-bound DFS below.
+  std::vector<std::size_t> pick(slots_.size(), 0);
+  std::vector<std::size_t> best_pick;
+  double best_cost = 0.0;
+  for (;;) {
+    const AssemblyChoice choice = make_choice(pick, accuracy_weight);
+    if (best_pick.empty() || choice.cost < best_cost) {
+      best_cost = choice.cost;
+      best_pick = pick;
+    } else if (choice.cost == best_cost && pick < best_pick) {
+      best_pick = pick;
+    }
+    std::size_t s = slots_.size();
+    while (s-- > 0) {
+      if (++pick[s] < slots_[s].candidates.size()) break;
+      pick[s] = 0;
+    }
+    if (s == static_cast<std::size_t>(-1)) break;
+  }
+  return make_choice(best_pick, accuracy_weight);
+}
+
+AssemblyChoice AssemblyOptimizer::best(double accuracy_weight,
+                                       SearchStats* stats) const {
+  CCAPERF_REQUIRE(!slots_.empty(), "AssemblyOptimizer: no slots");
+  const std::size_t n = slots_.size();
+
+  // Candidate times are reused across the whole search — one model
+  // evaluation per (slot, candidate), not per assembly.
+  std::vector<std::vector<double>> times(n);
+  std::vector<double> suffix_min(n + 1, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    times[s].reserve(slots_[s].candidates.size());
+    for (const Candidate& c : slots_[s].candidates)
+      times[s].push_back(slot_time(slots_[s], c));
+  }
+  for (std::size_t s = n; s-- > 0;)
+    suffix_min[s] = suffix_min[s + 1] + *std::min_element(times[s].begin(), times[s].end());
+
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+  st = SearchStats{};
+
+  std::vector<std::size_t> pick(n, 0), best_pick;
+  double best_cost = 0.0;
+  bool have_best = false;
+
+  // Iterative DFS in lexicographic pick order (slot 0 most significant):
+  // the first complete assembly reaching a given cost is also the
+  // tie-break winner, so a strict-improvement incumbent update suffices.
+  struct Node {
+    std::size_t slot;
+    std::size_t cand;
+    double time_so_far;
+    double min_acc;
+  };
+  std::vector<Node> dfs;
+  dfs.reserve(n * 4);
+  for (std::size_t c = slots_[0].candidates.size(); c-- > 0;)
+    dfs.push_back(Node{0, c, 0.0, 1.0});
+
+  while (!dfs.empty()) {
+    const Node node = dfs.back();
+    dfs.pop_back();
+    ++st.nodes_visited;
+
+    const Slot& slot = slots_[node.slot];
+    const double time = node.time_so_far + times[node.slot][node.cand];
+    const double min_acc =
+        std::min(node.min_acc, slot.candidates[node.cand].accuracy);
+    pick[node.slot] = node.cand;
+
+    // Lower bound on any completion: every remaining slot costs at least
+    // its cheapest candidate, and the QoS factor only grows as further
+    // (possibly less accurate) candidates bind.
+    const double factor = 1.0 + accuracy_weight * (1.0 - min_acc);
+    const double bound =
+        (fixed_time_us_ + time + suffix_min[node.slot + 1]) * factor;
+    if (have_best && bound >= best_cost) {
+      ++st.subtrees_pruned;
+      continue;
+    }
+
+    if (node.slot + 1 == n) {
+      ++st.leaves_evaluated;
+      const double cost = (fixed_time_us_ + time) * factor;
+      if (!have_best || cost < best_cost) {
+        have_best = true;
+        best_cost = cost;
+        best_pick = pick;
+      }
+      continue;
+    }
+    // Push children in reverse so candidate 0 is explored first.
+    for (std::size_t c = slots_[node.slot + 1].candidates.size(); c-- > 0;)
+      dfs.push_back(Node{node.slot + 1, c, time, min_acc});
+  }
+
+  return make_choice(best_pick, accuracy_weight);
 }
 
 }  // namespace core

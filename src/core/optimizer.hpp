@@ -59,15 +59,36 @@ class AssemblyOptimizer {
   void add_slot(Slot slot);
 
   /// Exhaustively evaluates all prod(Ci) assemblies at the given QoS
-  /// weight, best (lowest cost) first.
+  /// weight, best (lowest cost) first (stable: equal-cost assemblies keep
+  /// enumeration order).
   std::vector<AssemblyChoice> evaluate_all(double accuracy_weight = 0.0) const;
 
-  AssemblyChoice best(double accuracy_weight = 0.0) const;
+  /// Search effort counters for the branch-and-bound selection.
+  struct SearchStats {
+    std::size_t nodes_visited = 0;   ///< partial assignments expanded
+    std::size_t leaves_evaluated = 0;  ///< complete assemblies costed
+    std::size_t subtrees_pruned = 0;   ///< bound cuts
+  };
+
+  /// Best assembly by branch-and-bound: depth-first over slots with a
+  /// per-slot lower bound (remaining slots contribute at least their
+  /// cheapest candidate's time; the QoS factor can only grow as more slots
+  /// bind), pruning subtrees that cannot beat the incumbent. Exact — the
+  /// winner is identical to exhaustive enumeration, including tie-breaking
+  /// (lowest candidate indices in slot insertion order win ties).
+  AssemblyChoice best(double accuracy_weight = 0.0,
+                      SearchStats* stats = nullptr) const;
+
+  /// Reference implementation: full enumeration with the same
+  /// deterministic tie-break. Kept for tests and ablations.
+  AssemblyChoice best_exhaustive(double accuracy_weight = 0.0) const;
 
   std::size_t assembly_count() const;
 
  private:
   double slot_time(const Slot& slot, const Candidate& c) const;
+  AssemblyChoice make_choice(const std::vector<std::size_t>& pick,
+                             double accuracy_weight) const;
 
   double fixed_time_us_;
   std::vector<Slot> slots_;

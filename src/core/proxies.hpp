@@ -14,15 +14,21 @@
 // Q, access mode, hierarchy level) before forwarding — §3.2 requirement 4.
 //
 // The proxies are mechanical: same ports, one monitored forward per
-// method. `MonitoredScope` is the shared body, demonstrating that "it is
-// not difficult to envision proxy creation being fully automated."
+// method — "it is not difficult to envision proxy creation being fully
+// automated." Each proxy resolves the monitor port and registers its
+// method keys ONCE (lazily, on first invocation — wiring completes after
+// setServices), then reports every call through the allocation-free
+// MethodHandle/ParamSpan surface; the monitored component itself is still
+// fetched per call so reconnection (candidate swapping, §6) keeps working.
 
 #include "components/ports.hpp"
 #include "core/ports.hpp"
 
 namespace core {
 
-/// RAII monitor bracket used by every generated proxy method.
+/// RAII monitor bracket over the string-keyed MonitorPort surface. Kept
+/// for hand-written/out-of-tree proxies; the generated proxies below use
+/// the handle fast path.
 class MonitoredScope {
  public:
   MonitoredScope(MonitorPort& monitor, const char* key, const ParamMap& params)
@@ -36,6 +42,23 @@ class MonitoredScope {
  private:
   MonitorPort& monitor_;
   const char* key_;
+};
+
+/// RAII monitor bracket over the handle fast path: parameter values live
+/// in a caller-owned stack array; start/stop never allocate.
+class MonitoredHandleScope {
+ public:
+  MonitoredHandleScope(MonitorPort& monitor, MethodHandle method, ParamSpan params)
+      : monitor_(monitor), method_(method) {
+    monitor_.start(method_, params);
+  }
+  ~MonitoredHandleScope() { monitor_.stop(method_); }
+  MonitoredHandleScope(const MonitoredHandleScope&) = delete;
+  MonitoredHandleScope& operator=(const MonitoredHandleScope&) = delete;
+
+ private:
+  MonitorPort& monitor_;
+  MethodHandle method_;
 };
 
 /// Proxy for the States component ("sc_proxy"). Performance parameters:
@@ -53,18 +76,21 @@ class StatesProxy final : public cca::Component, public components::StatesPort {
   euler::KernelCounts compute(const amr::PatchData<double>& u,
                               const amr::Box& interior, euler::Dir dir,
                               euler::Array2& left, euler::Array2& right) override {
-    auto* monitor = svc_->get_port_as<MonitorPort>("monitor");
+    if (monitor_ == nullptr) {
+      monitor_ = svc_->get_port_as<MonitorPort>("monitor");
+      method_ = monitor_->register_method("sc_proxy::compute()", {"Q", "mode"});
+    }
     auto* real = svc_->get_port_as<StatesPort>("states_real");
-    const ParamMap params{
-        {"Q", static_cast<double>(u.pts_per_comp())},
-        {"mode", dir == euler::Dir::x ? 0.0 : 1.0},
-    };
-    MonitoredScope scope(*monitor, "sc_proxy::compute()", params);
+    const double params[2] = {static_cast<double>(u.pts_per_comp()),
+                              dir == euler::Dir::x ? 0.0 : 1.0};
+    MonitoredHandleScope scope(*monitor_, method_, ParamSpan(params, 2));
     return real->compute(u, interior, dir, left, right);
   }
 
  private:
   cca::Services* svc_ = nullptr;
+  MonitorPort* monitor_ = nullptr;
+  MethodHandle method_ = kInvalidMethodHandle;
 };
 
 /// Proxy for a FluxPort implementation. The timer key is chosen at
@@ -85,13 +111,15 @@ class FluxProxy final : public cca::Component, public components::FluxPort {
 
   euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
                               euler::Dir dir, euler::Array2& flux) override {
-    auto* monitor = svc_->get_port_as<MonitorPort>("monitor");
+    if (monitor_ == nullptr) {
+      monitor_ = svc_->get_port_as<MonitorPort>("monitor");
+      method_ = monitor_->register_method(key_, {"Q", "mode"});
+    }
     auto* real = svc_->get_port_as<FluxPort>("flux_real");
-    const ParamMap params{
-        {"Q", static_cast<double>(static_cast<std::size_t>(left.nx()) * left.ny())},
-        {"mode", dir == euler::Dir::x ? 0.0 : 1.0},
-    };
-    MonitoredScope scope(*monitor, key_.c_str(), params);
+    const double params[2] = {
+        static_cast<double>(static_cast<std::size_t>(left.nx()) * left.ny()),
+        dir == euler::Dir::x ? 0.0 : 1.0};
+    MonitoredHandleScope scope(*monitor_, method_, ParamSpan(params, 2));
     return real->compute(left, right, dir, flux);
   }
 
@@ -105,6 +133,8 @@ class FluxProxy final : public cca::Component, public components::FluxPort {
  private:
   std::string key_;
   cca::Services* svc_ = nullptr;
+  MonitorPort* monitor_ = nullptr;
+  MethodHandle method_ = kInvalidMethodHandle;
 };
 
 /// Proxy for AMRMesh ("icc_proxy"), capturing the message-passing costs:
@@ -123,29 +153,38 @@ class AMRMeshProxy final : public cca::Component, public components::MeshPort {
   amr::Hierarchy& hierarchy() override { return real()->hierarchy(); }
 
   void initialize() override {
-    MonitoredScope scope(*monitor(), "icc_proxy::initialize()", {});
+    MonitorPort& m = *monitor();  // resolves handles on first use
+    MonitoredHandleScope scope(m, h_initialize_, {});
     real()->initialize();
   }
 
   amr::ExchangeStats ghost_update(int level) override {
-    MonitoredScope scope(*monitor(), "icc_proxy::ghost_update()",
-                         level_params(level));
+    MonitorPort& m = *monitor();
+    double params[2];
+    level_params(level, params);
+    MonitoredHandleScope scope(m, h_ghost_update_, ParamSpan(params, 2));
     return real()->ghost_update(level);
   }
 
   void prolong(int level) override {
-    MonitoredScope scope(*monitor(), "icc_proxy::prolong()", level_params(level));
+    MonitorPort& m = *monitor();
+    double params[2];
+    level_params(level, params);
+    MonitoredHandleScope scope(m, h_prolong_, ParamSpan(params, 2));
     real()->prolong(level);
   }
 
   void restrict_level(int fine_level) override {
-    MonitoredScope scope(*monitor(), "icc_proxy::restrict()",
-                         level_params(fine_level));
+    MonitorPort& m = *monitor();
+    double params[2];
+    level_params(fine_level, params);
+    MonitoredHandleScope scope(m, h_restrict_, ParamSpan(params, 2));
     real()->restrict_level(fine_level);
   }
 
   void regrid() override {
-    MonitoredScope scope(*monitor(), "icc_proxy::regrid()", {});
+    MonitorPort& m = *monitor();
+    MonitoredHandleScope scope(m, h_regrid_, {});
     real()->regrid();
   }
 
@@ -153,16 +192,33 @@ class AMRMeshProxy final : public cca::Component, public components::MeshPort {
   components::MeshPort* real() {
     return svc_->get_port_as<components::MeshPort>("mesh_real");
   }
-  MonitorPort* monitor() { return svc_->get_port_as<MonitorPort>("monitor"); }
-  ParamMap level_params(int level) {
+  MonitorPort* monitor() {
+    if (monitor_ == nullptr) {
+      monitor_ = svc_->get_port_as<MonitorPort>("monitor");
+      h_initialize_ = monitor_->register_method("icc_proxy::initialize()", {});
+      h_ghost_update_ =
+          monitor_->register_method("icc_proxy::ghost_update()", {"level", "cells"});
+      h_prolong_ =
+          monitor_->register_method("icc_proxy::prolong()", {"level", "cells"});
+      h_restrict_ =
+          monitor_->register_method("icc_proxy::restrict()", {"level", "cells"});
+      h_regrid_ = monitor_->register_method("icc_proxy::regrid()", {});
+    }
+    return monitor_;
+  }
+  void level_params(int level, double out[2]) {
     amr::Hierarchy& h = real()->hierarchy();
-    return ParamMap{
-        {"level", static_cast<double>(level)},
-        {"cells", static_cast<double>(h.level(level).total_cells())},
-    };
+    out[0] = static_cast<double>(level);
+    out[1] = static_cast<double>(h.level(level).total_cells());
   }
 
   cca::Services* svc_ = nullptr;
+  MonitorPort* monitor_ = nullptr;
+  MethodHandle h_initialize_ = kInvalidMethodHandle;
+  MethodHandle h_ghost_update_ = kInvalidMethodHandle;
+  MethodHandle h_prolong_ = kInvalidMethodHandle;
+  MethodHandle h_restrict_ = kInvalidMethodHandle;
+  MethodHandle h_regrid_ = kInvalidMethodHandle;
 };
 
 }  // namespace core

@@ -54,6 +54,16 @@ class CounterRegistry {
     ccaperf::raise("CounterRegistry: unknown counter '" + name + "'");
   }
 
+  std::size_t size() const { return sources_.size(); }
+
+  /// Zero-allocation snapshot: overwrites `out` with every counter value in
+  /// registration order (reuses its capacity). The caller pairs values with
+  /// names() resolved once — the monitoring hot path does exactly that.
+  void read_values(std::vector<std::uint64_t>& out) const {
+    out.resize(sources_.size());
+    for (std::size_t i = 0; i < sources_.size(); ++i) out[i] = sources_[i].second();
+  }
+
   /// Snapshot of every registered counter, in registration order.
   std::vector<std::pair<std::string, std::uint64_t>> read_all() const {
     std::vector<std::pair<std::string, std::uint64_t>> out;

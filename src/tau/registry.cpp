@@ -6,34 +6,158 @@
 namespace tau {
 
 namespace {
+
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
+
+/// FNV-1a over the name bytes — cheap, allocation-free, good enough for a
+/// table whose keys are a few dozen distinct method/timer names.
+std::uint64_t hash_name(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
-TimerId Registry::timer(const std::string& name, const std::string& group) {
-  auto it = by_name_.find(name);
-  if (it != by_name_.end()) return it->second;
+// --- name interner -----------------------------------------------------------
+
+std::size_t Registry::probe_name(std::string_view name) const {
+  // Returns the bucket holding `name`, or the empty bucket where it would
+  // be inserted. Callers guarantee the table is non-empty and not full.
+  const std::size_t mask = name_buckets_.size() - 1;
+  std::size_t b = static_cast<std::size_t>(hash_name(name)) & mask;
+  while (true) {
+    const std::uint32_t v = name_buckets_[b];
+    if (v == 0 || timers_[v - 1].name == name) return b;
+    b = (b + 1) & mask;
+  }
+}
+
+void Registry::rehash_names(std::size_t capacity) {
+  name_buckets_.assign(capacity, 0);
+  for (TimerId id = 0; id < timers_.size(); ++id) {
+    const std::size_t b = probe_name(timers_[id].name);
+    name_buckets_[b] = static_cast<std::uint32_t>(id) + 1;
+  }
+}
+
+TimerId Registry::timer(std::string_view name, std::string_view group) {
+  if (name_buckets_.empty()) rehash_names(64);
+  std::size_t b = probe_name(name);
+  if (name_buckets_[b] != 0) return name_buckets_[b] - 1;
+
   const TimerId id = timers_.size();
-  timers_.push_back(TimerStats{name, group, 0, 0.0, 0.0});
+  timers_.push_back(TimerStats{std::string(name), std::string(group), 0, 0.0, 0.0});
   active_depth_.push_back(0);
-  by_name_.emplace(name, id);
+  timer_group_.push_back(intern_group(group));
+  timer_gen_.push_back(0);
+  // Keep load factor under 1/2 so probes stay short.
+  if ((timers_.size() + 1) * 2 > name_buckets_.size()) {
+    rehash_names(name_buckets_.size() * 2);
+    b = probe_name(name);
+  }
+  name_buckets_[b] = static_cast<std::uint32_t>(id) + 1;
   return id;
 }
+
+bool Registry::has_timer(std::string_view name) const {
+  if (name_buckets_.empty()) return false;
+  return name_buckets_[probe_name(name)] != 0;
+}
+
+// --- groups ------------------------------------------------------------------
+
+GroupId Registry::intern_group(std::string_view group) {
+  // Handful of groups only (TAU_DEFAULT, MPI, PROXY, ...): linear scan.
+  for (GroupId g = 0; g < groups_.size(); ++g)
+    if (groups_[g].name == group) return g;
+  groups_.push_back(Group{std::string(group), true, 0.0});
+  return groups_.size() - 1;
+}
+
+GroupId Registry::group_id(std::string_view group) { return intern_group(group); }
+
+const Registry::Group* Registry::find_group(std::string_view group) const {
+  for (const Group& g : groups_)
+    if (g.name == group) return &g;
+  return nullptr;
+}
+
+void Registry::set_group_enabled(std::string_view group, bool enabled) {
+  groups_[intern_group(group)].enabled = enabled;
+}
+
+bool Registry::group_enabled(std::string_view group) const {
+  const Group* g = find_group(group);
+  return g == nullptr ? true : g->enabled;
+}
+
+// --- generations -------------------------------------------------------------
+
+void Registry::touch(TimerId id) {
+  gen_dirty_ = true;
+  if (timer_gen_[id] == gen_) return;
+  timer_gen_[id] = gen_;
+  touch_log_.push_back(Touch{gen_, id});
+}
+
+std::vector<TimerStats> Registry::snapshot_delta(Generation since) const {
+  std::vector<TimerStats> rows;
+  // Touched timers are logged oldest-generation first; one entry per timer
+  // per generation, so dedupe against rows already emitted this call.
+  auto it = std::lower_bound(
+      touch_log_.begin() + static_cast<std::ptrdiff_t>(touch_head_), touch_log_.end(),
+      since, [](const Touch& t, Generation g) { return t.gen < g; });
+  std::vector<bool> seen(timers_.size(), false);
+  for (; it != touch_log_.end(); ++it) {
+    if (seen[it->id]) continue;
+    seen[it->id] = true;
+    TimerStats row = timers_[it->id];
+    row.inclusive_us = inclusive_us(it->id);
+    row.exclusive_us = exclusive_us(it->id);
+    rows.push_back(std::move(row));
+  }
+  // The *next* timer activity opens a new generation, so a later delta
+  // taken at the returned boundary excludes what this one already saw.
+  if (gen_dirty_) {
+    ++gen_;
+    gen_dirty_ = false;
+  }
+  return rows;
+}
+
+void Registry::retire_generations_before(Generation g) {
+  while (touch_head_ < touch_log_.size() && touch_log_[touch_head_].gen < g)
+    ++touch_head_;
+  // Compact once the retired prefix dominates, to amortize the erase.
+  if (touch_head_ > 64 && touch_head_ * 2 > touch_log_.size()) {
+    touch_log_.erase(touch_log_.begin(),
+                     touch_log_.begin() + static_cast<std::ptrdiff_t>(touch_head_));
+    touch_head_ = 0;
+  }
+}
+
+// --- start/stop --------------------------------------------------------------
 
 void Registry::start(TimerId id) {
   CCAPERF_REQUIRE(id < timers_.size(), "Registry::start: bad timer id");
   Frame f;
   f.id = id;
+  f.enabled = groups_[timer_group_[id]].enabled;
+  touch(id);
   f.start = Clock::now();
-  f.enabled = group_enabled(timers_[id].group);
   if (tracing_ && f.enabled)
     trace_.push_back(TraceEvent{us_between(trace_epoch_, f.start), id, true});
   stack_.push_back(f);
   ++active_depth_[id];
 }
 
-void Registry::stop(TimerId id) {
+double Registry::stop(TimerId id) {
   CCAPERF_REQUIRE(!stack_.empty(), "Registry::stop: no running timer");
   CCAPERF_REQUIRE(stack_.back().id == id,
                   "Registry::stop: timers must stop in LIFO order (stopping '" +
@@ -47,12 +171,16 @@ void Registry::stop(TimerId id) {
   const double elapsed = us_between(frame.start, now);
   CCAPERF_REQUIRE(active_depth_[id] > 0, "Registry::stop: depth underflow");
   --active_depth_[id];
+  touch(id);
 
   if (frame.enabled) {
     TimerStats& t = timers_[id];
     ++t.calls;
     // Recursive activations only add inclusive time at the outermost level.
-    if (active_depth_[id] == 0) t.inclusive_us += elapsed;
+    if (active_depth_[id] == 0) {
+      t.inclusive_us += elapsed;
+      groups_[timer_group_[id]].inclusive_us += elapsed;
+    }
     t.exclusive_us += elapsed - frame.child_us;
     if (!stack_.empty()) stack_.back().child_us += elapsed;
   } else if (!stack_.empty()) {
@@ -60,20 +188,16 @@ void Registry::stop(TimerId id) {
     // time still subtracts from the nearest enabled ancestor's exclusive.
     stack_.back().child_us += frame.child_us;
   }
+  return elapsed;
 }
 
-void Registry::set_group_enabled(const std::string& group, bool enabled) {
-  group_enabled_[group] = enabled;
-}
-
-bool Registry::group_enabled(const std::string& group) const {
-  auto it = group_enabled_.find(group);
-  return it == group_enabled_.end() ? true : it->second;
-}
+// --- events ------------------------------------------------------------------
 
 void Registry::trigger(const std::string& event_name, double value) {
   events_[event_name].add(value);
 }
+
+// --- queries -----------------------------------------------------------------
 
 double Registry::now_partial_inclusive(TimerId id) const {
   // Partial elapsed of the *outermost* running activation of `id`.
@@ -114,12 +238,34 @@ double Registry::exclusive_us(TimerId id) const {
   return v;
 }
 
-double Registry::group_inclusive_us(const std::string& group) const {
-  double total = 0.0;
-  for (TimerId id = 0; id < timers_.size(); ++id)
-    if (timers_[id].group == group) total += inclusive_us(id);
+double Registry::group_inclusive_us(GroupId gid) const {
+  CCAPERF_REQUIRE(gid < groups_.size(), "Registry: bad group id");
+  double total = groups_[gid].inclusive_us;
+  if (stack_.empty()) return total;
+  // Running partials: the outermost running activation of each group
+  // member (recursive re-activations already fold into the outermost).
+  const auto now = Clock::now();
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    const Frame& f = stack_[i];
+    if (!f.enabled || timer_group_[f.id] != gid) continue;
+    bool outermost = true;
+    for (std::size_t j = 0; j < i; ++j)
+      if (stack_[j].id == f.id) {
+        outermost = false;
+        break;
+      }
+    if (outermost) total += us_between(f.start, now);
+  }
   return total;
 }
+
+double Registry::group_inclusive_us(std::string_view group) const {
+  const Group* g = find_group(group);
+  if (g == nullptr) return 0.0;
+  return group_inclusive_us(static_cast<GroupId>(g - groups_.data()));
+}
+
+// --- snapshots & tracing -----------------------------------------------------
 
 void Registry::set_tracing(bool enabled) {
   tracing_ = enabled;

@@ -14,6 +14,15 @@
 //  * hardware counters: named sources registered from the hwc substrate,
 //    included in every snapshot.
 //
+// Hot-path design (§3.2 requirement 2, non-intrusiveness): timer names are
+// interned once through an open-addressing hash table (no per-call
+// std::map node traffic), groups are interned to dense ids with a running
+// per-group inclusive accumulator so group_inclusive_us() costs O(stack
+// depth) instead of O(#timers), and snapshots can be taken incrementally —
+// every timer carries a generation tag, so a consumer that differences
+// before/after queries only touches the timers that actually fired in
+// between (snapshot_delta), not the whole table.
+//
 // One Registry per rank; instances are NOT thread-safe by design (SCMD
 // gives each rank thread its own, exactly like per-process TAU).
 
@@ -22,6 +31,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hwc/counters.hpp"
@@ -31,6 +41,8 @@
 namespace tau {
 
 using TimerId = std::size_t;
+using GroupId = std::size_t;
+using Generation = std::uint64_t;
 using Clock = std::chrono::steady_clock;
 
 /// Default timer group (TAU's TAU_DEFAULT).
@@ -59,15 +71,20 @@ class Registry {
   // --- timing interface ----------------------------------------------------
 
   /// Returns the id for `name`, creating the timer on first use. The group
-  /// is fixed at creation; later calls may pass any group value.
-  TimerId timer(const std::string& name, const std::string& group = kDefaultGroup);
+  /// is fixed at creation; later calls may pass any group value. Interned:
+  /// repeated lookups hash the name once, with no allocation.
+  TimerId timer(std::string_view name, std::string_view group = kDefaultGroup);
 
   /// True if a timer with this exact name exists.
-  bool has_timer(const std::string& name) const { return by_name_.count(name) != 0; }
+  bool has_timer(std::string_view name) const;
 
   void start(TimerId id);
-  /// Stops the innermost running timer, which must be `id` (LIFO discipline).
-  void stop(TimerId id);
+  /// Stops the innermost running timer, which must be `id` (LIFO
+  /// discipline). Returns the elapsed inclusive time of the activation
+  /// just closed (whether or not the timer's group is enabled) — the
+  /// Mastermind uses this as the invocation's wall time instead of taking
+  /// two more clock readings of its own.
+  double stop(TimerId id);
 
   /// Number of timers created.
   std::size_t num_timers() const { return timers_.size(); }
@@ -79,8 +96,12 @@ class Registry {
   /// Enables/disables every timer in `group`, now and in the future.
   /// Disabled timers record nothing and their time folds into the nearest
   /// enabled ancestor's exclusive time (as if uninstrumented).
-  void set_group_enabled(const std::string& group, bool enabled);
-  bool group_enabled(const std::string& group) const;
+  void set_group_enabled(std::string_view group, bool enabled);
+  bool group_enabled(std::string_view group) const;
+
+  /// Dense id of a group, interning it on first use. Stable for the
+  /// registry's lifetime; useful to hoist group queries out of hot loops.
+  GroupId group_id(std::string_view group);
 
   // --- event interface -------------------------------------------------------
 
@@ -109,10 +130,80 @@ class Registry {
   /// Sum of inclusive time over every timer in `group` (running partials
   /// included). Assumes group members do not nest within one another —
   /// true for the MPI wrappers, which is what the Mastermind queries.
-  double group_inclusive_us(const std::string& group) const;
+  /// Maintained incrementally: O(stack depth), not O(#timers).
+  double group_inclusive_us(std::string_view group) const;
+  /// Same, by pre-interned id (the Mastermind hoists the lookup).
+  double group_inclusive_us(GroupId gid) const;
 
   /// Full cumulative snapshot (rows for every timer, partials included).
   std::vector<TimerStats> snapshot() const;
+
+  // --- incremental snapshots ---------------------------------------------------
+  // Timers carry a generation tag stamped on every start/stop. A consumer
+  // records generation() before a region of interest and asks
+  // snapshot_delta() after: only timers that fired in between are touched
+  // and returned — the before/after differencing of §4.3 without walking
+  // the whole table. Windows nest (the Mastermind's LIFO monitoring opens
+  // one per in-flight invocation); retire_generations_before() lets the
+  // outermost consumer bound the change-log's memory.
+
+  /// Current generation. Advances on the first timer activity after each
+  /// snapshot_delta() call, so repeated idle queries are free.
+  Generation generation() const { return gen_; }
+
+  /// Cumulative rows (partials included) for exactly the timers that
+  /// started or stopped at a generation >= `since`. Cost is proportional
+  /// to the number of such timers.
+  std::vector<TimerStats> snapshot_delta(Generation since) const;
+
+  /// Drops change-log entries older than `g` (all outstanding windows must
+  /// have been opened at generation >= g). Keeps long runs bounded.
+  void retire_generations_before(Generation g);
+
+ private:
+  struct Frame {
+    TimerId id;
+    Clock::time_point start;
+    double child_us = 0.0;  ///< time of enabled instrumented callees
+    bool enabled = true;
+  };
+
+  struct Group {
+    std::string name;
+    bool enabled = true;
+    double inclusive_us = 0.0;  ///< completed outermost activations
+  };
+
+  double now_partial_inclusive(TimerId id) const;
+  GroupId intern_group(std::string_view group);
+  const Group* find_group(std::string_view group) const;
+  void touch(TimerId id);
+
+  // Open-addressing interner over timer names: buckets hold id+1 (0 =
+  // empty); names live in timers_. Power-of-two capacity, linear probing.
+  std::size_t probe_name(std::string_view name) const;
+  void rehash_names(std::size_t capacity);
+
+  std::vector<TimerStats> timers_;
+  std::vector<std::uint64_t> active_depth_;  // per timer
+  std::vector<GroupId> timer_group_;         // per timer
+  std::vector<Generation> timer_gen_;        // per timer: last start/stop
+  std::vector<std::uint32_t> name_buckets_;  // interner table, id+1
+  std::vector<Group> groups_;
+  std::vector<Frame> stack_;
+  std::map<std::string, AtomicEvent> events_;
+  hwc::CounterRegistry counters_;
+
+  // Incremental-snapshot change log: (generation, timer) appended on the
+  // first touch of a timer in each generation, oldest first.
+  struct Touch {
+    Generation gen;
+    TimerId id;
+  };
+  mutable Generation gen_ = 1;
+  mutable bool gen_dirty_ = false;  ///< activity since the last snapshot_delta
+  std::vector<Touch> touch_log_;
+  std::size_t touch_head_ = 0;  ///< retired prefix of touch_log_
 
   // --- tracing interface -------------------------------------------------------
   // "The TAU implementation of this generic performance component
@@ -120,6 +211,7 @@ class Registry {
   // (§4.1). When tracing is enabled every start/stop of an *enabled*
   // timer appends a timestamped event.
 
+ public:
   struct TraceEvent {
     double t_us;   ///< microseconds since tracing was enabled
     TimerId id;
@@ -135,22 +227,6 @@ class Registry {
   void dump_trace(std::ostream& os) const;
 
  private:
-  struct Frame {
-    TimerId id;
-    Clock::time_point start;
-    double child_us = 0.0;  ///< time of enabled instrumented callees
-    bool enabled = true;
-  };
-
-  double now_partial_inclusive(TimerId id) const;
-
-  std::vector<TimerStats> timers_;
-  std::vector<std::uint64_t> active_depth_;  // per timer
-  std::map<std::string, TimerId> by_name_;
-  std::vector<Frame> stack_;
-  std::map<std::string, bool> group_enabled_;
-  std::map<std::string, AtomicEvent> events_;
-  hwc::CounterRegistry counters_;
   bool tracing_ = false;
   Clock::time_point trace_epoch_{};
   std::vector<TraceEvent> trace_;

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <random>
+
 #include "core/optimizer.hpp"
 #include "support/error.hpp"
 
@@ -116,6 +119,131 @@ TEST(Optimizer, RejectsEmptyOrUnmodeledSlots) {
   unmodeled.functionality = "Y";
   unmodeled.candidates = {Candidate{"C", nullptr, 1.0}};
   EXPECT_THROW(opt.add_slot(unmodeled), ccaperf::Error);
+}
+
+TEST(Optimizer, BnBMatchesExhaustiveOnRandomizedSlotSets) {
+  // Property: branch-and-bound is exact — winner and cost identical to
+  // full enumeration, tie-break included — across randomized instances.
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<int> nslots_d(1, 4);
+  std::uniform_int_distribution<int> ncand_d(1, 4);
+  std::uniform_real_distribution<double> coeff_d(0.0, 1.0);
+  std::uniform_real_distribution<double> q_d(1'000.0, 100'000.0);
+  const double weights[] = {0.0, 0.5, 3.0};
+
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<std::unique_ptr<core::PolynomialModel>> models;
+    AssemblyOptimizer opt(trial % 3 == 0 ? 500.0 : 0.0);
+    const int nslots = nslots_d(rng);
+    for (int s = 0; s < nslots; ++s) {
+      Slot slot;
+      slot.functionality = "F" + std::to_string(s);
+      const int ncand = ncand_d(rng);
+      for (int c = 0; c < ncand; ++c) {
+        models.push_back(std::make_unique<core::PolynomialModel>(
+            std::vector<double>{10.0 * coeff_d(rng), 0.01 * coeff_d(rng)}));
+        slot.candidates.push_back(
+            Candidate{"c" + std::to_string(c), models.back().get(), coeff_d(rng)});
+      }
+      // Some slots get an empty workload (slot cost 0 for every candidate:
+      // a pure tie the two searches must break identically).
+      if (trial % 5 != 0 || s % 2 == 0) {
+        const int nw = 1 + (trial % 3);
+        for (int w = 0; w < nw; ++w) slot.workload.emplace_back(q_d(rng), 10.0);
+      }
+      opt.add_slot(std::move(slot));
+    }
+    const double w = weights[trial % 3];
+    AssemblyOptimizer::SearchStats stats;
+    const auto bnb = opt.best(w, &stats);
+    const auto exact = opt.best_exhaustive(w);
+    EXPECT_EQ(bnb.selection, exact.selection) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(bnb.cost, exact.cost) << "trial " << trial;
+    EXPECT_LE(stats.leaves_evaluated, opt.assembly_count()) << "trial " << trial;
+  }
+}
+
+TEST(Optimizer, TieBreakPicksLowestCandidateIndices) {
+  // Identical models everywhere: every assembly costs the same, so the
+  // deterministic tie-break must select candidate 0 in each slot.
+  core::PolynomialModel flat{{100.0, 0.0}};
+  AssemblyOptimizer opt;
+  for (int s = 0; s < 3; ++s) {
+    Slot slot;
+    slot.functionality = "F" + std::to_string(s);
+    slot.candidates = {Candidate{"first", &flat, 1.0}, Candidate{"second", &flat, 1.0},
+                       Candidate{"third", &flat, 1.0}};
+    slot.workload = {{1'000.0, 5.0}};
+    opt.add_slot(std::move(slot));
+  }
+  for (const double w : {0.0, 2.0}) {
+    const auto bnb = opt.best(w);
+    const auto exact = opt.best_exhaustive(w);
+    EXPECT_EQ(bnb.selection, exact.selection);
+    for (int s = 0; s < 3; ++s)
+      EXPECT_EQ(bnb.selection.at("F" + std::to_string(s)), "first");
+  }
+}
+
+TEST(Optimizer, ZeroAccuracyWeightIgnoresAccuracy) {
+  // w = 0: a fast-but-inaccurate candidate must win regardless of QoS.
+  core::PolynomialModel fast{{1.0, 0.0}};
+  core::PolynomialModel slow{{100.0, 0.0}};
+  Slot s;
+  s.functionality = "F";
+  s.candidates = {Candidate{"sloppy", &fast, 0.01}, Candidate{"exact", &slow, 1.0}};
+  s.workload = {{10.0, 1.0}};
+  AssemblyOptimizer opt;
+  opt.add_slot(std::move(s));
+  const auto best = opt.best(0.0);
+  EXPECT_EQ(best.selection.at("F"), "sloppy");
+  EXPECT_DOUBLE_EQ(best.cost, best.predicted_time_us);  // factor is 1
+  EXPECT_EQ(opt.best_exhaustive(0.0).selection.at("F"), "sloppy");
+}
+
+TEST(Optimizer, EmptyWorkloadSlotCostsNothing) {
+  core::PolynomialModel m1{{5.0, 0.0}};
+  core::PolynomialModel m2{{50.0, 0.0}};
+  Slot idle;
+  idle.functionality = "Idle";
+  idle.candidates = {Candidate{"a", &m1, 1.0}, Candidate{"b", &m2, 1.0}};
+  // no workload: both candidates contribute zero time
+  Slot busy;
+  busy.functionality = "Busy";
+  busy.candidates = {Candidate{"x", &m1, 1.0}, Candidate{"y", &m2, 1.0}};
+  busy.workload = {{100.0, 2.0}};
+  AssemblyOptimizer opt;
+  opt.add_slot(std::move(idle));
+  opt.add_slot(std::move(busy));
+  const auto best = opt.best(0.0);
+  EXPECT_EQ(best.selection.at("Idle"), "a");  // tie broken to index 0
+  EXPECT_EQ(best.selection.at("Busy"), "x");
+  EXPECT_DOUBLE_EQ(best.predicted_time_us, 2.0 * 5.0);
+  EXPECT_EQ(opt.best_exhaustive(0.0).selection, best.selection);
+}
+
+TEST(Optimizer, BnBPrunesDominatedSubtrees) {
+  // One clearly-cheapest chain: the bound should cut most of the tree.
+  std::vector<std::unique_ptr<core::PolynomialModel>> models;
+  AssemblyOptimizer opt;
+  for (int s = 0; s < 6; ++s) {
+    Slot slot;
+    slot.functionality = "F" + std::to_string(s);
+    for (int c = 0; c < 4; ++c) {
+      models.push_back(std::make_unique<core::PolynomialModel>(
+          std::vector<double>{c == 0 ? 1.0 : 1'000.0, 0.0}));
+      slot.candidates.push_back(Candidate{"c" + std::to_string(c),
+                                          models.back().get(), 1.0});
+    }
+    slot.workload = {{100.0, 1.0}};
+    opt.add_slot(std::move(slot));
+  }
+  AssemblyOptimizer::SearchStats stats;
+  const auto best = opt.best(0.0, &stats);
+  for (int s = 0; s < 6; ++s)
+    EXPECT_EQ(best.selection.at("F" + std::to_string(s)), "c0");
+  EXPECT_GT(stats.subtrees_pruned, 0u);
+  EXPECT_LT(stats.leaves_evaluated, opt.assembly_count());
 }
 
 TEST(Optimizer, NegativeModelPredictionsClampToZero) {
