@@ -6,16 +6,41 @@
 // Runs the simulation on 3 SCMD ranks, prints the hierarchy census (the
 // structure the figure draws) and density-field statistics, and writes
 // the level-0 density field + patch boxes to CSV for plotting.
+//
+// Environment switches (all optional):
+//   CCAPERF_RANKS / CCAPERF_STEPS  override the 3-rank / 8-step default
+//                                  (the tier-1 trace smoke uses 2 ranks).
+//   CCAPERF_TRACE                  run the *instrumented* assembly with
+//     per-rank ring-buffer tracing and live telemetry, then merge the
+//     rank traces into a Chrome-trace / Perfetto JSON file ("1" = on,
+//     anything else = output path; see core/trace_export.hpp). Telemetry
+//     lands in telemetry.rank<r>.jsonl. The process exits nonzero if the
+//     merged trace is unbalanced or a retained message endpoint failed to
+//     flow-match, so CI can gate on it.
+//   CCAPERF_TRACE_EVENTS           per-rank ring capacity in events.
 
+#include <cstdlib>
 #include <fstream>
 
 #include "bench_common.hpp"
 #include "components/app_assembly.hpp"
+#include "core/trace_export.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback, int lo) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::max(lo, std::atoi(v));
+}
+
+}  // namespace
 
 int main() {
-  constexpr int kRanks = 3;
+  const core::TraceEnv trace = core::trace_env();
+  const int ranks = env_int("CCAPERF_RANKS", 3, 1);
   components::AppConfig cfg = components::AppConfig::case_study();
-  cfg.driver.nsteps = 8;
+  cfg.driver.nsteps = env_int("CCAPERF_STEPS", 8, 1);
   cfg.driver.regrid_interval = 3;
 
   struct LevelCensus {
@@ -26,13 +51,11 @@ int main() {
   std::vector<LevelCensus> census;
   double rho_min = 0.0, rho_max = 0.0, sim_time = 0.0;
   int nlevels = 0;
+  core::TraceMerger merger;
 
-  mpp::Runtime::run(kRanks, mpp::NetworkModel::classic_cluster(),
-                    [&](mpp::Comm& world) {
-    auto fw = components::assemble_app(world, cfg);
-    fw->services("driver").provided_as<components::GoPort>("go")->go();
-
-    auto* mesh = fw->services("driver").get_port_as<components::MeshPort>("mesh");
+  // Everything after go(): census, field dump, the paper-figure CSVs.
+  auto report = [&](cca::Framework& fw, mpp::Comm& world) {
+    auto* mesh = fw.services("driver").get_port_as<components::MeshPort>("mesh");
     amr::Hierarchy& h = mesh->hierarchy();
 
     double lo = 1e300, hi = -1e300;
@@ -53,8 +76,8 @@ int main() {
       nlevels = h.num_levels();
       rho_min = lo;
       rho_max = hi;
-      auto* driver = dynamic_cast<components::ShockDriverComponent*>(
-          &fw->component("driver"));
+      auto* driver =
+          dynamic_cast<components::ShockDriverComponent*>(&fw.component("driver"));
       sim_time = driver->time();
       census.resize(static_cast<std::size_t>(h.num_levels()));
       for (int l = 0; l < h.num_levels(); ++l) {
@@ -89,11 +112,36 @@ int main() {
                       ccaperf::fmt_double(data(i, j, euler::kRho), 6)});
     }
     world.barrier();
+  };
+
+  mpp::Runtime::run(ranks, mpp::NetworkModel::classic_cluster(),
+                    [&](mpp::Comm& world) {
+    if (trace.enabled) {
+      // Instrumented assembly: proxies + Mastermind + TAU, with the ring
+      // recorder armed (assemble_instrumented_app reads CCAPERF_TRACE) and
+      // telemetry streaming one JSONL line every few monitored records.
+      core::InstrumentedApp app = core::assemble_instrumented_app(world, cfg);
+      std::ofstream telem("telemetry.rank" + std::to_string(world.rank()) +
+                          ".jsonl");
+      auto* tport =
+          app.fw().services("mastermind").provided_as<core::TelemetryPort>(
+              "telemetry");
+      tport->start_telemetry(telem, 64);
+      app.fw().services("driver").provided_as<components::GoPort>("go")->go();
+      report(app.fw(), world);
+      tport->stop_telemetry();
+      // Lift the trace out before the framework (and its Registry) dies.
+      merger.add_rank(core::collect_rank_trace(app.registry(), world.rank()));
+    } else {
+      auto fw = components::assemble_app(world, cfg);
+      fw->services("driver").provided_as<components::GoPort>("go")->go();
+      report(*fw, world);
+    }
   });
 
   std::cout << "Fig. 1: shock/interface simulation, " << cfg.driver.nsteps
             << " coarse steps to t = " << ccaperf::fmt_double(sim_time, 4)
-            << " on " << kRanks << " ranks\n\nHierarchy census:\n";
+            << " on " << ranks << " ranks\n\nHierarchy census:\n";
   ccaperf::TextTable t;
   t.set_header({"level", "patches", "cells", "domain coverage"});
   for (std::size_t l = 0; l < census.size(); ++l)
@@ -120,5 +168,28 @@ int main() {
            "rho in [" + ccaperf::fmt_double(rho_min, 3) + ", " +
                ccaperf::fmt_double(rho_max, 3) + "]"},
       });
+
+  if (trace.enabled) {
+    std::ofstream os(trace.path);
+    const core::MergeStats st = merger.write_chrome_trace(os);
+    os.close();
+    std::cout << "\ntrace: " << trace.path << " — " << st.ranks << " ranks, "
+              << st.events << " events, " << st.slices << " slices, " << st.flows
+              << " message flows (" << st.unmatched_sends << " sends / "
+              << st.unmatched_recvs << " recvs unmatched, " << st.orphan_exits
+              << " orphan exits, " << st.dropped
+              << " ring drops)\nopen in ui.perfetto.dev\n";
+    bool ok = os.good() && st.ranks == static_cast<std::size_t>(ranks);
+    // With nothing dropped the trace must be perfect: every retained
+    // endpoint flow-matched, every slice balanced. Ring drops excuse
+    // unmatched endpoints / orphan exits but nothing else.
+    if (st.dropped == 0 && (!st.fully_matched() || st.orphan_exits != 0))
+      ok = false;
+    if (ranks > 1 && st.flows == 0) ok = false;  // ghost exchange must show up
+    if (!ok) {
+      std::cout << "TRACE VALIDATION FAILED\n";
+      return 1;
+    }
+  }
   return 0;
 }

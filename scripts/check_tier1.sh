@@ -18,6 +18,23 @@ cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
+echo "== trace pipeline smoke (2-rank fig01, CCAPERF_TRACE) =="
+# End-to-end cross-rank tracing: the binary exits nonzero on an unbalanced
+# or flow-unmatched trace, and the merged JSON must parse.
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_fig01_simulation
+FIG01="$(cd "${BUILD_DIR}/bench" && pwd)/bench_fig01_simulation"
+SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/ccaperf-trace-smoke.XXXXXX")
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+(cd "${SMOKE_DIR}" &&
+ CCAPERF_TRACE=trace.json CCAPERF_RANKS=2 CCAPERF_STEPS=2 "${FIG01}" >/dev/null)
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "${SMOKE_DIR}/trace.json" >/dev/null
+  python3 -c 'import json,sys
+for p in sys.argv[1:]:
+    [json.loads(l) for l in open(p)]' "${SMOKE_DIR}"/telemetry.rank*.jsonl
+fi
+echo "trace smoke: OK"
+
 echo "== address-sanitized measurement suites (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DCCAPERF_SANITIZE=address >/dev/null
 cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_tau test_core

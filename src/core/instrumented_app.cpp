@@ -1,5 +1,7 @@
 #include "core/instrumented_app.hpp"
 
+#include "core/trace_export.hpp"
+
 namespace core {
 
 void register_pmm_classes(cca::ComponentRepository& repo,
@@ -66,6 +68,14 @@ InstrumentedApp assemble_instrumented_app(mpp::Comm& world,
   fw.connect("rk2", "invflux", "invflux", "invflux");
   fw.connect("invflux", "states", "sc_proxy", "states");
   fw.connect("invflux", "flux", "flux_proxy", "flux");
+
+  // CCAPERF_TRACE switches the rank's flight recorder on for the whole
+  // assembled run; the caller collects and merges the buffers afterwards.
+  const TraceEnv trace = trace_env();
+  if (trace.enabled) {
+    app.registry().set_trace_capacity(trace.capacity);
+    app.registry().set_tracing(true);
+  }
   return app;
 }
 

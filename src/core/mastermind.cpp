@@ -2,17 +2,23 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <ostream>
 
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace core {
 
 namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double us_between(tau::Clock::time_point a, tau::Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
 }
 
 // --- Record: columns ---------------------------------------------------------
@@ -265,6 +271,10 @@ MastermindComponent::Open& MastermindComponent::push_open(MethodHandle h) {
 }
 
 void MastermindComponent::start(MethodHandle method, ParamSpan params) {
+  // Self-overhead clock reads only when telemetry wants the accounting:
+  // the bare monitoring fast path must not pay for them.
+  const bool telem = telem_sink_ != nullptr;
+  const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   CCAPERF_REQUIRE(method < methods_.size(), "Mastermind::start: bad method handle");
   Method& m = methods_[method];
@@ -288,9 +298,21 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
     m.timer_resolved = true;
   }
   reg.start(m.timer);
+  if (reg.tracing() && params.size > 0) {
+    // The method's trace slice carries its first parameter (e.g. Q) as a
+    // Perfetto slice argument.
+    if (!m.arg_string_resolved) {
+      m.arg_string = reg.trace_string(m.param_names[0]);
+      m.arg_string_resolved = true;
+    }
+    reg.trace_arg(m.arg_string, params.data[0]);
+  }
+  if (telem) telem_self_us_ += us_between(t0, tau::Clock::now());
 }
 
 void MastermindComponent::stop(MethodHandle method) {
+  const bool telem = telem_sink_ != nullptr;
+  const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   CCAPERF_REQUIRE(method < methods_.size(), "Mastermind::stop: bad method handle");
   Method& m = methods_[method];
@@ -319,11 +341,22 @@ void MastermindComponent::stop(MethodHandle method) {
   rec.finish_row();
 
   // Outermost window closed: nothing differences older generations any
-  // more, so the registry's change log can be compacted.
-  if (open_depth_ == 0) reg.retire_generations_before(reg.generation());
+  // more, so the registry's change log can be compacted — but no further
+  // than the telemetry low-water mark, whose next snapshot_delta still
+  // needs the entries since its last line.
+  if (open_depth_ == 0)
+    reg.retire_generations_before(
+        telem ? std::min(reg.generation(), telem_gen_) : reg.generation());
+  if (telem) {
+    ++telem_records_;
+    telem_self_us_ += us_between(t0, tau::Clock::now());
+    if (open_depth_ == 0) maybe_emit_telemetry();
+  }
 }
 
 void MastermindComponent::start(const std::string& method_key, const ParamMap& params) {
+  const bool telem = telem_sink_ != nullptr;
+  const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   const MethodHandle h = intern_method(method_key);
   Method& m = methods_[h];
@@ -339,10 +372,99 @@ void MastermindComponent::start(const std::string& method_key, const ParamMap& p
     m.timer_resolved = true;
   }
   reg.start(m.timer);
+  if (telem) telem_self_us_ += us_between(t0, tau::Clock::now());
 }
 
 void MastermindComponent::stop(const std::string& method_key) {
   stop(intern_method(method_key));
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+void MastermindComponent::start_telemetry(std::ostream& sink,
+                                          std::uint64_t interval_records) {
+  tau::Registry& reg = registry();
+  telem_sink_ = &sink;
+  telem_interval_ = interval_records < 1 ? 1 : interval_records;
+  telem_gen_ = reg.generation();
+  telem_records_ = 0;
+  telem_records_last_ = 0;
+  telem_self_us_ = 0.0;
+  telem_start_ = telem_last_ = tau::Clock::now();
+  reg.counters().read_values(telem_counters_last_);
+  telem_group_last_.assign(reg.num_groups(), 0.0);
+  for (std::size_t g = 0; g < telem_group_last_.size(); ++g)
+    telem_group_last_[g] = reg.group_inclusive_us(g);
+}
+
+void MastermindComponent::stop_telemetry() {
+  if (telem_sink_ == nullptr) return;
+  emit_telemetry();  // final line, so short runs never end up empty
+  telem_sink_ = nullptr;
+}
+
+void MastermindComponent::maybe_emit_telemetry() {
+  if (telem_sink_ != nullptr &&
+      telem_records_ - telem_records_last_ >= telem_interval_)
+    emit_telemetry();
+}
+
+void MastermindComponent::emit_telemetry() {
+  if (telem_sink_ == nullptr) return;
+  const tau::Clock::time_point t0 = tau::Clock::now();
+  tau::Registry& reg = registry();
+
+  // The incremental query: rows for exactly the timers that fired since
+  // the previous line, then advance the low-water mark.
+  const std::vector<tau::TimerStats> delta = reg.snapshot_delta(telem_gen_);
+  telem_gen_ = reg.generation();
+
+  const double dt_s = us_between(telem_last_, t0) / 1e6;
+  const std::uint64_t drec = telem_records_ - telem_records_last_;
+
+  std::ostream& os = *telem_sink_;
+  os << "{\"t_us\":" << ccaperf::json_number(us_between(telem_start_, t0), 3)
+     << ",\"records\":" << telem_records_
+     << ",\"records_per_s\":"
+     << ccaperf::json_number(dt_s > 0.0 ? static_cast<double>(drec) / dt_s : 0.0, 3)
+     << ",\"timers_changed\":" << delta.size();
+
+  const std::size_t ngroups = reg.num_groups();
+  telem_group_last_.resize(ngroups, 0.0);
+  std::vector<double> group_now(ngroups, 0.0);
+  for (std::size_t g = 0; g < ngroups; ++g) group_now[g] = reg.group_inclusive_us(g);
+  os << ",\"group_us\":{";
+  for (std::size_t g = 0; g < ngroups; ++g)
+    os << (g ? "," : "") << "\"" << ccaperf::json_escape(reg.group_name(g))
+       << "\":" << ccaperf::json_number(group_now[g], 3);
+  os << "},\"group_delta_us\":{";
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    os << (g ? "," : "") << "\"" << ccaperf::json_escape(reg.group_name(g))
+       << "\":" << ccaperf::json_number(group_now[g] - telem_group_last_[g], 3);
+    telem_group_last_[g] = group_now[g];
+  }
+  os << "}";
+
+  reg.counters().read_values(counters_scratch_);
+  const std::vector<std::string> counter_names = reg.counters().names();
+  telem_counters_last_.resize(counters_scratch_.size(), 0);
+  os << ",\"counter_delta\":{";
+  for (std::size_t i = 0; i < counters_scratch_.size(); ++i) {
+    os << (i ? "," : "") << "\"" << ccaperf::json_escape(counter_names[i]) << "\":"
+       << (counters_scratch_[i] - telem_counters_last_[i]);
+    telem_counters_last_[i] = counters_scratch_[i];
+  }
+  os << "}";
+
+  const tau::TraceBuffer& tb = reg.trace();
+  os << ",\"trace\":{\"retained\":" << tb.size() << ",\"total\":" << tb.total()
+     << ",\"dropped\":" << tb.dropped() << "}";
+
+  ++telem_lines_;
+  telem_records_last_ = telem_records_;
+  telem_last_ = tau::Clock::now();
+  telem_self_us_ += us_between(t0, telem_last_);
+  os << ",\"self_us\":" << ccaperf::json_number(telem_self_us_, 3) << "}\n";
 }
 
 void MastermindComponent::refresh_counter_columns(Method& m) {

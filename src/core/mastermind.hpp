@@ -164,12 +164,16 @@ class Record {
   mutable std::vector<Invocation> rows_cache_;  // invocations() shim
 };
 
-class MastermindComponent final : public cca::Component, public MonitorPort {
+class MastermindComponent final : public cca::Component,
+                                  public MonitorPort,
+                                  public TelemetryPort {
  public:
   void setServices(cca::Services& svc) override {
     svc_ = &svc;
     svc.add_provides_port(cca::non_owning(static_cast<MonitorPort*>(this)),
                           "monitor", "pmm.MonitorPort");
+    svc.add_provides_port(cca::non_owning(static_cast<TelemetryPort*>(this)),
+                          "telemetry", "pmm.TelemetryPort");
     svc.register_uses_port("measurement", "pmm.MeasurementPort");
   }
 
@@ -182,6 +186,13 @@ class MastermindComponent final : public cca::Component, public MonitorPort {
   // String-keyed compatibility shim over the same records.
   void start(const std::string& method_key, const ParamMap& params) override;
   void stop(const std::string& method_key) override;
+
+  // Live telemetry (pmm.TelemetryPort).
+  void start_telemetry(std::ostream& sink, std::uint64_t interval_records) override;
+  void stop_telemetry() override;
+  void emit_telemetry() override;
+  std::uint64_t telemetry_lines() const override { return telem_lines_; }
+  double telemetry_self_us() const override { return telem_self_us_; }
 
   const Record* record(const std::string& method_key) const;
   std::vector<std::string> method_keys() const;
@@ -223,6 +234,10 @@ class MastermindComponent final : public cca::Component, public MonitorPort {
     // Counter columns for the registry's current counter layout, resolved
     // lazily and re-resolved only when counters are added.
     std::vector<std::size_t> counter_cols;
+    // Trace-string index of the first parameter's name, attached to the
+    // method's trace slice as its argument (e.g. "Q") while tracing.
+    std::uint32_t arg_string = 0;
+    bool arg_string_resolved = false;
   };
 
   /// In-flight monitored call. Pooled: popped entries keep their buffers,
@@ -255,6 +270,22 @@ class MastermindComponent final : public cca::Component, public MonitorPort {
   std::vector<std::pair<MethodHandle, MethodHandle>> edge_ids_;  // parallel
   std::optional<std::string> dump_dir_;
   int dump_rank_ = 0;
+
+  // Telemetry state. All clock reads for self-overhead accounting are
+  // gated on telem_sink_ so the monitoring fast path is untouched when
+  // telemetry is off.
+  void maybe_emit_telemetry();
+  std::ostream* telem_sink_ = nullptr;       // borrowed; null = inactive
+  std::uint64_t telem_interval_ = 1;
+  std::uint64_t telem_lines_ = 0;
+  std::uint64_t telem_records_ = 0;          // rows finished while active
+  std::uint64_t telem_records_last_ = 0;     // at the previous line
+  tau::Generation telem_gen_ = 0;            // snapshot_delta low-water mark
+  tau::Clock::time_point telem_start_{};
+  tau::Clock::time_point telem_last_{};
+  double telem_self_us_ = 0.0;
+  std::vector<std::uint64_t> telem_counters_last_;
+  std::vector<double> telem_group_last_;     // per-GroupId inclusive_us
 };
 
 }  // namespace core

@@ -19,6 +19,7 @@
 // The string surface remains as a compatibility shim over the same records.
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -85,6 +86,29 @@ class MonitorPort : public cca::Port {
   /// timer name (e.g. "sc_proxy::compute()").
   virtual void start(const std::string& method_key, const ParamMap& params) = 0;
   virtual void stop(const std::string& method_key) = 0;
+};
+
+/// Live telemetry out of the Mastermind: while active, one JSON object per
+/// line (JSONL) is appended to the sink every `interval_records` completed
+/// monitored invocations — completed-record throughput, per-group
+/// inclusive time (cumulative and delta, via the registry's incremental
+/// snapshot_delta), hardware-counter deltas, trace-ring fill/drop counts,
+/// and the monitor's own accumulated self-overhead. Emission piggybacks on
+/// the outermost monitoring stop; there is no background thread.
+class TelemetryPort : public cca::Port {
+ public:
+  /// Starts emission into `sink` (borrowed; must outlive telemetry).
+  /// `interval_records` < 1 is clamped to 1 (a line per invocation).
+  virtual void start_telemetry(std::ostream& sink,
+                               std::uint64_t interval_records) = 0;
+  /// Emits a final line and detaches the sink.
+  virtual void stop_telemetry() = 0;
+  /// Forces one line now (no-op when inactive).
+  virtual void emit_telemetry() = 0;
+  virtual std::uint64_t telemetry_lines() const = 0;
+  /// Monitoring + emission time (µs) spent while telemetry was active —
+  /// the self-overhead the paper's requirement 2 says must stay visible.
+  virtual double telemetry_self_us() const = 0;
 };
 
 }  // namespace core

@@ -27,6 +27,25 @@ bool matches(int want_src, int want_tag, int src, int tag) {
          (want_tag == any_tag || want_tag == tag);
 }
 
+/// Fires the receive-side message hook for a completed receive. Called at
+/// the completion sites (wait/test/waitsome), inside their hook brackets,
+/// so trace events land within the enclosing MPI slice.
+void emit_recv_event(const detail::ReqState& st) {
+  if (st.kind != detail::ReqState::Kind::recv || st.src_world < 0) return;
+  if (CommHooks* h = hooks())
+    h->on_message_recv(MsgEvent{st.src_world, st.dst_world, st.status.tag,
+                                st.status.bytes, st.seq});
+}
+
+/// Fires the send-side message hook once a send has been handed to the
+/// fabric (identity fields stamped by Comm::deliver).
+void emit_send_event(const detail::ReqState& st) {
+  if (st.src_world < 0) return;
+  if (CommHooks* h = hooks())
+    h->on_message_send(MsgEvent{st.src_world, st.dst_world, st.status.tag,
+                                st.status.bytes, st.seq});
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -47,6 +66,7 @@ Status Request::wait_no_hook() {
   const auto now = Clock::now();
   if (now < st.deliver_at) std::this_thread::sleep_until(st.deliver_at);
   Status result = st.status;
+  emit_recv_event(st);
   state_.reset();
   return result;
 }
@@ -63,6 +83,7 @@ std::optional<Status> Request::test() {
   if (!state_ || !state_->ready()) return std::nullopt;
   Status s = state_->status;
   hook.set_bytes(s.bytes);
+  emit_recv_event(*state_);
   state_.reset();
   return s;
 }
@@ -135,6 +156,7 @@ std::size_t wait_some(std::span<Request> reqs, std::vector<int>& indices,
         indices.push_back(static_cast<int>(i));
         if (statuses) statuses->push_back(st->status);
         total_bytes += st->status.bytes;
+        emit_recv_event(*st);
         st.reset();
       } else {
         nearest = std::min(nearest, st->deliver_at);
@@ -194,6 +216,15 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes,
   const double delay = fabric_->delay_us(my_world_rank(), bytes);
   const Clock::time_point deliver_at = stamp_delay(delay);
 
+  // Message identity for hooks/tracing: stamped on the sender state before
+  // it is shared, copied to the receiver state at match time (under the
+  // mailbox lock / before the matched release-store).
+  const int src_w = my_world_rank();
+  const int dst_w = world_rank_of(dest);
+  sender->src_world = src_w;
+  sender->dst_world = dst_w;
+  sender->seq = fabric_->next_pair_seq(src_w, dst_w);
+
   detail::Mailbox& mb = fabric_->mailbox(context_, dest);
   std::shared_ptr<detail::ReqState> completed;
   bool rendezvous = false;
@@ -206,6 +237,9 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes,
         if (bytes > 0) std::memcpy(it->buffer, data, bytes);
         it->state->status = Status{group_rank_, tag, bytes};
         it->state->deliver_at = deliver_at;
+        it->state->src_world = src_w;
+        it->state->dst_world = dst_w;
+        it->state->seq = sender->seq;
         completed = it->state;
         mb.posted.erase(it);
         break;
@@ -216,6 +250,9 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes,
       msg.src = group_rank_;
       msg.tag = tag;
       msg.deliver_at = deliver_at;
+      msg.src_world = src_w;
+      msg.dst_world = dst_w;
+      msg.seq = sender->seq;
       if (bytes >= Fabric::kRendezvousBytes) {
         // Rendezvous: park a descriptor into the sender's buffer; the
         // matching receive copies once and completes the send.
@@ -249,6 +286,7 @@ Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest, int tag
 
   auto st = make_send_state(tag, bytes);
   deliver(dest, tag, data, bytes, st);
+  emit_send_event(*st);
   return Request(std::move(st));
 }
 
@@ -285,6 +323,9 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
         }
         st->status = Status{it->src, it->tag, msg_bytes};
         st->deliver_at = it->deliver_at;
+        st->src_world = it->src_world;
+        st->dst_world = it->dst_world;
+        st->seq = it->seq;
         mb.unexpected.erase(it);
         st->matched.store(true, std::memory_order_release);
         break;
@@ -317,6 +358,7 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
   CCAPERF_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
   auto st = make_send_state(tag, bytes);
   deliver(dest, tag, data, bytes, st);
+  emit_send_event(*st);
   // Small sends are buffered and complete locally; a rendezvous send
   // blocks here until the matching receive has copied the data out.
   Request(std::move(st)).wait_no_hook();

@@ -70,6 +70,8 @@ Fabric::Fabric(int world_size, NetworkModel net)
     rngs_.push_back(seeder.split(static_cast<std::uint64_t>(r)));
     signals_.push_back(std::make_unique<detail::RankSignal>());
   }
+  pair_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(world_size) * static_cast<std::size_t>(world_size));
   ensure_context(world_context, world_size);
 }
 

@@ -70,6 +70,13 @@ struct ReqState {
   /// Delivery time; completion is gated on Clock::now() >= deliver_at.
   Clock::time_point deliver_at{};
   Status status;
+  /// Message identity for hook/trace reporting: world ranks of the two
+  /// endpoints and the per-(src,dst) sequence number. Stamped by the
+  /// sender before `matched` is released; src_world < 0 means "no message
+  /// attached yet" (e.g. an unmatched receive).
+  int src_world = -1;
+  int dst_world = -1;
+  std::uint64_t seq = 0;
   /// Identity of the posted receive inside its mailbox (for cancellation).
   std::uint64_t post_id = 0;
   Mailbox* mailbox = nullptr;           ///< mailbox the recv was posted to
@@ -101,6 +108,9 @@ struct ParkedMessage {
   int tag = 0;
   std::vector<std::byte> payload;
   Clock::time_point deliver_at{};
+  int src_world = -1;         ///< message identity (see ReqState)
+  int dst_world = -1;
+  std::uint64_t seq = 0;
   const std::byte* rdv_data = nullptr;
   std::size_t rdv_bytes = 0;
   std::shared_ptr<ReqState> rdv_send;
@@ -206,6 +216,16 @@ class Fabric {
     return net_.delay_us(bytes, rngs_[static_cast<std::size_t>(world_rank)]);
   }
 
+  /// Next per-(src,dst) point-to-point sequence number (1-based, send
+  /// order). Ranks are single threads, so sends for a given ordered pair
+  /// are already serialized; the atomic makes cross-pair access safe.
+  std::uint64_t next_pair_seq(int src_world, int dst_world) {
+    auto& c = pair_seq_[static_cast<std::size_t>(src_world) *
+                            static_cast<std::size_t>(world_size_) +
+                        static_cast<std::size_t>(dst_world)];
+    return c.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   /// Allocates a fresh communicator context id (thread-safe).
   std::uint64_t allocate_context();
 
@@ -250,6 +270,8 @@ class Fabric {
   Clock::time_point epoch_ = Clock::now();
   std::vector<ccaperf::Rng> rngs_;  // one jitter stream per world rank
   std::vector<std::unique_ptr<detail::RankSignal>> signals_;
+  /// world_size^2 ordered-pair message counters (row = src, col = dst).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> pair_seq_;
 
   detail::BufferPool pool_;
   std::mutex contexts_mu_;

@@ -12,8 +12,22 @@
 // `HooksInstaller` so an exception cannot leave a dangling pointer.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mpp {
+
+/// One point-to-point message endpoint, reported to hooks on both sides.
+/// `seq` is the fabric's per-(src,dst) ordered-pair sequence number
+/// (1-based, send order): (src, dst, seq) identifies a message uniquely
+/// across the whole run, which is what makes cross-rank trace matching
+/// deterministic.
+struct MsgEvent {
+  int src = -1;            ///< sender's world rank
+  int dst = -1;            ///< receiver's world rank
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::uint64_t seq = 0;
+};
 
 /// Interface implemented by measurement systems (see tau::MpiHookAdapter).
 class CommHooks {
@@ -24,6 +38,12 @@ class CommHooks {
   virtual void on_begin(const char* mpi_name) = 0;
   /// Called on exit. `bytes` is the payload size where meaningful, else 0.
   virtual void on_end(const char* mpi_name, std::size_t bytes) = 0;
+  /// Message endpoints: fired on the sending rank when a send is initiated
+  /// (inside the MPI_Send/MPI_Isend bracket) and on the receiving rank when
+  /// the matching receive completes (inside the wait/test/recv bracket).
+  /// Default no-ops keep byte-counting hooks source-compatible.
+  virtual void on_message_send(const MsgEvent&) {}
+  virtual void on_message_recv(const MsgEvent&) {}
 };
 
 namespace detail {

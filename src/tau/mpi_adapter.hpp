@@ -29,6 +29,16 @@ class MpiHookAdapter final : public mpp::CommHooks {
       reg_.trigger("Message size (bytes)", static_cast<double>(bytes));
   }
 
+  void on_message_send(const mpp::MsgEvent& e) override {
+    if (reg_.tracing() && reg_.group_enabled(kMpiGroup))
+      reg_.trace_message(/*send=*/true, e.dst, e.tag, e.bytes, e.seq);
+  }
+
+  void on_message_recv(const mpp::MsgEvent& e) override {
+    if (reg_.tracing() && reg_.group_enabled(kMpiGroup))
+      reg_.trace_message(/*send=*/false, e.src, e.tag, e.bytes, e.seq);
+  }
+
  private:
   Registry& reg_;
 };

@@ -151,8 +151,13 @@ void Registry::start(TimerId id) {
   f.enabled = groups_[timer_group_[id]].enabled;
   touch(id);
   f.start = Clock::now();
-  if (tracing_ && f.enabled)
-    trace_.push_back(TraceEvent{us_between(trace_epoch_, f.start), id, true});
+  if (tracing_ && f.enabled) {
+    TraceRecord r;
+    r.t_us = us_between(trace_epoch_, f.start);
+    r.id = static_cast<std::uint32_t>(id);
+    r.kind = TraceKind::enter;
+    trace_.push(r);
+  }
   stack_.push_back(f);
   ++active_depth_[id];
 }
@@ -166,8 +171,13 @@ double Registry::stop(TimerId id) {
   const Frame frame = stack_.back();
   stack_.pop_back();
   const Clock::time_point now = Clock::now();
-  if (tracing_ && frame.enabled)
-    trace_.push_back(TraceEvent{us_between(trace_epoch_, now), id, false});
+  if (tracing_ && frame.enabled) {
+    TraceRecord r;
+    r.t_us = us_between(trace_epoch_, now);
+    r.id = static_cast<std::uint32_t>(id);
+    r.kind = TraceKind::exit;
+    trace_.push(r);
+  }
   const double elapsed = us_between(frame.start, now);
   CCAPERF_REQUIRE(active_depth_[id] > 0, "Registry::stop: depth underflow");
   --active_depth_[id];
@@ -267,16 +277,138 @@ double Registry::group_inclusive_us(std::string_view group) const {
 
 // --- snapshots & tracing -----------------------------------------------------
 
+void Registry::trace_push_open_frames(bool as_exit) {
+  // Synthetic balance events for activations currently on the stack:
+  // enters (at the epoch, outermost first) when tracing starts mid-run,
+  // exits (at now, innermost first) when it stops mid-activation.
+  const double t = as_exit ? us_between(trace_epoch_, Clock::now()) : 0.0;
+  const std::size_t n = stack_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const Frame& f = stack_[as_exit ? n - 1 - k : k];
+    if (!f.enabled) continue;
+    TraceRecord r;
+    r.t_us = t;
+    r.id = static_cast<std::uint32_t>(f.id);
+    r.kind = as_exit ? TraceKind::exit : TraceKind::enter;
+    r.flags = TraceRecord::kSynthetic;
+    trace_.push(r);
+  }
+}
+
 void Registry::set_tracing(bool enabled) {
-  tracing_ = enabled;
-  trace_.clear();
-  if (enabled) trace_epoch_ = Clock::now();
+  if (enabled) {
+    trace_.clear();
+    trace_epoch_ = Clock::now();
+    tracing_ = true;
+    trace_push_open_frames(/*as_exit=*/false);
+  } else {
+    // Close open activations so the retained trace stays balanced; keep
+    // the events so the run can still be exported after tracing stops.
+    if (tracing_) trace_push_open_frames(/*as_exit=*/true);
+    tracing_ = false;
+  }
+}
+
+void Registry::set_trace_capacity(std::size_t events) {
+  trace_.set_capacity(events);
+}
+
+void Registry::trace_message(bool send, int peer, int tag, std::uint64_t bytes,
+                             std::uint64_t seq) {
+  if (!tracing_) return;
+  TraceRecord r;
+  r.t_us = us_between(trace_epoch_, Clock::now());
+  r.kind = send ? TraceKind::msg_send : TraceKind::msg_recv;
+  r.peer = peer;
+  r.tag = tag;
+  r.payload = bytes;
+  r.seq = seq;
+  trace_.push(r);
+}
+
+void Registry::trace_counter_samples() {
+  if (!tracing_) return;
+  const double t = us_between(trace_epoch_, Clock::now());
+  counters_.read_values(counters_scratch_);
+  for (std::size_t i = 0; i < counters_scratch_.size(); ++i) {
+    TraceRecord r;
+    r.t_us = t;
+    r.id = static_cast<std::uint32_t>(i);
+    r.kind = TraceKind::counter;
+    r.set_value(static_cast<double>(counters_scratch_[i]));
+    trace_.push(r);
+  }
+}
+
+std::uint32_t Registry::trace_string(std::string_view s) {
+  for (std::size_t i = 0; i < trace_strings_.size(); ++i)
+    if (trace_strings_[i] == s) return static_cast<std::uint32_t>(i);
+  trace_strings_.emplace_back(s);
+  return static_cast<std::uint32_t>(trace_strings_.size() - 1);
+}
+
+void Registry::trace_arg(std::uint32_t name_string, double value) {
+  TraceRecord* last = trace_.back();
+  if (last == nullptr || last->kind != TraceKind::enter) return;
+  last->tag = static_cast<std::int32_t>(name_string);
+  last->set_value(value);
+  last->flags |= TraceRecord::kHasArg;
+}
+
+void Registry::trace_instant(std::uint32_t name_string) {
+  if (!tracing_) return;
+  TraceRecord r;
+  r.t_us = us_between(trace_epoch_, Clock::now());
+  r.id = name_string;
+  r.kind = TraceKind::instant;
+  trace_.push(r);
+}
+
+std::vector<TraceRecord> Registry::snapshot_trace() const {
+  std::vector<TraceRecord> out;
+  out.reserve(trace_.size() + stack_.size());
+  for (std::size_t i = 0; i < trace_.size(); ++i) out.push_back(trace_[i]);
+  if (tracing_) {
+    const double t = us_between(trace_epoch_, Clock::now());
+    for (std::size_t k = stack_.size(); k-- > 0;) {
+      if (!stack_[k].enabled) continue;
+      TraceRecord r;
+      r.t_us = t;
+      r.id = static_cast<std::uint32_t>(stack_[k].id);
+      r.kind = TraceKind::exit;
+      r.flags = TraceRecord::kSynthetic;
+      out.push_back(r);
+    }
+  }
+  return out;
 }
 
 void Registry::dump_trace(std::ostream& os) const {
-  for (const TraceEvent& e : trace_)
-    os << e.t_us << ' ' << (e.enter ? "enter" : "exit") << ' '
-       << timers_[e.id].name << '\n';
+  for (const TraceRecord& e : snapshot_trace()) {
+    os << e.t_us << '\t';
+    switch (e.kind) {
+      case TraceKind::enter:
+      case TraceKind::exit:
+        os << (e.is_enter() ? "enter" : "exit") << '\t' << timers_[e.id].name;
+        break;
+      case TraceKind::instant:
+        os << "instant\t"
+           << (e.id < trace_strings_.size() ? trace_strings_[e.id] : "?");
+        break;
+      case TraceKind::counter: {
+        const auto names = counters_.names();
+        os << "counter\t" << (e.id < names.size() ? names[e.id] : "?") << '\t'
+           << e.value();
+        break;
+      }
+      case TraceKind::msg_send:
+      case TraceKind::msg_recv:
+        os << (e.kind == TraceKind::msg_send ? "send" : "recv") << '\t'
+           << e.peer << '\t' << e.tag << '\t' << e.payload << '\t' << e.seq;
+        break;
+    }
+    os << '\n';
+  }
 }
 
 std::vector<TimerStats> Registry::snapshot() const {

@@ -37,6 +37,7 @@
 #include "hwc/counters.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "tau/trace_buffer.hpp"
 
 namespace tau {
 
@@ -102,6 +103,13 @@ class Registry {
   /// Dense id of a group, interning it on first use. Stable for the
   /// registry's lifetime; useful to hoist group queries out of hot loops.
   GroupId group_id(std::string_view group);
+
+  /// Groups interned so far (telemetry walks them for per-group time).
+  std::size_t num_groups() const { return groups_.size(); }
+  const std::string& group_name(GroupId gid) const {
+    CCAPERF_REQUIRE(gid < groups_.size(), "Registry: bad group id");
+    return groups_[gid].name;
+  }
 
   // --- event interface -------------------------------------------------------
 
@@ -193,6 +201,7 @@ class Registry {
   std::vector<Frame> stack_;
   std::map<std::string, AtomicEvent> events_;
   hwc::CounterRegistry counters_;
+  std::vector<std::uint64_t> counters_scratch_;  // trace_counter_samples()
 
   // Incremental-snapshot change log: (generation, timer) appended on the
   // first touch of a timer in each generation, oldest first.
@@ -209,27 +218,68 @@ class Registry {
   // "The TAU implementation of this generic performance component
   // interface supports both profiling and tracing measurement options"
   // (§4.1). When tracing is enabled every start/stop of an *enabled*
-  // timer appends a timestamped event.
+  // timer appends a compact event to a bounded ring (tau::TraceBuffer) —
+  // plus message endpoints, counter samples and slice arguments pushed by
+  // the hook adapter / Mastermind. Traces stay balanced at the edges:
+  // enabling tracing emits synthetic enter events (at the epoch) for
+  // activations already open, disabling it emits synthetic closing exits,
+  // and dump_trace/snapshot_trace close activations still running.
 
  public:
-  struct TraceEvent {
-    double t_us;   ///< microseconds since tracing was enabled
-    TimerId id;
-    bool enter;    ///< true = start, false = stop
-  };
-
-  /// Enables/disables event tracing (disabled by default; enabling resets
-  /// the trace and its epoch).
+  /// Enables/disables event tracing (disabled by default). Enabling resets
+  /// the trace and its epoch and emits synthetic enter events for every
+  /// enabled activation currently on the timer stack; disabling emits
+  /// synthetic exits for those still open, keeping the buffer balanced.
   void set_tracing(bool enabled);
   bool tracing() const { return tracing_; }
-  const std::vector<TraceEvent>& trace() const { return trace_; }
-  /// Writes the trace as "t_us enter|exit name" lines.
+
+  /// Bound of the trace ring in events (0 = unbounded legacy vector mode).
+  /// Resets the trace.
+  void set_trace_capacity(std::size_t events);
+
+  const TraceBuffer& trace() const { return trace_; }
+  /// Steady-clock instant of trace time 0 (cross-rank merge alignment).
+  Clock::time_point trace_epoch() const { return trace_epoch_; }
+
+  /// Appends a message endpoint event (kind msg_send / msg_recv). `peer`
+  /// is the other endpoint's world rank, `seq` the fabric's per-(src,dst)
+  /// sequence number. No-op unless tracing.
+  void trace_message(bool send, int peer, int tag, std::uint64_t bytes,
+                     std::uint64_t seq);
+
+  /// Samples every registered hardware counter into the trace (one counter
+  /// record each, id = counter index). No-op unless tracing.
+  void trace_counter_samples();
+
+  /// Interns an auxiliary trace string (slice-argument names, instant
+  /// labels); returns its stable index. Safe to call when not tracing.
+  std::uint32_t trace_string(std::string_view s);
+  const std::vector<std::string>& trace_strings() const { return trace_strings_; }
+
+  /// Attaches (name, value) as the slice argument of the most recent enter
+  /// event (e.g. the monitored method's Q). No-op unless that event is
+  /// still in the buffer.
+  void trace_arg(std::uint32_t name_string, double value);
+
+  /// Appends an instant annotation (id = trace-string index).
+  void trace_instant(std::uint32_t name_string);
+
+  /// Copy of the retained events plus synthetic closing exits for
+  /// activations still open — always balanced, ready for export.
+  std::vector<TraceRecord> snapshot_trace() const;
+
+  /// Writes the trace as tab-separated lines (`t_us<TAB>kind<TAB>...`),
+  /// unambiguous for timer names containing spaces, with synthetic closing
+  /// exits appended for activations still open.
   void dump_trace(std::ostream& os) const;
 
  private:
+  void trace_push_open_frames(bool as_exit);
+
   bool tracing_ = false;
   Clock::time_point trace_epoch_{};
-  std::vector<TraceEvent> trace_;
+  TraceBuffer trace_;
+  std::vector<std::string> trace_strings_;
 };
 
 /// RAII start/stop.

@@ -112,6 +112,79 @@ TEST(MpiAdapter, HooksUninstallCleanly) {
   });
 }
 
+TEST(MpiAdapter, TracedRunRecordsMessageEndpoints) {
+  // With tracing on, the adapter must turn fabric message events into
+  // msg_send / msg_recv trace records carrying the (peer, tag, bytes, seq)
+  // identity the cross-rank merger matches on.
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    tau::Registry reg;
+    reg.set_tracing(true);
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+
+    std::vector<double> buf(32);
+    if (world.rank() == 0)
+      world.send<double>(buf, 1, 9);
+    else
+      world.recv<double>(buf, 0, 9);
+
+    const tau::TraceBuffer& tr = reg.trace();
+    const tau::TraceKind want =
+        world.rank() == 0 ? tau::TraceKind::msg_send : tau::TraceKind::msg_recv;
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      if (tr[i].kind != want) continue;
+      ++found;
+      EXPECT_EQ(tr[i].peer, 1 - world.rank());
+      EXPECT_EQ(tr[i].tag, 9);
+      EXPECT_EQ(tr[i].payload, 32 * sizeof(double));
+      EXPECT_EQ(tr[i].seq, 1u);
+    }
+    EXPECT_EQ(found, 1u);
+    world.barrier();
+  });
+}
+
+TEST(MpiAdapter, MessageTraceRespectsGroupAndTracingGates) {
+  // Message records obey both switches: no tracing -> nothing; tracing
+  // with the MPI group disabled -> MPI slices and endpoints suppressed.
+  mpp::Runtime::run(2, [](mpp::Comm& world) {
+    tau::Registry reg;
+    tau::MpiHookAdapter adapter(reg);
+    mpp::HooksInstaller install(&adapter);
+
+    auto count_msgs = [&reg] {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < reg.trace().size(); ++i) {
+        const tau::TraceKind k = reg.trace()[i].kind;
+        if (k == tau::TraceKind::msg_send || k == tau::TraceKind::msg_recv) ++n;
+      }
+      return n;
+    };
+    auto exchange = [&world] {
+      int v = 0;
+      if (world.rank() == 0)
+        world.send_bytes(&v, sizeof v, 1, 0);
+      else
+        world.recv_bytes(&v, sizeof v, 0, 0);
+      world.barrier();
+    };
+
+    exchange();  // tracing off
+    EXPECT_EQ(count_msgs(), 0u);
+
+    reg.set_tracing(true);
+    reg.set_group_enabled(tau::kMpiGroup, false);
+    exchange();  // traced, but the MPI group is switched off
+    EXPECT_EQ(count_msgs(), 0u);
+
+    reg.set_group_enabled(tau::kMpiGroup, true);
+    exchange();
+    EXPECT_EQ(count_msgs(), 1u);
+    world.barrier();
+  });
+}
+
 TEST(MpiAdapter, DisablingMpiGroupSuppressesRecording) {
   // "At runtime, a user can enable or disable all MPI timers via their
   // group identifier."
