@@ -52,6 +52,7 @@ int main() {
   double rho_min = 0.0, rho_max = 0.0, sim_time = 0.0;
   int nlevels = 0;
   core::TraceMerger merger;
+  mpp::FaultStats faults;  // captured by rank 0 while the fabric is alive
 
   // Everything after go(): census, field dump, the paper-figure CSVs.
   auto report = [&](cca::Framework& fw, mpp::Comm& world) {
@@ -112,6 +113,7 @@ int main() {
                       ccaperf::fmt_double(data(i, j, euler::kRho), 6)});
     }
     world.barrier();
+    if (world.rank() == 0) faults = world.fault_stats();
   };
 
   mpp::Runtime::run(ranks, mpp::NetworkModel::classic_cluster(),
@@ -154,6 +156,20 @@ int main() {
             << "]  (pre-shock air = 1, freon = 3.33, post-shock air = 1.86)\n"
             << "field written to fig01_density.rank*.csv, patch outlines to "
                "fig01_patches.csv\n";
+
+  if (faults.injected_total() > 0 || faults.retries > 0 || faults.timeouts > 0 ||
+      faults.stale_fallbacks > 0) {
+    std::cout << "\nfault injection (CCAPERF_FAULT_PLAN): "
+              << faults.injected_total() << " injected (" << faults.injected_drops
+              << " drops, " << faults.injected_delays << " delays, "
+              << faults.injected_duplicates << " dups, "
+              << faults.injected_reorders << " reorders, "
+              << faults.injected_stalls << " stalls), " << faults.retries
+              << " retries (" << faults.retries_exhausted << " exhausted), "
+              << faults.duplicates_suppressed << " dups suppressed, "
+              << faults.timeouts << " wait timeouts, " << faults.stale_fallbacks
+              << " stale-ghost fallbacks\n";
+  }
 
   bench::print_comparison(
       "Fig. 1 (simulation structure)",

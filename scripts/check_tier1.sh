@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
+TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
 echo "== tier-1 suites (${BUILD_DIR}) =="
@@ -34,6 +35,67 @@ for p in sys.argv[1:]:
     [json.loads(l) for l in open(p)]' "${SMOKE_DIR}"/telemetry.rank*.jsonl
 fi
 echo "trace smoke: OK"
+
+echo "== chaos soak (2-rank fig01 under moderate fault plan) =="
+# Graceful-degradation gate: the same simulation run clean and under the
+# seeded moderate fault plan must converge to the same physics (density
+# CSVs match to tolerance — the recovery layer hides every injected
+# fault), while the telemetry JSONL proves faults were actually injected
+# and recovered (nonzero FAULT_* counter deltas).
+SOAK_SEED=${SOAK_SEED:-20260805}
+(cd "${SMOKE_DIR}" && mkdir -p clean chaos &&
+ cd clean && CCAPERF_RANKS=2 CCAPERF_STEPS=4 "${FIG01}" >/dev/null &&
+ cd ../chaos &&
+ CCAPERF_TRACE=trace.json CCAPERF_RANKS=2 CCAPERF_STEPS=4 \
+ CCAPERF_FAULT_PLAN=moderate CCAPERF_FAULT_SEED="${SOAK_SEED}" \
+ "${FIG01}" > fig01.out)
+grep -q "fault injection" "${SMOKE_DIR}/chaos/fig01.out"
+python3 - "${SMOKE_DIR}" <<'PY'
+import glob, json, os, sys
+
+smoke = sys.argv[1]
+
+def rows(pattern):
+    out = []
+    for path in sorted(glob.glob(pattern)):
+        with open(path) as f:
+            next(f)  # header
+            for line in f:
+                x, y, rho = line.split(",")
+                out.append((x.strip(), y.strip(), float(rho)))
+    out.sort()
+    return out
+
+clean = rows(os.path.join(smoke, "clean", "fig01_density.rank*.csv"))
+chaos = rows(os.path.join(smoke, "chaos", "fig01_density.rank*.csv"))
+assert len(clean) == len(chaos) > 0, (len(clean), len(chaos))
+worst = max(abs(a[2] - b[2]) for a, b in zip(clean, chaos))
+assert all(a[:2] == b[:2] for a, b in zip(clean, chaos)), "cell sets differ"
+assert worst <= 1e-9, f"density diverged under faults: max |drho| = {worst}"
+
+fault_totals = {}
+for path in glob.glob(os.path.join(smoke, "chaos", "telemetry.rank*.jsonl")):
+    for line in open(path):
+        for k, v in json.loads(line).get("counter_delta", {}).items():
+            if k.startswith("FAULT_"):
+                fault_totals[k] = fault_totals.get(k, 0) + v
+injected = fault_totals.get("FAULT_INJECTED", 0)
+recovered = fault_totals.get("FAULT_RETRIES", 0) + fault_totals.get(
+    "FAULT_DUP_SUPPRESSED", 0) + fault_totals.get("FAULT_STALE_FALLBACKS", 0)
+assert injected > 0, f"no faults injected in chaos soak: {fault_totals}"
+assert recovered > 0, f"no recovery activity in chaos soak: {fault_totals}"
+print(f"chaos soak: densities match (max drift {worst:g}); "
+      f"{injected} faults injected, recovery counters {fault_totals}")
+PY
+echo "chaos soak: OK"
+
+echo "== thread-sanitized mpp fault suites (${TSAN_DIR}) =="
+# The fault layer adds lock-ordering-sensitive paths (retry ledger, held
+# queues, dedupe under the mailbox lock); run its suites under TSan.
+cmake -B "${TSAN_DIR}" -S . -DCCAPERF_SANITIZE=thread >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target test_mpp test_amr
+"${TSAN_DIR}/tests/mpp/test_mpp" --gtest_filter='FaultInjection.*:Recovery.*'
+"${TSAN_DIR}/tests/amr/test_amr" --gtest_filter='ExchangeFaults.*'
 
 echo "== address-sanitized measurement suites (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DCCAPERF_SANITIZE=address >/dev/null

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Line-coverage report for the tier-1 suites, using plain gcov (no gcovr /
+# lcov dependency): configure with CCAPERF_COVERAGE=ON, run the tier-1
+# ctest label, then aggregate gcov's JSON intermediate format into a
+# per-directory line-coverage table.
+#
+#   scripts/coverage.sh             # build-cov/
+#   COV_DIR=mycov scripts/coverage.sh
+#
+# The baseline numbers live in EXPERIMENTS.md; regenerate them with this
+# script after touching the communication or measurement layers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REPO=$(pwd)
+
+COV_DIR=${COV_DIR:-build-cov}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+echo "== coverage build (${COV_DIR}) =="
+cmake -B "${COV_DIR}" -S . -DCCAPERF_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build "${COV_DIR}" -j "${JOBS}"
+
+echo "== tier-1 suites under instrumentation =="
+find "${COV_DIR}" -name '*.gcda' -delete
+# --coverage forces -O0, which can trip the tightest timing-attribution
+# asserts (they are gated at full strictness by check_tier1.sh on the
+# regular build). The suites still execute, so the line-coverage data is
+# valid: warn and keep going.
+if ! ctest --test-dir "${COV_DIR}" -L tier1 --output-on-failure -j "${JOBS}"; then
+  echo "WARNING: some suites failed under -O0 instrumentation (timing" \
+       "asserts); coverage data below still reflects the full run" >&2
+fi
+
+echo "== gcov aggregation =="
+GCOV_OUT=$(mktemp -d "${TMPDIR:-/tmp}/ccaperf-coverage.XXXXXX")
+trap 'rm -rf "${GCOV_OUT}"' EXIT
+# gcov drops one .gcov.json.gz per object file into the cwd.
+(cd "${GCOV_OUT}" &&
+ find "${REPO}/${COV_DIR}" -name '*.gcda' -print0 |
+ xargs -0 gcov --json-format >/dev/null)
+
+python3 - "${GCOV_OUT}" "${REPO}" <<'PY'
+import glob, gzip, json, os, sys
+
+gcov_dir, repo = sys.argv[1], sys.argv[2]
+# (relative source file) -> {line_number: hit?}; merged across the many
+# translation units that each header is compiled into.
+lines = {}
+for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
+    with gzip.open(path, "rt") as f:
+        data = json.load(f)
+    for fentry in data.get("files", []):
+        src = fentry["file"]
+        if not os.path.isabs(src):
+            src = os.path.normpath(os.path.join(data.get("current_working_directory", ""), src))
+        src = os.path.normpath(src)
+        try:
+            rel = os.path.relpath(src, repo)
+        except ValueError:
+            continue
+        if rel.startswith(".."):
+            continue  # system headers
+        if not (rel.startswith("src/") or rel.startswith("tests/") or rel.startswith("bench/")):
+            continue
+        per = lines.setdefault(rel, {})
+        for ln in fentry.get("lines", []):
+            n = ln["line_number"]
+            per[n] = per.get(n, False) or ln["count"] > 0
+
+def bucket(rel):
+    parts = rel.split(os.sep)
+    return os.sep.join(parts[:2]) if len(parts) > 1 else parts[0]
+
+agg = {}
+for rel, per in lines.items():
+    total, hit = len(per), sum(per.values())
+    b = agg.setdefault(bucket(rel), [0, 0])
+    b[0] += total
+    b[1] += hit
+
+print(f"{'directory':<24}{'lines':>8}{'covered':>9}{'pct':>8}")
+gt = gh = 0
+for d in sorted(agg):
+    total, hit = agg[d]
+    gt += total
+    gh += hit
+    print(f"{d:<24}{total:>8}{hit:>9}{100.0 * hit / total:>7.1f}%")
+print(f"{'TOTAL':<24}{gt:>8}{gh:>9}{100.0 * gh / gt:>7.1f}%")
+PY
+echo "coverage: OK"

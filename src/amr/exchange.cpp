@@ -116,11 +116,30 @@ ExchangeStats exchange_copy(mpp::Comm& comm,
     recv_reqs.push_back(comm.irecv<double>(p.buffer, p.src_rank, tag_base));
 
   // Complete receives with wait_some, unpacking each packed message's
-  // segments as it lands (the paper's AMRMesh ghost-update pattern).
+  // segments as it lands (the paper's AMRMesh ghost-update pattern). A
+  // CommError timeout degrades gracefully: outstanding messages are
+  // cancelled and their destination regions keep stale data, counted so
+  // the telemetry stream shows the degradation.
   std::size_t outstanding = recv_reqs.size();
   std::vector<int> done;
   while (outstanding > 0) {
-    const std::size_t n = mpp::wait_some(recv_reqs, done);
+    std::size_t n = 0;
+    try {
+      n = mpp::wait_some(recv_reqs, done);
+    } catch (const mpp::CommError& err) {
+      if (err.code() != mpp::CommErrc::timeout &&
+          err.code() != mpp::CommErrc::no_progress)
+        throw;
+      for (std::size_t i = 0; i < recv_reqs.size(); ++i) {
+        if (!recv_reqs[i].valid()) continue;
+        Pending& p = pending[i];
+        ++stats.stale_messages;
+        stats.stale_segments += p.items.size();
+        recv_reqs[i] = mpp::Request();  // cancels the posted receive
+      }
+      comm.report_stale_fallback(stats.stale_segments);
+      break;
+    }
     CCAPERF_REQUIRE(n > 0, "exchange_copy: wait_some made no progress");
     for (int idx : done) {
       Pending& p = pending[static_cast<std::size_t>(idx)];
@@ -141,7 +160,18 @@ ExchangeStats exchange_copy(mpp::Comm& comm,
     outstanding -= n;
   }
 
-  mpp::wait_all(send_reqs);
+  try {
+    mpp::wait_all(send_reqs);
+  } catch (const mpp::CommError& err) {
+    if (err.code() != mpp::CommErrc::timeout &&
+        err.code() != mpp::CommErrc::no_progress &&
+        err.code() != mpp::CommErrc::retry_exhausted)
+      throw;
+    // A send the peer will never acknowledge: drop the remaining handles
+    // (parked descriptors are cancelled) and count the failure.
+    ++stats.send_failures;
+    for (mpp::Request& r : send_reqs) r = mpp::Request();
+  }
   return stats;
 }
 

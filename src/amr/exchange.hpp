@@ -43,6 +43,14 @@ struct ExchangeStats {
   std::size_t segments_received = 0;
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
+  /// Graceful degradation under faults: messages the exchange stopped
+  /// waiting for after a mpp::CommError timeout — their destination regions
+  /// keep whatever (stale) data they held. Reported to CommHooks and the
+  /// fabric via Comm::report_stale_fallback.
+  std::size_t stale_messages = 0;
+  std::size_t stale_segments = 0;
+  /// Sends whose completion failed (retry exhausted / timeout).
+  std::size_t send_failures = 0;
 };
 
 /// Performs the copy. `src_valid(info)` gives the box of valid source

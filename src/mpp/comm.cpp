@@ -46,6 +46,76 @@ void emit_send_event(const detail::ReqState& st) {
                                 st.status.bytes, st.seq});
 }
 
+[[noreturn]] void raise_failed(const detail::ReqState& st, const char* what) {
+  const auto code = static_cast<CommErrc>(
+      st.failed.load(std::memory_order_acquire) - 1);
+  throw CommError(code, std::string("mpp: ") + what +
+                            ": send failed (retransmission attempts exhausted)");
+}
+
+/// Book-keeping for one blocking wait: drives the fault layer each quantum
+/// and enforces the configured timeout plus the always-on no-progress bound
+/// so a wait for a message that never arrives fails instead of hanging.
+class WaitBudget {
+ public:
+  explicit WaitBudget(Fabric* fab) : fab_(fab) {
+    if (fab_ != nullptr) last_activity_ = fab_->activity();
+  }
+
+  /// How long to block on the condition variable before polling again.
+  Clock::duration quantum() const {
+    using std::chrono::duration_cast;
+    if (fab_ != nullptr && fab_->faults_active())
+      return duration_cast<Clock::duration>(std::chrono::microseconds(200));
+    return duration_cast<Clock::duration>(std::chrono::milliseconds(10));
+  }
+
+  /// One poll: advance the fault layer, then check the two bounds. Must be
+  /// called with no signal/mailbox lock held (fault_poll takes both).
+  void poll_and_check(const char* what) {
+    if (fab_ == nullptr) return;
+    fab_->fault_poll();
+    const Clock::time_point now = Clock::now();
+    const double timeout_us = fab_->wait_timeout_us();
+    if (timeout_us > 0.0 &&
+        std::chrono::duration<double, std::micro>(now - start_).count() >
+            timeout_us) {
+      fab_->count_timeout();
+      if (CommHooks* h = hooks())
+        h->on_fault(FaultEvent{FaultEvent::Type::timeout, FaultKind::none, -1,
+                               -1, 0, 0});
+      throw CommError(CommErrc::timeout,
+                      std::string("mpp: ") + what + ": timed out after " +
+                          std::to_string(timeout_us) + " us");
+    }
+    const std::uint64_t activity = fab_->activity();
+    if (activity != last_activity_) {
+      last_activity_ = activity;
+      activity_at_ = now;
+      return;
+    }
+    const double idle_us = fab_->idle_limit_us();
+    if (idle_us > 0.0 &&
+        std::chrono::duration<double, std::micro>(now - activity_at_).count() >
+            idle_us) {
+      fab_->count_timeout();
+      if (CommHooks* h = hooks())
+        h->on_fault(FaultEvent{FaultEvent::Type::timeout, FaultKind::none, -1,
+                               -1, 0, 0});
+      throw CommError(CommErrc::no_progress,
+                      std::string("mpp: ") + what +
+                          ": no fabric progress for " +
+                          std::to_string(idle_us) + " us");
+    }
+  }
+
+ private:
+  Fabric* fab_;
+  Clock::time_point start_ = Clock::now();
+  Clock::time_point activity_at_ = start_;
+  std::uint64_t last_activity_ = 0;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -56,12 +126,26 @@ Status Request::wait_no_hook() {
   CCAPERF_REQUIRE(state_, "Request::wait on an invalid request");
   detail::ReqState& st = *state_;
   if (!st.matched.load(std::memory_order_acquire)) {
-    std::unique_lock lock(st.signal->mu);
-    st.signal->cv.wait(lock, [&st] {
-      return st.matched.load(std::memory_order_acquire) || st.aborted();
-    });
-    if (!st.matched.load(std::memory_order_acquire))
-      ccaperf::raise("mpp: wait aborted (a peer rank failed)");
+    // Bounded quanta instead of an open-ended block: each expiry drives the
+    // fault layer and checks the timeout / no-progress bounds, so a message
+    // that never arrives surfaces a CommError instead of hanging.
+    WaitBudget budget(st.fabric);
+    for (;;) {
+      {
+        std::unique_lock lock(st.signal->mu);
+        st.signal->cv.wait_for(lock, budget.quantum(), [&st] {
+          return st.matched.load(std::memory_order_acquire) || st.aborted() ||
+                 st.failed.load(std::memory_order_acquire) != 0;
+        });
+      }
+      if (st.matched.load(std::memory_order_acquire)) break;
+      if (st.failed.load(std::memory_order_acquire) != 0)
+        raise_failed(st, "wait");
+      if (st.aborted())
+        throw CommError(CommErrc::aborted,
+                        "mpp: wait aborted (a peer rank failed)");
+      budget.poll_and_check("wait");
+    }
   }
   const auto now = Clock::now();
   if (now < st.deliver_at) std::this_thread::sleep_until(st.deliver_at);
@@ -80,7 +164,14 @@ Status Request::wait() {
 
 std::optional<Status> Request::test() {
   HookScope hook("MPI_Test()");
-  if (!state_ || !state_->ready()) return std::nullopt;
+  if (state_ && state_->failed.load(std::memory_order_acquire) != 0)
+    raise_failed(*state_, "test");
+  if (!state_ || !state_->ready()) {
+    // test() is the progress engine of spin loops: drive the fault layer so
+    // held/dropped messages can still move while the caller polls.
+    if (state_ && state_->fabric != nullptr) state_->fabric->fault_poll();
+    return std::nullopt;
+  }
   Status s = state_->status;
   hook.set_bytes(s.bytes);
   emit_recv_event(*state_);
@@ -172,16 +263,32 @@ std::size_t wait_some(std::span<Request> reqs, std::vector<int>& indices,
   }
 
   CCAPERF_REQUIRE(signal != nullptr, "wait_some: receive request without owner signal");
-  std::unique_lock lock(signal->mu);
+  Fabric* fab = nullptr;
+  for (const Request& r : reqs) {
+    if (r.state_ && r.state_->fabric != nullptr) {
+      fab = r.state_->fabric;
+      break;
+    }
+  }
+  WaitBudget budget(fab);
   for (;;) {
-    if (harvest()) break;
-    for (const Request& r : reqs)
-      if (r.state_ && r.state_->aborted())
-        ccaperf::raise("mpp: wait_some aborted (a peer rank failed)");
-    if (nearest != Clock::time_point::max())
-      signal->cv.wait_until(lock, nearest);
-    else
-      signal->cv.wait(lock);
+    {
+      std::unique_lock lock(signal->mu);
+      if (harvest()) break;
+      for (const Request& r : reqs) {
+        if (!r.state_) continue;
+        if (r.state_->failed.load(std::memory_order_acquire) != 0)
+          raise_failed(*r.state_, "wait_some");
+        if (r.state_->aborted())
+          throw CommError(CommErrc::aborted,
+                          "mpp: wait_some aborted (a peer rank failed)");
+      }
+      Clock::time_point until = Clock::now() + budget.quantum();
+      if (nearest != Clock::time_point::max()) until = std::min(until, nearest);
+      signal->cv.wait_until(lock, until);
+      if (harvest()) break;
+    }
+    budget.poll_and_check("wait_some");
   }
   hook.set_bytes(total_bytes);
   return indices.size();
@@ -208,11 +315,24 @@ std::shared_ptr<detail::ReqState> Comm::make_send_state(int tag, std::size_t byt
   st->status = Status{group_rank_, tag, bytes};
   st->signal = &fabric_->signal(my_world_rank());
   st->abort_flag = fabric_->abort_flag();
+  st->fabric = fabric_;
   return st;
+}
+
+void Comm::report_stale_fallback(std::size_t segments) {
+  fabric_->count_stale_fallback();
+  if (CommHooks* h = hooks())
+    h->on_fault(FaultEvent{FaultEvent::Type::stale_fallback, FaultKind::none,
+                           -1, my_world_rank(), 0,
+                           static_cast<std::uint32_t>(segments)});
 }
 
 void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes,
                    const std::shared_ptr<detail::ReqState>& sender) {
+  if (fabric_->faults_active()) {
+    deliver_faulty(dest, tag, data, bytes, sender);
+    return;
+  }
   const double delay = fabric_->delay_us(my_world_rank(), bytes);
   const Clock::time_point deliver_at = stamp_delay(delay);
 
@@ -272,10 +392,102 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t bytes,
   }
   if (!rendezvous)
     sender->matched.store(true, std::memory_order_release);  // buffered-eager
+  fabric_->note_activity();
   if (completed) {
     completed->matched.store(true, std::memory_order_release);
     fabric_->signal(world_rank_of(dest)).notify();
   }
+}
+
+void Comm::deliver_faulty(int dest, int tag, const void* data, std::size_t bytes,
+                          const std::shared_ptr<detail::ReqState>& sender) {
+  // Sends drive fault-layer progress too, so a pure send phase still
+  // releases earlier held messages deterministically.
+  fabric_->fault_poll();
+  fabric_->maybe_stall(my_world_rank());
+
+  const double delay = fabric_->delay_us(my_world_rank(), bytes);
+  const Clock::time_point deliver_at = stamp_delay(delay);
+  const int src_w = my_world_rank();
+  const int dst_w = world_rank_of(dest);
+  sender->src_world = src_w;
+  sender->dst_world = dst_w;
+  sender->seq = fabric_->next_pair_seq(src_w, dst_w);
+
+  detail::ParkedMessage msg;
+  msg.src = group_rank_;
+  msg.tag = tag;
+  msg.deliver_at = deliver_at;
+  msg.src_world = src_w;
+  msg.dst_world = dst_w;
+  msg.seq = sender->seq;
+  if (bytes > 0) {
+    // Always a staged copy: the message may outlive this call in the hold
+    // queue or retry ledger, so zero-copy rendezvous is off the table.
+    msg.payload = fabric_->pool().acquire(bytes);
+    std::memcpy(msg.payload.data(), data, bytes);
+  }
+  // Rendezvous-class messages keep the sender attached: the send completes
+  // ("is acknowledged") only when a receive matches, and retry exhaustion
+  // fails it with CommErrc::retry_exhausted.
+  const bool reliable = bytes >= Fabric::kRendezvousBytes;
+  if (reliable) msg.rdv_send = sender;
+
+  const FaultDecision d =
+      fabric_->fault_plan().decide(src_w, dst_w, sender->seq, 1);
+  switch (d.kind) {
+    case FaultKind::none:
+      fabric_->route(context_, dest, dst_w, std::move(msg));
+      break;
+    case FaultKind::drop:
+      fabric_->injected_drops_.fetch_add(1, std::memory_order_relaxed);
+      Fabric::fire_fault(FaultEvent{FaultEvent::Type::injected, FaultKind::drop,
+                                    src_w, dst_w, sender->seq, 0});
+      fabric_->fault_lose(context_, dest, dst_w, std::move(msg));
+      break;
+    case FaultKind::delay:
+      fabric_->injected_delays_.fetch_add(1, std::memory_order_relaxed);
+      Fabric::fire_fault(FaultEvent{FaultEvent::Type::injected, FaultKind::delay,
+                                    src_w, dst_w, sender->seq,
+                                    static_cast<std::uint32_t>(d.delay_steps)});
+      fabric_->fault_hold(context_, dest, dst_w, std::move(msg), d.delay_steps,
+                          false);
+      break;
+    case FaultKind::duplicate: {
+      fabric_->injected_duplicates_.fetch_add(1, std::memory_order_relaxed);
+      Fabric::fire_fault(FaultEvent{FaultEvent::Type::injected,
+                                    FaultKind::duplicate, src_w, dst_w,
+                                    sender->seq, 0});
+      detail::ParkedMessage clone;
+      clone.src = msg.src;
+      clone.tag = msg.tag;
+      clone.deliver_at = msg.deliver_at;
+      clone.src_world = msg.src_world;
+      clone.dst_world = msg.dst_world;
+      clone.seq = msg.seq;  // same identity: the dedupe filter's job
+      if (!msg.payload.empty()) {
+        clone.payload = fabric_->pool().acquire(msg.payload.size());
+        std::memcpy(clone.payload.data(), msg.payload.data(), msg.payload.size());
+      }
+      fabric_->route(context_, dest, dst_w, std::move(msg));
+      fabric_->fault_hold(context_, dest, dst_w, std::move(clone), 1, false);
+      break;
+    }
+    case FaultKind::reorder:
+      fabric_->injected_reorders_.fetch_add(1, std::memory_order_relaxed);
+      Fabric::fire_fault(FaultEvent{FaultEvent::Type::injected,
+                                    FaultKind::reorder, src_w, dst_w,
+                                    sender->seq, 0});
+      // Overtaken by the pair's next routed message, with a step-count
+      // fallback so the last message of a pair is never stranded.
+      fabric_->fault_hold(context_, dest, dst_w, std::move(msg),
+                          fabric_->fault_plan().spec().max_delay_steps + 2, true);
+      break;
+    case FaultKind::stall:
+      break;  // decide() never returns stall; stalls come from maybe_stall()
+  }
+  if (!reliable)
+    sender->matched.store(true, std::memory_order_release);  // buffered-eager
 }
 
 Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest, int tag) {
@@ -300,6 +512,7 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
   st->kind = detail::ReqState::Kind::recv;
   st->signal = &fabric_->signal(my_world_rank());
   st->abort_flag = fabric_->abort_flag();
+  st->fabric = fabric_;
   detail::Mailbox& mb = fabric_->mailbox(context_, group_rank_);
   st->mailbox = &mb;
   std::shared_ptr<detail::ReqState> sender;  // rendezvous send to complete
@@ -307,20 +520,27 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
     std::scoped_lock lock(mb.mu);
     for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
       if (matches(src, tag, it->src, it->tag)) {
-        const bool rdv = (it->rdv_send != nullptr);
-        const std::size_t msg_bytes = rdv ? it->rdv_bytes : it->payload.size();
+        // Zero-copy rendezvous descriptors read from the sender's buffer;
+        // everything else (eager and fault-staged messages, which may carry
+        // an attached sender too) reads from the parked payload.
+        const bool zero_copy = (it->rdv_data != nullptr);
+        const std::size_t msg_bytes = zero_copy ? it->rdv_bytes : it->payload.size();
         CCAPERF_REQUIRE(msg_bytes <= capacity,
                         "message truncation: receive buffer too small");
-        if (rdv) {
-          // Rendezvous: the one and only copy, sender buffer -> ours. The
-          // send completes now; stamp its delivery time before `matched`.
+        if (zero_copy) {
+          // Rendezvous: the one and only copy, sender buffer -> ours.
           std::memcpy(buffer, it->rdv_data, msg_bytes);
-          sender = std::move(it->rdv_send);
-          sender->deliver_at = it->deliver_at;
         } else if (msg_bytes > 0) {
           std::memcpy(buffer, it->payload.data(), msg_bytes);
           fabric_->pool().release(std::move(it->payload));
         }
+        if (it->rdv_send != nullptr) {
+          // The send completes now; stamp its delivery time before `matched`.
+          sender = std::move(it->rdv_send);
+          sender->deliver_at = it->deliver_at;
+        }
+        if (fabric_->faults_active())
+          mb.delivered[it->src_world].insert(it->seq);
         st->status = Status{it->src, it->tag, msg_bytes};
         st->deliver_at = it->deliver_at;
         st->src_world = it->src_world;
@@ -347,7 +567,10 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
     sender->matched.store(true, std::memory_order_release);
     sender->signal->notify();
   }
-  if (st->matched.load(std::memory_order_relaxed)) hook.set_bytes(st->status.bytes);
+  if (st->matched.load(std::memory_order_relaxed)) {
+    fabric_->note_activity();
+    hook.set_bytes(st->status.bytes);
+  }
   return Request(std::move(st));
 }
 
@@ -406,7 +629,8 @@ void Comm::collective(std::size_t scratch_bytes,
         return (bay.complete && bay.generation == gen) || fabric_->is_aborted();
       });
       if (!bay.complete || bay.generation != gen)
-        ccaperf::raise("mpp: collective aborted (a peer rank failed)");
+        throw CommError(CommErrc::aborted,
+                        "mpp: collective aborted (a peer rank failed)");
     }
     collect(bay);
     ++bay.departed;
@@ -420,7 +644,8 @@ void Comm::collective(std::size_t scratch_bytes,
       bay.cv.wait(lock,
                   [&] { return bay.generation != gen || fabric_->is_aborted(); });
       if (bay.generation == gen)
-        ccaperf::raise("mpp: collective aborted (a peer rank failed)");
+        throw CommError(CommErrc::aborted,
+                        "mpp: collective aborted (a peer rank failed)");
     }
   }
   sleep_us(fabric_->delay_us(my_world_rank(), delay_bytes));

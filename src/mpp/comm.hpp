@@ -108,6 +108,14 @@ class Comm {
   /// payload buffer-pool statistics of the underlying fabric.
   detail::BufferPool::Stats pool_stats() const { return fabric_->pool().stats(); }
 
+  /// Fault/recovery accounting of the underlying fabric (see fault.hpp).
+  FaultStats fault_stats() const { return fabric_->fault_stats(); }
+
+  /// Records one stale-ghost degradation (amr::exchange gave up waiting and
+  /// reused old ghost data): counted on the fabric and reported to this
+  /// rank's hooks with the number of ghost segments left stale.
+  void report_stale_fallback(std::size_t segments);
+
   /// MPI_Comm_dup: same group, fresh matching context (collective).
   Comm dup() const;
   /// MPI_Comm_split: subgroups by color, ordered by (key, rank) (collective).
@@ -245,6 +253,13 @@ class Comm {
   /// Completes `sender` on the eager paths; rendezvous leaves it pending.
   void deliver(int dest, int tag, const void* data, std::size_t bytes,
                const std::shared_ptr<detail::ReqState>& sender);
+  /// The fault-injecting twin of `deliver`, taken when a FaultPlan is
+  /// active: always stages a pooled copy, asks the plan for a decision, and
+  /// routes/holds/loses the message accordingly. Rendezvous-class messages
+  /// keep `sender` attached so the match acknowledges the send and a
+  /// retry-exhausted drop can fail it.
+  void deliver_faulty(int dest, int tag, const void* data, std::size_t bytes,
+                      const std::shared_ptr<detail::ReqState>& sender);
   /// Builds the ReqState every send variant shares.
   std::shared_ptr<detail::ReqState> make_send_state(int tag, std::size_t bytes);
 

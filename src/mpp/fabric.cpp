@@ -1,5 +1,10 @@
 #include "mpp/fabric.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "mpp/hooks.hpp"
 #include "support/error.hpp"
 
 namespace mpp {
@@ -72,7 +77,13 @@ Fabric::Fabric(int world_size, NetworkModel net)
   }
   pair_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(world_size) * static_cast<std::size_t>(world_size));
+  stall_checks_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(world_size));
   ensure_context(world_context, world_size);
+}
+
+void Fabric::set_fault_spec(const FaultSpec& spec) {
+  fault_plan_ = FaultPlan(spec);
 }
 
 std::uint64_t Fabric::allocate_context() {
@@ -119,6 +130,264 @@ detail::CollectiveBay& Fabric::bay(std::uint64_t context) {
   auto it = contexts_.find(context);
   CCAPERF_REQUIRE(it != contexts_.end(), "bay: unknown context");
   return *it->second.bay;
+}
+
+// ---------------------------------------------------------------------------
+// Fault layer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool recv_matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == any_source || want_src == src) &&
+         (want_tag == any_tag || want_tag == tag);
+}
+
+}  // namespace
+
+void Fabric::fire_fault(const FaultEvent& e) {
+  if (CommHooks* h = hooks()) h->on_fault(e);
+}
+
+void Fabric::maybe_stall(int world_rank) {
+  const std::uint64_t check =
+      stall_checks_[static_cast<std::size_t>(world_rank)].fetch_add(
+          1, std::memory_order_relaxed);
+  if (!fault_plan_.stall_at(world_rank, check)) return;
+  injected_stalls_.fetch_add(1, std::memory_order_relaxed);
+  fire_fault(FaultEvent{FaultEvent::Type::injected, FaultKind::stall, world_rank,
+                        -1, 0, 0});
+  const double us = fault_plan_.spec().stall_us;
+  if (us > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+void Fabric::route(std::uint64_t context, int dest_group, int dest_world,
+                   detail::ParkedMessage&& msg) {
+  std::shared_ptr<detail::ReqState> completed;
+  std::shared_ptr<detail::ReqState> ack_sender;
+  bool suppressed = false;
+  const int msg_src_world = msg.src_world;
+  const int msg_dst_world = msg.dst_world;
+  detail::Mailbox& mb = mailbox(context, dest_group);
+  {
+    std::scoped_lock lock(mb.mu);
+    // Dedupe before matching: the duplicate of an already-delivered (or
+    // still-parked) message must never reach a receive.
+    auto delivered_it = mb.delivered.find(msg.src_world);
+    if (delivered_it != mb.delivered.end() &&
+        delivered_it->second.count(msg.seq) != 0) {
+      suppressed = true;
+    } else {
+      for (const auto& parked : mb.unexpected) {
+        if (parked.src_world == msg.src_world && parked.seq == msg.seq) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) {
+      for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+        if (recv_matches(it->src, it->tag, msg.src, msg.tag)) {
+          const std::size_t bytes = msg.payload.size();
+          CCAPERF_REQUIRE(bytes <= it->capacity,
+                          "message truncation: receive buffer too small");
+          if (bytes > 0) std::memcpy(it->buffer, msg.payload.data(), bytes);
+          it->state->status = Status{msg.src, msg.tag, bytes};
+          it->state->deliver_at = msg.deliver_at;
+          it->state->src_world = msg.src_world;
+          it->state->dst_world = msg.dst_world;
+          it->state->seq = msg.seq;
+          completed = it->state;
+          mb.posted.erase(it);
+          mb.delivered[msg.src_world].insert(msg.seq);
+          break;
+        }
+      }
+      if (!completed) {
+        if (msg.rdv_send) {
+          // Reliable-class message parks with its sender attached so the
+          // eventual match acknowledges (completes) the send, and so a
+          // dropped Request handle can still cancel the parked entry.
+          msg.park_id = mb.next_post_id++;
+          msg.rdv_send->mailbox = &mb;
+          msg.rdv_send->post_id = msg.park_id;
+        }
+        mb.unexpected.push_back(std::move(msg));
+      } else if (msg.rdv_send) {
+        ack_sender = msg.rdv_send;
+        ack_sender->deliver_at = msg.deliver_at;
+      }
+    }
+  }
+  if (suppressed) {
+    duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    fire_fault(FaultEvent{FaultEvent::Type::duplicate_suppressed,
+                          FaultKind::duplicate, msg.src_world, msg.dst_world,
+                          msg.seq, 0});
+    if (!msg.payload.empty()) pool_.release(std::move(msg.payload));
+    return;
+  }
+  note_activity();
+  if (completed) {
+    if (!msg.payload.empty()) pool_.release(std::move(msg.payload));
+    completed->matched.store(true, std::memory_order_release);
+    signal(dest_world).notify();
+    if (ack_sender) {
+      ack_sender->matched.store(true, std::memory_order_release);
+      ack_sender->signal->notify();
+    }
+  } else {
+    signal(dest_world).notify();  // a blocked blocking-recv may now match
+  }
+  // Routing (matched *or* parked) is the "next message of the pair" trigger
+  // that releases reorder-held predecessors.
+  flush_reorder(msg_src_world, msg_dst_world);
+}
+
+void Fabric::flush_reorder(int src_world, int dst_world) {
+  if (!fault_plan_.active()) return;
+  for (;;) {
+    detail::FaultedMessage next;
+    bool found = false;
+    {
+      std::scoped_lock lock(fault_mu_);
+      for (auto it = held_.begin(); it != held_.end(); ++it) {
+        if (it->release_on_next && it->msg.src_world == src_world &&
+            it->msg.dst_world == dst_world) {
+          next = std::move(*it);
+          held_.erase(it);
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return;
+    route(next.context, next.dest_group, next.dest_world, std::move(next.msg));
+  }
+}
+
+void Fabric::fault_hold(std::uint64_t context, int dest_group, int dest_world,
+                        detail::ParkedMessage&& msg, int steps,
+                        bool release_on_next) {
+  detail::FaultedMessage h;
+  h.context = context;
+  h.dest_group = dest_group;
+  h.dest_world = dest_world;
+  h.release_step = progress_step_.load(std::memory_order_acquire) +
+                   static_cast<std::uint64_t>(steps);
+  h.release_on_next = release_on_next;
+  h.msg = std::move(msg);
+  std::scoped_lock lock(fault_mu_);
+  held_.push_back(std::move(h));
+}
+
+void Fabric::fault_lose(std::uint64_t context, int dest_group, int dest_world,
+                        detail::ParkedMessage&& msg) {
+  detail::FaultedMessage l;
+  l.context = context;
+  l.dest_group = dest_group;
+  l.dest_world = dest_world;
+  l.attempt = 1;
+  l.release_step = progress_step_.load(std::memory_order_acquire) +
+                   static_cast<std::uint64_t>(fault_plan_.spec().retry_base_steps);
+  l.msg = std::move(msg);
+  std::scoped_lock lock(fault_mu_);
+  ledger_.push_back(std::move(l));
+}
+
+void Fabric::fault_poll() {
+  if (!fault_plan_.active()) return;
+  const std::uint64_t step = progress_step_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  std::vector<detail::FaultedMessage> due;
+  std::vector<FaultEvent> events;
+  std::vector<std::shared_ptr<detail::ReqState>> failed_senders;
+  {
+    std::scoped_lock lock(fault_mu_);
+    // Reorder-held entries normally release via flush_reorder; the step
+    // threshold is their fallback when no later pair message ever routes.
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (it->release_step <= step) {
+        due.push_back(std::move(*it));
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const FaultSpec& spec = fault_plan_.spec();
+    for (auto it = ledger_.begin(); it != ledger_.end();) {
+      if (it->release_step > step) {
+        ++it;
+        continue;
+      }
+      const std::uint32_t attempt = it->attempt + 1;
+      if (attempt > static_cast<std::uint32_t>(spec.retry_max_attempts)) {
+        events.push_back(FaultEvent{FaultEvent::Type::retry_exhausted,
+                                    FaultKind::drop, it->msg.src_world,
+                                    it->msg.dst_world, it->msg.seq,
+                                    it->attempt});
+        if (it->msg.rdv_send) failed_senders.push_back(std::move(it->msg.rdv_send));
+        it = ledger_.erase(it);
+        continue;
+      }
+      it->attempt = attempt;
+      events.push_back(FaultEvent{FaultEvent::Type::retry, FaultKind::drop,
+                                  it->msg.src_world, it->msg.dst_world,
+                                  it->msg.seq, attempt});
+      const FaultDecision redecide = fault_plan_.decide(
+          it->msg.src_world, it->msg.dst_world, it->msg.seq, attempt);
+      if (redecide.kind == FaultKind::drop) {
+        // Lost again: exponential backoff before the next attempt.
+        it->release_step =
+            step + (static_cast<std::uint64_t>(spec.retry_base_steps)
+                    << (attempt - 1));
+        ++it;
+      } else {
+        due.push_back(std::move(*it));
+        it = ledger_.erase(it);
+      }
+    }
+  }
+  // Deterministic release order: triggers were compared against the same
+  // step, so order by message identity alone.
+  std::sort(due.begin(), due.end(),
+            [](const detail::FaultedMessage& a, const detail::FaultedMessage& b) {
+              if (a.msg.src_world != b.msg.src_world)
+                return a.msg.src_world < b.msg.src_world;
+              if (a.msg.dst_world != b.msg.dst_world)
+                return a.msg.dst_world < b.msg.dst_world;
+              return a.msg.seq < b.msg.seq;
+            });
+  for (const FaultEvent& e : events) {
+    if (e.type == FaultEvent::Type::retry)
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    else
+      retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    fire_fault(e);
+  }
+  for (auto& sender : failed_senders) {
+    sender->failed.store(1 + static_cast<std::uint8_t>(CommErrc::retry_exhausted),
+                         std::memory_order_release);
+    sender->signal->notify();
+  }
+  for (auto& m : due)
+    route(m.context, m.dest_group, m.dest_world, std::move(m.msg));
+}
+
+FaultStats Fabric::fault_stats() const {
+  FaultStats s;
+  s.injected_drops = injected_drops_.load(std::memory_order_relaxed);
+  s.injected_delays = injected_delays_.load(std::memory_order_relaxed);
+  s.injected_duplicates = injected_duplicates_.load(std::memory_order_relaxed);
+  s.injected_reorders = injected_reorders_.load(std::memory_order_relaxed);
+  s.injected_stalls = injected_stalls_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retries_exhausted = retries_exhausted_.load(std::memory_order_relaxed);
+  s.duplicates_suppressed = duplicates_suppressed_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.stale_fallbacks = stale_fallbacks_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace mpp

@@ -36,12 +36,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
+#include "mpp/fault.hpp"
 #include "mpp/netmodel.hpp"
 #include "support/rng.hpp"
 
 namespace mpp {
+
+class Fabric;
+struct FaultEvent;  // hooks.hpp
 
 /// Wildcards (match MPI semantics).
 inline constexpr int any_source = -1;
@@ -82,6 +87,10 @@ struct ReqState {
   Mailbox* mailbox = nullptr;           ///< mailbox the recv was posted to
   class RankSignal* signal = nullptr;   ///< wakeup channel of the owning rank
   const std::atomic<bool>* abort_flag = nullptr;  ///< fabric-wide failure flag
+  Fabric* fabric = nullptr;             ///< owning fabric (wait-loop polling)
+  /// Nonzero when the operation failed permanently: 1 + CommErrc value.
+  /// Set (release) before the owner's signal is notified.
+  std::atomic<std::uint8_t> failed{0};
 
   bool aborted() const {
     return abort_flag && abort_flag->load(std::memory_order_acquire);
@@ -179,6 +188,24 @@ class Mailbox {
   std::deque<ParkedMessage> unexpected;
   std::deque<PostedRecv> posted;
   std::uint64_t next_post_id = 1;
+  /// Per-sender delivered sequence numbers, maintained only while a
+  /// FaultPlan is active: duplicates injected by the fault layer are
+  /// filtered here, under the same lock that serializes matching.
+  std::map<int, std::set<std::uint64_t>> delivered;
+};
+
+/// A message captured by the fault layer: either held for later release
+/// (delay/duplicate/reorder) or sitting in the retransmission ledger after
+/// a drop. Routing metadata is kept alongside so `Fabric::fault_poll` can
+/// re-inject it without a Comm.
+struct FaultedMessage {
+  std::uint64_t context = 0;
+  int dest_group = 0;
+  int dest_world = 0;
+  ParkedMessage msg;
+  std::uint64_t release_step = 0;  ///< held: release once progress reaches this
+  bool release_on_next = false;    ///< reorder: release when the pair's next message routes
+  std::uint32_t attempt = 0;       ///< ledger: delivery attempts so far (>= 1)
 };
 
 /// Shared-memory collective rendezvous for one communicator context.
@@ -251,6 +278,65 @@ class Fabric {
   bool is_aborted() const { return aborted_.load(std::memory_order_acquire); }
   const std::atomic<bool>* abort_flag() const { return &aborted_; }
 
+  // --- fault injection & recovery (see fault.hpp, DESIGN.md §8) ----------
+
+  /// Installs a fault schedule. Call before rank threads start (the
+  /// Runtime does this); not thread-safe against in-flight traffic.
+  void set_fault_spec(const FaultSpec& spec);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  bool faults_active() const { return fault_plan_.active(); }
+
+  /// Wait timeout / no-progress bound, microseconds; 0 disables. Set
+  /// before rank threads start. The no-progress bound defaults on so a
+  /// wait for a message that never comes fails instead of hanging forever.
+  void set_wait_timeout_us(double us) { wait_timeout_us_ = us; }
+  double wait_timeout_us() const { return wait_timeout_us_; }
+  void set_idle_limit_us(double us) { idle_limit_us_ = us; }
+  double idle_limit_us() const { return idle_limit_us_; }
+  static constexpr double kDefaultIdleLimitUs = 60e6;
+
+  /// Monotone "anything moved" counter: bumped whenever a message is
+  /// routed, matched, or parked anywhere in the fabric. Wait loops watch it
+  /// for the no-progress bound.
+  std::uint64_t activity() const { return activity_.load(std::memory_order_acquire); }
+  void note_activity() { activity_.fetch_add(1, std::memory_order_release); }
+
+  /// Fault-layer progress driver: advances the global step counter, routes
+  /// held messages whose release step arrived, and retransmits ledger
+  /// entries whose backoff expired. Called from wait quanta, test(), and
+  /// sends; no-op when no plan is active. Never call while holding a
+  /// signal or mailbox lock.
+  void fault_poll();
+  std::uint64_t progress_step() const {
+    return progress_step_.load(std::memory_order_acquire);
+  }
+
+  /// Per-send stall probe: deterministically stalls the calling rank for
+  /// spec().stall_us when the plan says so.
+  void maybe_stall(int world_rank);
+
+  /// Routes a fault-layer message into `dest`'s mailbox: dedupe filter,
+  /// then match-or-park (the faulty-path twin of Comm::deliver's matching
+  /// block). Completes an attached reliable sender at match time.
+  void route(std::uint64_t context, int dest_group, int dest_world,
+             detail::ParkedMessage&& msg);
+  /// Holds `msg` for `steps` progress steps (delay/duplicate), or until the
+  /// pair's next message routes (reorder).
+  void fault_hold(std::uint64_t context, int dest_group, int dest_world,
+                  detail::ParkedMessage&& msg, int steps, bool release_on_next);
+  /// Drops `msg` into the retransmission ledger (first attempt already
+  /// counted as injected).
+  void fault_lose(std::uint64_t context, int dest_group, int dest_world,
+                  detail::ParkedMessage&& msg);
+
+  FaultStats fault_stats() const;
+  /// Recovery accounting fed from Comm / amr: wait timeouts and stale-ghost
+  /// fallbacks (the events themselves are fired by the caller's hooks).
+  void count_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void count_stale_fallback() {
+    stale_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Context id of the world communicator.
   static constexpr std::uint64_t world_context = 0;
 
@@ -265,6 +351,13 @@ class Fabric {
     std::unique_ptr<detail::CollectiveBay> bay;
   };
 
+  /// Routes every held/ledger entry whose trigger fired. `flush_reorder`
+  /// releases reorder-held messages of (src, dst) after a later message of
+  /// that pair routed.
+  void flush_reorder(int src_world, int dst_world);
+  /// Fires a fault event on the calling rank's hooks (if any).
+  static void fire_fault(const FaultEvent& e);
+
   int world_size_;
   NetworkModel net_;
   Clock::time_point epoch_ = Clock::now();
@@ -278,6 +371,31 @@ class Fabric {
   std::map<std::uint64_t, ContextState> contexts_;
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
+
+  // Fault layer. `fault_mu_` is a leaf lock guarding the held queue and the
+  // retransmission ledger; it is never held while taking a mailbox or
+  // signal lock (entries are moved out first, then routed).
+  FaultPlan fault_plan_;
+  double wait_timeout_us_ = 0.0;
+  double idle_limit_us_ = kDefaultIdleLimitUs;
+  std::atomic<std::uint64_t> progress_step_{0};
+  std::atomic<std::uint64_t> activity_{0};
+  std::mutex fault_mu_;
+  std::vector<detail::FaultedMessage> held_;
+  std::vector<detail::FaultedMessage> ledger_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stall_checks_;
+  std::atomic<std::uint64_t> injected_drops_{0};
+  std::atomic<std::uint64_t> injected_delays_{0};
+  std::atomic<std::uint64_t> injected_duplicates_{0};
+  std::atomic<std::uint64_t> injected_reorders_{0};
+  std::atomic<std::uint64_t> injected_stalls_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> retries_exhausted_{0};
+  std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> stale_fallbacks_{0};
+
+  friend class Comm;
 };
 
 }  // namespace mpp

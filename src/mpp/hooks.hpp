@@ -29,6 +29,32 @@ struct MsgEvent {
   std::uint64_t seq = 0;
 };
 
+/// Fault taxonomy of the injection layer (see fault.hpp). `none` means the
+/// message was delivered untouched.
+enum class FaultKind : std::uint8_t { none, drop, delay, duplicate, reorder, stall };
+
+/// One fault-layer event, reported to the hooks of the rank on whose thread
+/// the event fired (the sender for injections, the polling rank for retries
+/// and releases, the waiting rank for timeouts). (src, dst, seq) is the same
+/// message identity MsgEvent carries, so a fault can be correlated with the
+/// message it perturbed.
+struct FaultEvent {
+  enum class Type : std::uint8_t {
+    injected,              ///< a fault was applied to a fresh send
+    retry,                 ///< a dropped message was retransmitted
+    retry_exhausted,       ///< retransmission gave up (send fails)
+    duplicate_suppressed,  ///< a duplicate arrival was deduplicated
+    timeout,               ///< a wait surfaced CommError instead of blocking
+    stale_fallback,        ///< amr::exchange reused stale ghost data
+  };
+  Type type = Type::injected;
+  FaultKind kind = FaultKind::none;  ///< which fault, for `injected`
+  int src = -1;                      ///< sender world rank (-1 if n/a)
+  int dst = -1;                      ///< receiver world rank (-1 if n/a)
+  std::uint64_t seq = 0;             ///< per-(src,dst) message sequence
+  std::uint32_t detail = 0;          ///< delay steps / retry attempt / stale segments
+};
+
 /// Interface implemented by measurement systems (see tau::MpiHookAdapter).
 class CommHooks {
  public:
@@ -44,6 +70,9 @@ class CommHooks {
   /// Default no-ops keep byte-counting hooks source-compatible.
   virtual void on_message_send(const MsgEvent&) {}
   virtual void on_message_recv(const MsgEvent&) {}
+  /// Fault-layer event (injection, retry, timeout, staleness). Only fired
+  /// when a FaultPlan is active or a wait times out; default no-op.
+  virtual void on_fault(const FaultEvent&) {}
 };
 
 namespace detail {

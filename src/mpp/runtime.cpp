@@ -14,12 +14,33 @@
 
 namespace mpp {
 
-void Runtime::run(int nranks, const NetworkModel& net,
+namespace {
+
+/// Applies the environment knobs on top of caller-provided options, so a
+/// driver like bench_fig01_simulation can run under a fault plan without
+/// any plumbing of its own.
+RunOptions with_env(RunOptions opts) {
+  const FaultSpec env_faults = FaultSpec::from_env();
+  if (env_faults.any()) opts.faults = env_faults;
+  if (const char* env = std::getenv("CCAPERF_WAIT_TIMEOUT_MS"))
+    opts.wait_timeout_us = std::atof(env) * 1e3;
+  if (const char* env = std::getenv("CCAPERF_WAIT_IDLE_MS"))
+    opts.idle_limit_us = std::atof(env) * 1e3;
+  return opts;
+}
+
+}  // namespace
+
+void Runtime::run(int nranks, const RunOptions& options,
                   const std::function<void(Comm&)>& rank_main) {
   CCAPERF_REQUIRE(nranks >= 1, "Runtime::run: need at least one rank");
   CCAPERF_REQUIRE(rank_main != nullptr, "Runtime::run: null rank_main");
 
-  Fabric fabric(nranks, net);
+  const RunOptions opts = with_env(options);
+  Fabric fabric(nranks, opts.net);
+  fabric.set_fault_spec(opts.faults);
+  fabric.set_wait_timeout_us(opts.wait_timeout_us);
+  fabric.set_idle_limit_us(opts.idle_limit_us);
   auto members = std::make_shared<std::vector<int>>();
   for (int r = 0; r < nranks; ++r) members->push_back(r);
 

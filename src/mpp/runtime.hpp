@@ -14,20 +14,39 @@
 #include <functional>
 
 #include "mpp/comm.hpp"
+#include "mpp/fault.hpp"
 #include "mpp/netmodel.hpp"
 
 namespace mpp {
+
+/// Everything a run can configure beyond the rank count. Environment knobs
+/// override fields at launch (see Runtime::run): CCAPERF_FAULT_PLAN /
+/// CCAPERF_FAULT_SEED install a fault schedule, CCAPERF_WAIT_TIMEOUT_MS /
+/// CCAPERF_WAIT_IDLE_MS tune the wait bounds.
+struct RunOptions {
+  NetworkModel net = NetworkModel::null_model();
+  FaultSpec faults{};  ///< inactive unless a rate is > 0
+  double wait_timeout_us = 0.0;  ///< 0 = no per-wait timeout
+  double idle_limit_us = Fabric::kDefaultIdleLimitUs;  ///< no-progress bound
+};
 
 class Runtime {
  public:
   /// Runs `rank_main(world)` on `nranks` threads sharing one Fabric.
   /// Blocks until every rank returns. Rethrows the first rank exception.
-  static void run(int nranks, const NetworkModel& net,
+  static void run(int nranks, const RunOptions& opts,
                   const std::function<void(Comm&)>& rank_main);
+
+  static void run(int nranks, const NetworkModel& net,
+                  const std::function<void(Comm&)>& rank_main) {
+    RunOptions opts;
+    opts.net = net;
+    run(nranks, opts, rank_main);
+  }
 
   /// Convenience overload with no injected network delays.
   static void run(int nranks, const std::function<void(Comm&)>& rank_main) {
-    run(nranks, NetworkModel::null_model(), rank_main);
+    run(nranks, RunOptions{}, rank_main);
   }
 };
 

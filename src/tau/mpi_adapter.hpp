@@ -39,8 +39,101 @@ class MpiHookAdapter final : public mpp::CommHooks {
       reg_.trace_message(/*send=*/false, e.src, e.tag, e.bytes, e.seq);
   }
 
+  /// Fault-layer accounting. Counters register on the FIRST event only, so
+  /// a fault-free run leaves the registry (and every downstream artifact:
+  /// Mastermind columns, telemetry JSONL, Perfetto export) byte-identical
+  /// to a run without the fault layer. Once registered, the counters flow
+  /// automatically into Mastermind record columns and TelemetryPort
+  /// counter_delta fields; under tracing each event also lands as a
+  /// Perfetto instant plus a full counter-track sample.
+  void on_fault(const mpp::FaultEvent& e) override {
+    if (!fault_counters_registered_) {
+      fault_counters_registered_ = true;
+      auto& c = reg_.counters();
+      c.add_source(kFaultInjected, [this] { return injected_; });
+      c.add_source(kFaultDrops, [this] { return drops_; });
+      c.add_source(kFaultDelays, [this] { return delays_; });
+      c.add_source(kFaultDuplicates, [this] { return duplicates_; });
+      c.add_source(kFaultReorders, [this] { return reorders_; });
+      c.add_source(kFaultStalls, [this] { return stalls_; });
+      c.add_source(kFaultRetries, [this] { return retries_; });
+      c.add_source(kFaultRetriesExhausted, [this] { return retries_exhausted_; });
+      c.add_source(kFaultDupSuppressed, [this] { return dup_suppressed_; });
+      c.add_source(kFaultTimeouts, [this] { return timeouts_; });
+      c.add_source(kFaultStale, [this] { return stale_; });
+    }
+    switch (e.type) {
+      case mpp::FaultEvent::Type::injected:
+        ++injected_;
+        switch (e.kind) {
+          case mpp::FaultKind::drop: ++drops_; break;
+          case mpp::FaultKind::delay: ++delays_; break;
+          case mpp::FaultKind::duplicate: ++duplicates_; break;
+          case mpp::FaultKind::reorder: ++reorders_; break;
+          case mpp::FaultKind::stall: ++stalls_; break;
+          case mpp::FaultKind::none: break;
+        }
+        break;
+      case mpp::FaultEvent::Type::retry: ++retries_; break;
+      case mpp::FaultEvent::Type::retry_exhausted: ++retries_exhausted_; break;
+      case mpp::FaultEvent::Type::duplicate_suppressed: ++dup_suppressed_; break;
+      case mpp::FaultEvent::Type::timeout: ++timeouts_; break;
+      case mpp::FaultEvent::Type::stale_fallback: ++stale_; break;
+    }
+    if (reg_.tracing() && reg_.group_enabled(kMpiGroup)) {
+      reg_.trace_instant(fault_label(e.type));
+      reg_.trace_counter_samples();
+    }
+  }
+
+  /// Sum of every fault event this adapter has seen (tests: no silent
+  /// faults).
+  std::uint64_t fault_events_total() const {
+    return injected_ + retries_ + retries_exhausted_ + dup_suppressed_ +
+           timeouts_ + stale_;
+  }
+
+  static constexpr const char* kFaultInjected = "FAULT_INJECTED";
+  static constexpr const char* kFaultDrops = "FAULT_DROPS";
+  static constexpr const char* kFaultDelays = "FAULT_DELAYS";
+  static constexpr const char* kFaultDuplicates = "FAULT_DUPLICATES";
+  static constexpr const char* kFaultReorders = "FAULT_REORDERS";
+  static constexpr const char* kFaultStalls = "FAULT_STALLS";
+  static constexpr const char* kFaultRetries = "FAULT_RETRIES";
+  static constexpr const char* kFaultRetriesExhausted = "FAULT_RETRIES_EXHAUSTED";
+  static constexpr const char* kFaultDupSuppressed = "FAULT_DUP_SUPPRESSED";
+  static constexpr const char* kFaultTimeouts = "FAULT_TIMEOUTS";
+  static constexpr const char* kFaultStale = "FAULT_STALE_FALLBACKS";
+
  private:
+  std::uint32_t fault_label(mpp::FaultEvent::Type type) {
+    auto& slot = fault_labels_[static_cast<std::size_t>(type)];
+    if (slot == 0) {
+      static constexpr const char* kNames[] = {
+          "fault::injected",        "fault::retry",
+          "fault::retry_exhausted", "fault::dup_suppressed",
+          "fault::timeout",         "fault::stale_fallback"};
+      slot = reg_.trace_string(kNames[static_cast<std::size_t>(type)]) + 1;
+    }
+    return slot - 1;
+  }
+
   Registry& reg_;
+  bool fault_counters_registered_ = false;
+  std::uint64_t injected_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t delays_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reorders_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t stale_ = 0;
+  /// Interned trace-string indices (+1; 0 = not yet interned), one per
+  /// FaultEvent::Type.
+  std::uint32_t fault_labels_[6] = {};
 };
 
 }  // namespace tau
