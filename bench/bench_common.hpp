@@ -7,6 +7,8 @@
 // Benches print a "paper vs measured" block at the end; EXPERIMENTS.md
 // records the comparison.
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -215,17 +217,30 @@ inline SweepResult sweep_component(const std::string& which, int nprocs, int rep
   return result;
 }
 
-/// Writes a data series as CSV next to the bench's stdout table, for the
-/// gnuplot scripts in plots/. Returns the path.
+/// Resolves a generated-figure filename to its output directory
+/// (CCAPERF_FIG_DIR, default bench_out/figs — gitignored), creating the
+/// directory on first use. Generated CSVs never land in the repo root.
+inline std::string fig_path(const std::string& filename) {
+  const char* env = std::getenv("CCAPERF_FIG_DIR");
+  const std::string dir =
+      (env != nullptr && *env != '\0') ? env : "bench_out/figs";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // EEXIST and races are fine
+  return dir + "/" + filename;
+}
+
+/// Writes a data series as CSV (under fig_path) next to the bench's stdout
+/// table, for the gnuplot scripts in plots/. Returns the path.
 inline std::string write_series_csv(const std::string& filename,
                                     const std::vector<std::string>& header,
                                     const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream os(filename);
+  const std::string path = fig_path(filename);
+  std::ofstream os(path);
   ccaperf::CsvWriter csv(os);
   csv.row(header);
   for (const auto& r : rows) csv.row(r);
-  std::cout << "series written to " << filename << '\n';
-  return filename;
+  std::cout << "series written to " << path << '\n';
+  return path;
 }
 
 /// One row of the paper-vs-measured comparison block.

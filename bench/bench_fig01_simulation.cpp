@@ -90,7 +90,7 @@ int main() {
             static_cast<double>(h.domain_at(l).num_pts());
       }
       // Patch boxes for the figure's outlines.
-      std::ofstream boxes("fig01_patches.csv");
+      std::ofstream boxes(bench::fig_path("fig01_patches.csv"));
       ccaperf::CsvWriter bw(boxes);
       bw.row({"level", "ilo", "jlo", "ihi", "jhi", "owner"});
       for (int l = 0; l < h.num_levels(); ++l)
@@ -100,8 +100,8 @@ int main() {
                   std::to_string(p.box.hi().j), std::to_string(p.owner)});
     }
     // Density field of locally owned level-0 patches (per-rank CSV).
-    std::ofstream field("fig01_density.rank" + std::to_string(world.rank()) +
-                        ".csv");
+    std::ofstream field(bench::fig_path(
+        "fig01_density.rank" + std::to_string(world.rank()) + ".csv"));
     ccaperf::CsvWriter fw_csv(field);
     fw_csv.row({"x", "y", "rho"});
     for (auto& [id, data] : h.level(0).local_data()) {
@@ -134,6 +134,11 @@ int main() {
       tport->stop_telemetry();
       // Lift the trace out before the framework (and its Registry) dies.
       merger.add_rank(core::collect_rank_trace(app.registry(), world.rank()));
+      // Worker-lane shards (CCAPERF_THREADS > 1) become per-thread tracks
+      // inside the rank's process.
+      if (tau::RegistryShards* sh = app.tau->shards(); sh->lanes() > 1)
+        for (int t = 1; t < sh->lanes(); ++t)
+          merger.add_rank(core::collect_rank_trace(sh->shard(t), world.rank(), t));
     } else {
       auto fw = components::assemble_app(world, cfg);
       fw->services("driver").provided_as<components::GoPort>("go")->go();
@@ -154,8 +159,9 @@ int main() {
   std::cout << "\ndensity range: [" << ccaperf::fmt_double(rho_min, 4) << ", "
             << ccaperf::fmt_double(rho_max, 4)
             << "]  (pre-shock air = 1, freon = 3.33, post-shock air = 1.86)\n"
-            << "field written to fig01_density.rank*.csv, patch outlines to "
-               "fig01_patches.csv\n";
+            << "field written to " << bench::fig_path("fig01_density.rank*.csv")
+            << ", patch outlines to " << bench::fig_path("fig01_patches.csv")
+            << '\n';
 
   if (faults.injected_total() > 0 || faults.retries > 0 || faults.timeouts > 0 ||
       faults.stale_fallbacks > 0) {

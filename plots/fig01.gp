@@ -8,6 +8,6 @@ set ylabel 'y'
 set view map
 set palette rgbformulae 33,13,10
 set cblabel 'rho'
-plot 'fig01_density.rank0.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle, \
-     'fig01_density.rank1.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle, \
-     'fig01_density.rank2.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle
+plot 'bench_out/figs/fig01_density.rank0.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle, \
+     'bench_out/figs/fig01_density.rank1.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle, \
+     'bench_out/figs/fig01_density.rank2.csv' skip 1 using 1:2:3 with points pointtype 5 pointsize 1.4 palette notitle

@@ -7,5 +7,5 @@ set xlabel 'array size Q (cells)'
 set ylabel 'time (us)'
 set key top left
 set logscale y
-plot 'fig04_states_modes.csv' skip 1 using 1:2:3 with yerrorlines title 'sequential (X)', \
+plot 'bench_out/figs/fig04_states_modes.csv' skip 1 using 1:2:3 with yerrorlines title 'sequential (X)', \
      ''                       skip 1 using 1:4:5 with yerrorlines title 'strided (Y)'

@@ -6,5 +6,5 @@ set title 'States: strided/sequential ratio (cf. paper Fig. 5)'
 set xlabel 'array size Q (cells)'
 set ylabel 'ratio'
 set key top left
-plot 'fig05_access_ratio.csv' skip 1 using 1:2:3 with yerrorlines title 'wall clock (host cache)', \
+plot 'bench_out/figs/fig05_access_ratio.csv' skip 1 using 1:2:3 with yerrorlines title 'wall clock (host cache)', \
      ''                       skip 1 using 1:4 with linespoints title 'L2-miss ratio (512 kB simulator)'

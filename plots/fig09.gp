@@ -9,6 +9,6 @@ set logscale y
 set xrange [-0.5:2.5]
 set xtics 0,1,2
 # Jitter points horizontally by rank for readability.
-plot for [r=0:2] 'fig09_message_passing.csv' skip 1 \
+plot for [r=0:2] 'bench_out/figs/fig09_message_passing.csv' skip 1 \
      using ($2 + 0.12*(column(1)-1)):(column(1)==r ? $4 : 1/0) \
      with points pointtype 7 pointsize 0.6 title sprintf('rank %d', r)

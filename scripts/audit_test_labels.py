@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""CTest label audit: every registered test must carry a tier label.
+
+The tier-1 gate runs `ctest -L tier1`; a test registered without a tier
+label silently falls out of every CI lane. This walks the generated
+CTestTestfile.cmake files under the build directory and fails if any
+add_test() entry lacks a LABELS property containing tier1 or tier2.
+
+Usage: scripts/audit_test_labels.py <build-dir>
+"""
+
+import os
+import re
+import sys
+
+ADD_TEST = re.compile(r'add_test\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?\]?')
+PROPS = re.compile(
+    r'set_tests_properties\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?(?:\]=*\])?\s+'
+    r"PROPERTIES\s+(.*?)\)\s*$",
+    re.DOTALL | re.MULTILINE,
+)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    build_dir = sys.argv[1]
+
+    tests = set()
+    labels = {}
+    found_any_file = False
+    for root, _dirs, files in os.walk(build_dir):
+        if "CTestTestfile.cmake" not in files:
+            continue
+        found_any_file = True
+        text = open(os.path.join(root, "CTestTestfile.cmake")).read()
+        for m in ADD_TEST.finditer(text):
+            tests.add(m.group(1))
+        for m in PROPS.finditer(text):
+            name, props = m.group(1), m.group(2)
+            lm = re.search(r'LABELS\s+"([^"]*)"', props)
+            if lm:
+                labels.setdefault(name, set()).update(lm.group(1).split(";"))
+
+    if not found_any_file or not tests:
+        print(f"label audit: no CTestTestfile.cmake under {build_dir} "
+              "(configure the build first)", file=sys.stderr)
+        return 2
+
+    bad = sorted(t for t in tests
+                 if not labels.get(t, set()) & {"tier1", "tier2"})
+    for t in sorted(tests):
+        tier = ",".join(sorted(labels.get(t, set()))) or "<none>"
+        print(f"  {t:<28} labels: {tier}")
+    if bad:
+        print(f"label audit FAILED: {len(bad)} test(s) without a tier1/tier2 "
+              f"label: {', '.join(bad)}")
+        return 1
+    print(f"label audit: OK ({len(tests)} tests, all tiered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the JSON series the ablation benches write under bench_out/
+against the checked-in baselines in bench/baselines/, and fails when a
+gated metric regresses by more than the tolerance (default 25% — wide
+enough to absorb shared-runner noise, tight enough to catch a real
+perf cliff or a broken determinism bit).
+
+Each baseline file bench/baselines/<name>.json holds a list of
+
+    {"metric": "...", "value": <number>, "higher_is_better": true|false}
+
+and is compared against bench_out/<name>.json (the bench's
+[{"name", "metric", "value"}, ...] output). The verdicts are written to
+a machine-readable report (default BENCH_tier1.json) for the CI artifact.
+
+Usage:
+    scripts/bench_gate.py [--bench-dir bench_out] [--baseline-dir bench/baselines]
+                          [--out BENCH_tier1.json] [--tolerance 0.25]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_bench_series(path):
+    """bench_out/<name>.json -> {metric: value}."""
+    with open(path) as f:
+        return {e["metric"]: e["value"] for e in json.load(f)}
+
+
+def check_metric(measured, baseline, higher_is_better, tolerance):
+    """Returns (ok, ratio) where ratio is measured/baseline (inf for 0-div)."""
+    if baseline == 0:
+        return measured == 0, float("inf") if measured else 1.0
+    ratio = measured / baseline
+    if higher_is_better:
+        return ratio >= 1.0 - tolerance, ratio
+    return ratio <= 1.0 + tolerance, ratio
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench-dir", default="bench_out")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--out", default="BENCH_tier1.json")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    args = ap.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "*.json")))
+    if not baselines:
+        print(f"bench_gate: no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    results = []
+    for base_path in baselines:
+        name = os.path.splitext(os.path.basename(base_path))[0]
+        bench_path = os.path.join(args.bench_dir, name + ".json")
+        with open(base_path) as f:
+            gated = json.load(f)
+        if not os.path.exists(bench_path):
+            for g in gated:
+                results.append({"bench": name, "metric": g["metric"],
+                                "status": "missing",
+                                "baseline": g["value"], "measured": None,
+                                "higher_is_better": g["higher_is_better"],
+                                "ratio": None, "ok": False})
+            continue
+        series = load_bench_series(bench_path)
+        for g in gated:
+            metric = g["metric"]
+            if metric not in series:
+                results.append({"bench": name, "metric": metric,
+                                "status": "missing",
+                                "baseline": g["value"], "measured": None,
+                                "higher_is_better": g["higher_is_better"],
+                                "ratio": None, "ok": False})
+                continue
+            ok, ratio = check_metric(series[metric], g["value"],
+                                     g["higher_is_better"], args.tolerance)
+            results.append({"bench": name, "metric": metric,
+                            "status": "ok" if ok else "regressed",
+                            "baseline": g["value"], "measured": series[metric],
+                            "higher_is_better": g["higher_is_better"],
+                            "ratio": ratio, "ok": ok})
+
+    all_ok = all(r["ok"] for r in results)
+    report = {"tolerance": args.tolerance, "ok": all_ok, "results": results}
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    width = max(len(f"{r['bench']}.{r['metric']}") for r in results)
+    for r in results:
+        tag = "OK  " if r["ok"] else ("MISS" if r["status"] == "missing" else "FAIL")
+        measured = "absent" if r["measured"] is None else f"{r['measured']:g}"
+        arrow = "higher=better" if r["higher_is_better"] else "lower=better"
+        print(f"[{tag}] {r['bench'] + '.' + r['metric']:<{width}}  "
+              f"baseline {r['baseline']:g}  measured {measured}  ({arrow})")
+    print(f"bench_gate: {'OK' if all_ok else 'REGRESSION'} "
+          f"({sum(r['ok'] for r in results)}/{len(results)} metrics within "
+          f"{args.tolerance:.0%}), report -> {args.out}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

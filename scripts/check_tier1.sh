@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate (ROADMAP.md): configure + build + run every `tier1`-labeled
-# ctest suite, then rebuild the measurement core (mastermind + tau suites)
-# under AddressSanitizer and run those two binaries. Intended for CI and
-# for a quick local pre-push check:
+# ctest suite, the end-to-end trace/chaos pipeline smokes, and sanitized
+# rebuilds of the concurrency-sensitive suites. Intended for CI and for a
+# quick local pre-push check:
 #
-#   scripts/check_tier1.sh            # build/ + build-asan/
+#   scripts/check_tier1.sh            # everything: build/ + build-tsan/ + build-asan/
 #   BUILD_DIR=mybuild scripts/check_tier1.sh
+#   STAGES="tsan" scripts/check_tier1.sh          # one stage
+#   STAGES="tier1 trace-smoke" scripts/check_tier1.sh
+#
+# STAGES is a space-separated subset of:
+#   tier1 trace-smoke chaos-soak tsan asan
+# so the CI pipeline can fan the stages out across jobs while local runs
+# keep the single-command default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,44 +20,68 @@ BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+STAGES=${STAGES:-"tier1 trace-smoke chaos-soak tsan asan"}
 
-echo "== tier-1 suites (${BUILD_DIR}) =="
-cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+want() {
+  case " ${STAGES} " in
+    *" $1 "*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
 
-echo "== trace pipeline smoke (2-rank fig01, CCAPERF_TRACE) =="
-# End-to-end cross-rank tracing: the binary exits nonzero on an unbalanced
-# or flow-unmatched trace, and the merged JSON must parse.
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_fig01_simulation
-FIG01="$(cd "${BUILD_DIR}/bench" && pwd)/bench_fig01_simulation"
-SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/ccaperf-trace-smoke.XXXXXX")
-trap 'rm -rf "${SMOKE_DIR}"' EXIT
-(cd "${SMOKE_DIR}" &&
- CCAPERF_TRACE=trace.json CCAPERF_RANKS=2 CCAPERF_STEPS=2 "${FIG01}" >/dev/null)
-if command -v python3 >/dev/null; then
-  python3 -m json.tool "${SMOKE_DIR}/trace.json" >/dev/null
-  python3 -c 'import json,sys
+# The trace smoke and chaos soak share one fig01 binary and scratch dir.
+FIG01=""
+SMOKE_DIR=""
+need_fig01() {
+  if [ -z "${FIG01}" ]; then
+    cmake -B "${BUILD_DIR}" -S . >/dev/null
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_fig01_simulation
+    FIG01="$(cd "${BUILD_DIR}/bench" && pwd)/bench_fig01_simulation"
+    SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/ccaperf-trace-smoke.XXXXXX")
+    trap 'rm -rf "${SMOKE_DIR}"' EXIT
+  fi
+}
+
+if want tier1; then
+  echo "== tier-1 suites (${BUILD_DIR}) =="
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+fi
+
+if want trace-smoke; then
+  echo "== trace pipeline smoke (2-rank fig01, CCAPERF_TRACE) =="
+  # End-to-end cross-rank tracing: the binary exits nonzero on an unbalanced
+  # or flow-unmatched trace, and the merged JSON must parse.
+  need_fig01
+  (cd "${SMOKE_DIR}" &&
+   CCAPERF_TRACE=trace.json CCAPERF_RANKS=2 CCAPERF_STEPS=2 "${FIG01}" >/dev/null)
+  if command -v python3 >/dev/null; then
+    python3 -m json.tool "${SMOKE_DIR}/trace.json" >/dev/null
+    python3 -c 'import json,sys
 for p in sys.argv[1:]:
     [json.loads(l) for l in open(p)]' "${SMOKE_DIR}"/telemetry.rank*.jsonl
+  fi
+  echo "trace smoke: OK"
 fi
-echo "trace smoke: OK"
 
-echo "== chaos soak (2-rank fig01 under moderate fault plan) =="
-# Graceful-degradation gate: the same simulation run clean and under the
-# seeded moderate fault plan must converge to the same physics (density
-# CSVs match to tolerance — the recovery layer hides every injected
-# fault), while the telemetry JSONL proves faults were actually injected
-# and recovered (nonzero FAULT_* counter deltas).
-SOAK_SEED=${SOAK_SEED:-20260805}
-(cd "${SMOKE_DIR}" && mkdir -p clean chaos &&
- cd clean && CCAPERF_RANKS=2 CCAPERF_STEPS=4 "${FIG01}" >/dev/null &&
- cd ../chaos &&
- CCAPERF_TRACE=trace.json CCAPERF_RANKS=2 CCAPERF_STEPS=4 \
- CCAPERF_FAULT_PLAN=moderate CCAPERF_FAULT_SEED="${SOAK_SEED}" \
- "${FIG01}" > fig01.out)
-grep -q "fault injection" "${SMOKE_DIR}/chaos/fig01.out"
-python3 - "${SMOKE_DIR}" <<'PY'
+if want chaos-soak; then
+  echo "== chaos soak (2-rank fig01 under moderate fault plan) =="
+  # Graceful-degradation gate: the same simulation run clean and under the
+  # seeded moderate fault plan must converge to the same physics (density
+  # CSVs match to tolerance — the recovery layer hides every injected
+  # fault), while the telemetry JSONL proves faults were actually injected
+  # and recovered (nonzero FAULT_* counter deltas).
+  need_fig01
+  SOAK_SEED=${SOAK_SEED:-20260805}
+  (cd "${SMOKE_DIR}" && mkdir -p clean chaos &&
+   cd clean && CCAPERF_RANKS=2 CCAPERF_STEPS=4 "${FIG01}" >/dev/null &&
+   cd ../chaos &&
+   CCAPERF_TRACE=trace.json CCAPERF_RANKS=2 CCAPERF_STEPS=4 \
+   CCAPERF_FAULT_PLAN=moderate CCAPERF_FAULT_SEED="${SOAK_SEED}" \
+   "${FIG01}" > fig01.out)
+  grep -q "fault injection" "${SMOKE_DIR}/chaos/fig01.out"
+  python3 - "${SMOKE_DIR}" <<'PY'
 import glob, json, os, sys
 
 smoke = sys.argv[1]
@@ -66,8 +97,11 @@ def rows(pattern):
     out.sort()
     return out
 
-clean = rows(os.path.join(smoke, "clean", "fig01_density.rank*.csv"))
-chaos = rows(os.path.join(smoke, "chaos", "fig01_density.rank*.csv"))
+# fig01 writes its CSV series under bench_out/figs/ relative to its cwd.
+clean = rows(os.path.join(smoke, "clean", "bench_out", "figs",
+                          "fig01_density.rank*.csv"))
+chaos = rows(os.path.join(smoke, "chaos", "bench_out", "figs",
+                          "fig01_density.rank*.csv"))
 assert len(clean) == len(chaos) > 0, (len(clean), len(chaos))
 worst = max(abs(a[2] - b[2]) for a, b in zip(clean, chaos))
 assert all(a[:2] == b[:2] for a, b in zip(clean, chaos)), "cell sets differ"
@@ -87,20 +121,32 @@ assert recovered > 0, f"no recovery activity in chaos soak: {fault_totals}"
 print(f"chaos soak: densities match (max drift {worst:g}); "
       f"{injected} faults injected, recovery counters {fault_totals}")
 PY
-echo "chaos soak: OK"
+  echo "chaos soak: OK"
+fi
 
-echo "== thread-sanitized mpp fault suites (${TSAN_DIR}) =="
-# The fault layer adds lock-ordering-sensitive paths (retry ledger, held
-# queues, dedupe under the mailbox lock); run its suites under TSan.
-cmake -B "${TSAN_DIR}" -S . -DCCAPERF_SANITIZE=thread >/dev/null
-cmake --build "${TSAN_DIR}" -j "${JOBS}" --target test_mpp test_amr
-"${TSAN_DIR}/tests/mpp/test_mpp" --gtest_filter='FaultInjection.*:Recovery.*'
-"${TSAN_DIR}/tests/amr/test_amr" --gtest_filter='ExchangeFaults.*'
+if want tsan; then
+  echo "== thread-sanitized concurrency suites (${TSAN_DIR}) =="
+  # Lock-ordering-sensitive paths: the mpp fault layer (retry ledger, held
+  # queues, dedupe under the mailbox lock) and the threaded-rank layer
+  # (work-stealing pool, sharded registries, lane-dispatched monitor,
+  # multi-threaded kernels).
+  cmake -B "${TSAN_DIR}" -S . -DCCAPERF_SANITIZE=thread >/dev/null
+  cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+    --target test_mpp test_amr test_support test_core test_euler test_tau
+  "${TSAN_DIR}/tests/mpp/test_mpp" --gtest_filter='FaultInjection.*:Recovery.*'
+  "${TSAN_DIR}/tests/amr/test_amr" --gtest_filter='ExchangeFaults.*'
+  "${TSAN_DIR}/tests/support/test_support" --gtest_filter='ThreadPool.*'
+  "${TSAN_DIR}/tests/core/test_core" --gtest_filter='ThreadedMonitor.*'
+  "${TSAN_DIR}/tests/euler/test_euler" --gtest_filter='KernelsMt.*'
+  "${TSAN_DIR}/tests/tau/test_tau" --gtest_filter='RegistryShards.*'
+fi
 
-echo "== address-sanitized measurement suites (${ASAN_DIR}) =="
-cmake -B "${ASAN_DIR}" -S . -DCCAPERF_SANITIZE=address >/dev/null
-cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_tau test_core
-"${ASAN_DIR}/tests/tau/test_tau"
-"${ASAN_DIR}/tests/core/test_core"
+if want asan; then
+  echo "== address-sanitized measurement suites (${ASAN_DIR}) =="
+  cmake -B "${ASAN_DIR}" -S . -DCCAPERF_SANITIZE=address >/dev/null
+  cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_tau test_core
+  "${ASAN_DIR}/tests/tau/test_tau"
+  "${ASAN_DIR}/tests/core/test_core"
+fi
 
-echo "tier1 + asan: OK"
+echo "stages [${STAGES}]: OK"

@@ -6,6 +6,8 @@
 #
 #   scripts/coverage.sh             # build-cov/
 #   COV_DIR=mycov scripts/coverage.sh
+#   COV_MIN=95 scripts/coverage.sh  # fail if total line coverage drops below
+#   COV_JSON=coverage.json scripts/coverage.sh   # machine-readable report
 #
 # The baseline numbers live in EXPERIMENTS.md; regenerate them with this
 # script after touching the communication or measurement layers.
@@ -15,6 +17,8 @@ REPO=$(pwd)
 
 COV_DIR=${COV_DIR:-build-cov}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+export COV_MIN=${COV_MIN:-0}
+export COV_JSON=${COV_JSON:-}
 
 echo "== coverage build (${COV_DIR}) =="
 cmake -B "${COV_DIR}" -S . -DCCAPERF_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
@@ -80,11 +84,27 @@ for rel, per in lines.items():
 
 print(f"{'directory':<24}{'lines':>8}{'covered':>9}{'pct':>8}")
 gt = gh = 0
+dirs = {}
 for d in sorted(agg):
     total, hit = agg[d]
     gt += total
     gh += hit
+    dirs[d] = {"lines": total, "covered": hit, "pct": 100.0 * hit / total}
     print(f"{d:<24}{total:>8}{hit:>9}{100.0 * hit / total:>7.1f}%")
-print(f"{'TOTAL':<24}{gt:>8}{gh:>9}{100.0 * gh / gt:>7.1f}%")
+total_pct = 100.0 * gh / gt
+print(f"{'TOTAL':<24}{gt:>8}{gh:>9}{total_pct:>7.1f}%")
+
+cov_json = os.environ.get("COV_JSON", "")
+if cov_json:
+    with open(os.path.join(repo, cov_json), "w") as f:
+        json.dump({"total_pct": total_pct, "lines": gt, "covered": gh,
+                   "directories": dirs}, f, indent=2)
+        f.write("\n")
+    print(f"coverage report -> {cov_json}")
+
+cov_min = float(os.environ.get("COV_MIN", "0") or "0")
+if total_pct < cov_min:
+    print(f"COVERAGE GATE FAILED: {total_pct:.1f}% < COV_MIN={cov_min:g}%")
+    sys.exit(1)
 PY
 echo "coverage: OK"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
+
+#include "support/thread_pool.hpp"
 
 namespace amr {
 
@@ -98,7 +102,14 @@ ExchangeStats Hierarchy::exchange_and_bc(int l, const BcSpec& bc) {
   const ExchangeStats stats =
       exchange_ghosts(comm_, lvl, cfg_.nghost, next_tag(1));
   const Box dom = domain_at(l);
-  for (auto& [id, data] : lvl.local_data()) fill_physical_bc(data, dom, bc);
+  // Physical BC fills are per-patch independent (ghost writes only, after
+  // the exchange has drained) — fan them out over the rank pool's lanes.
+  std::vector<PatchData<double>*> local;
+  local.reserve(lvl.local_data().size());
+  for (auto& [id, data] : lvl.local_data()) local.push_back(&data);
+  ccaperf::rank_pool().parallel_for(local.size(), [&](std::size_t k, int) {
+    fill_physical_bc(*local[k], dom, bc);
+  });
   return stats;
 }
 
@@ -173,19 +184,30 @@ void Hierarchy::prolong(int fine_l, bool ghosts_only) {
   auto halos = gather_coarse_halos(coarse, fine);
 
   const Box fdom = domain_at(fine_l);
+  // Interpolation after the halo gather is patch-local: parallel over the
+  // owned fine patches (the communication above stays on the rank thread).
+  struct Job {
+    const PatchData<double>* halo;
+    PatchData<double>* data;
+    const PatchInfo* info;
+  };
+  std::vector<Job> jobs;
   for (const PatchInfo& f : fine.patches()) {
     if (f.owner != rank()) continue;
     auto hit = halos.find(f.id);
     if (hit == halos.end()) continue;
-    PatchData<double>& data = fine.data(f.id);
-    if (ghosts_only) {
-      const Box ghost_region = f.box.grown(cfg_.nghost) & fdom;
-      for (const Box& piece : box_subtract(ghost_region, f.box))
-        interpolate_patch(hit->second, data, piece, cfg_.ratio);
-    } else {
-      interpolate_patch(hit->second, data, f.box, cfg_.ratio);
-    }
+    jobs.push_back(Job{&hit->second, &fine.data(f.id), &f});
   }
+  ccaperf::rank_pool().parallel_for(jobs.size(), [&](std::size_t k, int) {
+    const Job& job = jobs[k];
+    if (ghosts_only) {
+      const Box ghost_region = job.info->box.grown(cfg_.nghost) & fdom;
+      for (const Box& piece : box_subtract(ghost_region, job.info->box))
+        interpolate_patch(*job.halo, *job.data, piece, cfg_.ratio);
+    } else {
+      interpolate_patch(*job.halo, *job.data, job.info->box, cfg_.ratio);
+    }
+  });
 }
 
 void Hierarchy::restrict_level(int fine_l) {
@@ -201,9 +223,15 @@ void Hierarchy::restrict_level(int fine_l) {
   for (const PatchInfo& f : fine.patches())
     avg_meta.push_back(PatchInfo{f.id, f.box.coarsened(r), f.owner});
 
-  std::map<int, PatchData<double>> averaged;
-  for (const PatchInfo& f : fine.patches()) {
-    if (f.owner != rank()) continue;
+  // Conservative averages are patch-local: compute them in parallel into
+  // an indexed scratch array, then install into the map in patch order
+  // (deterministic, and map mutation stays on the rank thread).
+  std::vector<const PatchInfo*> owned;
+  for (const PatchInfo& f : fine.patches())
+    if (f.owner == rank()) owned.push_back(&f);
+  std::vector<std::optional<PatchData<double>>> avgs(owned.size());
+  ccaperf::rank_pool().parallel_for(owned.size(), [&](std::size_t k, int) {
+    const PatchInfo& f = *owned[k];
     const Box cbox = f.box.coarsened(r);
     PatchData<double> avg(cbox, 0, cfg_.ncomp, 0.0);
     const PatchData<double>& src = fine.data(f.id);
@@ -219,8 +247,11 @@ void Hierarchy::restrict_level(int fine_l) {
         }
       }
     }
-    averaged.emplace(f.id, std::move(avg));
-  }
+    avgs[k].emplace(std::move(avg));
+  });
+  std::map<int, PatchData<double>> averaged;
+  for (std::size_t k = 0; k < owned.size(); ++k)
+    averaged.emplace(owned[k]->id, std::move(*avgs[k]));
 
   auto src_fn = [&averaged](int id) -> const PatchData<double>* {
     auto it = averaged.find(id);
@@ -308,12 +339,17 @@ void Hierarchy::regrid(const FlagFn& flag_fn, const BcSpec& bc) {
     // with old level l+1 data where it existed (exact values win).
     {
       auto halos = gather_coarse_halos(cur, fresh);
+      std::vector<std::pair<const PatchData<double>*, const PatchInfo*>> jobs;
       for (const PatchInfo& f : fresh.patches()) {
         if (f.owner != rank()) continue;
         auto hit = halos.find(f.id);
         if (hit == halos.end()) continue;
-        interpolate_patch(hit->second, fresh.data(f.id), f.box, r);
+        jobs.emplace_back(&hit->second, &f);
       }
+      ccaperf::rank_pool().parallel_for(jobs.size(), [&](std::size_t k, int) {
+        interpolate_patch(*jobs[k].first, fresh.data(jobs[k].second->id),
+                          jobs[k].second->box, r);
+      });
     }
     if (l + 1 < num_levels()) {
       Level& old = level(l + 1);

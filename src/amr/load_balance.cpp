@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace amr {
 
@@ -23,18 +24,25 @@ double balance_owners(std::vector<PatchInfo>& patches, int nranks,
       break;
     }
     case BalancePolicy::knapsack: {
-      // LPT: heaviest patch first onto the least-loaded rank. Sort an index
-      // permutation (stable for determinism across ranks).
+      // LPT: heaviest patch first onto the least-loaded rank. Weights are
+      // precomputed once (in parallel when the rank pool has lanes) so the
+      // comparator doesn't recompute box areas O(n log n) times; the sort
+      // itself stays stable for determinism across ranks.
+      std::vector<long> weight(patches.size());
+      ccaperf::rank_pool().parallel_for(
+          patches.size(),
+          [&](std::size_t k, int) { weight[k] = patches[k].box.num_pts(); });
       std::vector<std::size_t> order(patches.size());
       std::iota(order.begin(), order.end(), std::size_t{0});
-      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return patches[a].box.num_pts() > patches[b].box.num_pts();
-      });
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return weight[a] > weight[b];
+                       });
       for (std::size_t k : order) {
         const auto lightest = static_cast<std::size_t>(
             std::min_element(load.begin(), load.end()) - load.begin());
         patches[k].owner = static_cast<int>(lightest);
-        load[lightest] += patches[k].box.num_pts();
+        load[lightest] += weight[k];
       }
       break;
     }

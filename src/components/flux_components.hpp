@@ -8,6 +8,7 @@
 
 #include "components/ports.hpp"
 #include "euler/state.hpp"
+#include "support/thread_pool.hpp"
 
 namespace components {
 
@@ -22,8 +23,8 @@ class EFMFluxComponent final : public cca::Component, public FluxPort {
 
   euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
                               euler::Dir dir, euler::Array2& flux) override {
-    hwc::NullProbe probe;
-    return euler::efm_flux_sweep(left, right, dir, gas_, flux, probe);
+    return euler::efm_flux_sweep_mt(ccaperf::rank_pool(), left, right, dir,
+                                    gas_, flux);
   }
 
   std::string method_name() const override { return "EFMFlux"; }
@@ -45,8 +46,8 @@ class GodunovFluxComponent final : public cca::Component, public FluxPort {
 
   euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
                               euler::Dir dir, euler::Array2& flux) override {
-    hwc::NullProbe probe;
-    return euler::godunov_flux_sweep(left, right, dir, gas_, flux, probe);
+    return euler::godunov_flux_sweep_mt(ccaperf::rank_pool(), left, right, dir,
+                                        gas_, flux);
   }
 
   std::string method_name() const override { return "GodunovFlux"; }

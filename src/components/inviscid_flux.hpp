@@ -10,6 +10,7 @@
 // snoop.
 
 #include "components/ports.hpp"
+#include "support/thread_pool.hpp"
 
 namespace components {
 
@@ -43,7 +44,8 @@ class InviscidFluxComponent final : public cca::Component, public FluxDivergence
     states->compute(u, interior, euler::Dir::y, ly, ry);
     flux->compute(ly, ry, euler::Dir::y, fy);
 
-    euler::flux_divergence(fx, fy, interior, dx, dy, dudt);
+    euler::flux_divergence_mt(ccaperf::rank_pool(), fx, fy, interior, dx, dy,
+                              dudt);
   }
 
  private:

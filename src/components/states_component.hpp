@@ -11,6 +11,7 @@
 
 #include "components/ports.hpp"
 #include "euler/state.hpp"
+#include "support/thread_pool.hpp"
 
 namespace components {
 
@@ -26,8 +27,10 @@ class StatesComponent final : public cca::Component, public StatesPort {
   euler::KernelCounts compute(const amr::PatchData<double>& u,
                               const amr::Box& interior, euler::Dir dir,
                               euler::Array2& left, euler::Array2& right) override {
-    hwc::NullProbe probe;
-    return euler::compute_states(u, interior, dir, gas_, left, right, probe);
+    // Row-parallel inside the patch when the rank pool has lanes; inside
+    // an enclosing patch-level region this runs inline on the calling lane.
+    return euler::compute_states_mt(ccaperf::rank_pool(), u, interior, dir,
+                                    gas_, left, right);
   }
 
  private:

@@ -75,6 +75,10 @@ InstrumentedApp assemble_instrumented_app(mpp::Comm& world,
   if (trace.enabled) {
     app.registry().set_trace_capacity(trace.capacity);
     app.registry().set_tracing(true);
+    // Multi-threaded ranks: worker-lane shards record into their own
+    // rings, epoch-aligned with the primary so the merged trace shows one
+    // track per thread.
+    app.tau->sync_shard_tracing();
   }
   return app;
 }

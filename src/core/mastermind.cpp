@@ -10,6 +10,7 @@
 
 #include "support/json.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace core {
 
@@ -224,20 +225,68 @@ const std::vector<Invocation>& Record::invocations() const {
 // --- MastermindComponent -----------------------------------------------------
 
 tau::Registry& MastermindComponent::registry() {
-  if (reg_ == nullptr) {
-    reg_ = &svc_->get_port_as<MeasurementPort>("measurement")->registry();
+  if (resolved_.load(std::memory_order_acquire)) return *reg_;
+  return resolve_measurement();
+}
+
+tau::Registry& MastermindComponent::resolve_measurement() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!resolved_.load(std::memory_order_relaxed)) {
+    MeasurementPort* port = svc_->get_port_as<MeasurementPort>("measurement");
+    reg_ = &port->registry();
     mpi_group_ = reg_->group_id(tau::kMpiGroup);
+    // Threading (DESIGN.md §9): when the measurement provider exposes
+    // per-lane registry shards, worker pool lanes time into their own
+    // shard; the rank thread (lane 0) keeps the primary registry, so with
+    // one lane every path below is byte-identical to the serial build.
+    shards_ = port->shards();
+    const int lanes = shards_ != nullptr ? shards_->lanes() : 1;
+    threaded_ = lanes > 1;
+    lanes_.resize(static_cast<std::size_t>(lanes));
+    for (Method& m : methods_) init_method_lane_state(m);
+    resolved_.store(true, std::memory_order_release);
   }
   return *reg_;
 }
 
+void MastermindComponent::init_method_lane_state(Method& m) {
+  const std::size_t n = lanes_.size();
+  m.lane_timer.assign(n, 0);
+  m.lane_timer_ok.assign(n, 0);
+  m.lane_arg_string.assign(n, 0);
+  m.lane_arg_ok.assign(n, 0);
+  // The per-row lane id is only materialized for threaded ranks, so
+  // single-threaded CSVs keep their exact pre-threading column set.
+  if (threaded_) m.thread_col = m.record->ensure_param_column("thread");
+}
+
+MastermindComponent::Method& MastermindComponent::method_ref(MethodHandle h) {
+  // Deque references are stable under push_back, but the deque's internal
+  // block map is not: when other lanes may intern concurrently, take the
+  // lock for the lookup itself (the returned reference stays valid).
+  if (!threaded_) return methods_[h];
+  std::lock_guard<std::mutex> lk(mu_);
+  return methods_[h];
+}
+
 MethodHandle MastermindComponent::intern_method(std::string_view key) {
-  for (std::size_t i = 0; i < methods_.size(); ++i)
+  if (threaded_) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return intern_method_unlocked(key);
+  }
+  return intern_method_unlocked(key);
+}
+
+MethodHandle MastermindComponent::intern_method_unlocked(std::string_view key) {
+  const std::size_t n = methods_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i)
     if (methods_[i].key == key) return static_cast<MethodHandle>(i);
   Method m;
   m.key = std::string(key);
   m.record = std::make_unique<Record>(m.key);
   methods_.push_back(std::move(m));
+  init_method_lane_state(methods_.back());
+  methods_count_.store(methods_.size(), std::memory_order_release);
   return static_cast<MethodHandle>(methods_.size() - 1);
 }
 
@@ -247,6 +296,8 @@ MethodHandle MastermindComponent::register_method(
                   "Mastermind::register_method: too many parameters for '" +
                       method_key + "'");
   const MethodHandle h = intern_method(method_key);
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
   Method& m = methods_[h];
   if (m.param_names.empty() && !param_names.empty()) {
     m.param_names = param_names;
@@ -261,9 +312,10 @@ MethodHandle MastermindComponent::register_method(
   return h;
 }
 
-MastermindComponent::Open& MastermindComponent::push_open(MethodHandle h) {
-  if (open_depth_ == open_.size()) open_.emplace_back();
-  Open& o = open_[open_depth_++];
+MastermindComponent::Open& MastermindComponent::push_open(LaneState& lane,
+                                                          MethodHandle h) {
+  if (lane.depth == lane.open.size()) lane.open.emplace_back();
+  Open& o = lane.open[lane.depth++];
   o.method = h;
   o.n_params = 0;
   o.extra_params.clear();  // keeps capacity: steady state allocates nothing
@@ -271,16 +323,23 @@ MastermindComponent::Open& MastermindComponent::push_open(MethodHandle h) {
 }
 
 void MastermindComponent::start(MethodHandle method, ParamSpan params) {
+  const int lane = ccaperf::ThreadPool::current_lane();
+  if (lane != 0) {
+    start_on_lane(method, params, nullptr, lane);
+    return;
+  }
   // Self-overhead clock reads only when telemetry wants the accounting:
   // the bare monitoring fast path must not pay for them.
   const bool telem = telem_sink_ != nullptr;
   const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
-  CCAPERF_REQUIRE(method < methods_.size(), "Mastermind::start: bad method handle");
-  Method& m = methods_[method];
+  CCAPERF_REQUIRE(method < methods_count_.load(std::memory_order_acquire),
+                  "Mastermind::start: bad method handle");
+  Method& m = method_ref(method);
   CCAPERF_REQUIRE(params.size == m.param_names.size(),
                   "Mastermind::start: wrong parameter count for '" + m.key + "'");
-  Open& o = push_open(method);
+  LaneState& L = lanes_[0];
+  Open& o = push_open(L, method);
   o.n_params = static_cast<std::uint32_t>(params.size);
   for (std::size_t i = 0; i < params.size; ++i) o.param_vals[i] = params.data[i];
   // Parameter capture and snapshots happen OUTSIDE the method timer, so
@@ -291,8 +350,14 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
   o.gen_start = reg.generation();
   // Call-path detection: the enclosing monitored method (if any) is the
   // caller of this invocation.
-  count_edge(open_depth_ >= 2 ? open_[open_depth_ - 2].method : kInvalidMethodHandle,
-             method);
+  const MethodHandle caller =
+      L.depth >= 2 ? L.open[L.depth - 2].method : kInvalidMethodHandle;
+  if (threaded_) {
+    std::lock_guard<std::mutex> lk(mu_);
+    count_edge(caller, method);
+  } else {
+    count_edge(caller, method);
+  }
   if (!m.timer_resolved) {
     m.timer = reg.timer(m.key, "PROXY");
     m.timer_resolved = true;
@@ -311,24 +376,37 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
 }
 
 void MastermindComponent::stop(MethodHandle method) {
+  const int lane = ccaperf::ThreadPool::current_lane();
+  if (lane != 0) {
+    stop_on_lane(method, lane);
+    return;
+  }
   const bool telem = telem_sink_ != nullptr;
   const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
-  CCAPERF_REQUIRE(method < methods_.size(), "Mastermind::stop: bad method handle");
-  Method& m = methods_[method];
+  CCAPERF_REQUIRE(method < methods_count_.load(std::memory_order_acquire),
+                  "Mastermind::stop: bad method handle");
+  Method& m = method_ref(method);
   // The method timer's own activation is the invocation wall time — no
   // extra clock readings beyond the two the registry already takes.
   const double wall_us = m.timer_resolved ? reg.stop(m.timer) : 0.0;
-  CCAPERF_REQUIRE(open_depth_ > 0 && open_[open_depth_ - 1].method == method,
+  LaneState& L = lanes_[0];
+  CCAPERF_REQUIRE(L.depth > 0 && L.open[L.depth - 1].method == method,
                   "Mastermind::stop: mismatched monitoring stop for '" + m.key + "'");
-  Open& o = open_[--open_depth_];
+  Open& o = L.open[--L.depth];
 
+  // Record append through telemetry shares the columns with worker-lane
+  // rows, so the whole tail is one critical section on threaded ranks
+  // (and lock-free when single-threaded).
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
   Record& rec = *m.record;
   const double mpi_us = reg.group_inclusive_us(mpi_group_) - o.mpi_us_start;
   rec.add_times(wall_us, mpi_us, wall_us - mpi_us);
   for (std::size_t i = 0; i < o.n_params; ++i)
     rec.set_param(m.param_cols[i], o.param_vals[i]);
   for (const auto& [col, v] : o.extra_params) rec.set_param(col, v);
+  if (threaded_) rec.set_param(m.thread_col, 0.0);
 
   reg.counters().read_values(counters_scratch_);
   if (counters_scratch_.size() != m.counter_cols.size()) refresh_counter_columns(m);
@@ -344,29 +422,117 @@ void MastermindComponent::stop(MethodHandle method) {
   // more, so the registry's change log can be compacted — but no further
   // than the telemetry low-water mark, whose next snapshot_delta still
   // needs the entries since its last line.
-  if (open_depth_ == 0)
+  if (L.depth == 0)
     reg.retire_generations_before(
         telem ? std::min(reg.generation(), telem_gen_) : reg.generation());
   if (telem) {
     ++telem_records_;
     telem_self_us_ += us_between(t0, tau::Clock::now());
-    if (open_depth_ == 0) maybe_emit_telemetry();
+    if (L.depth == 0) maybe_emit_telemetry();
   }
 }
 
+void MastermindComponent::start_on_lane(MethodHandle method, ParamSpan params,
+                                        const ParamMap* extra, int lane) {
+  // Worker lanes never resolve ports or grow the lane table themselves:
+  // the rank thread must have monitored (or at least resolved) once before
+  // any in-region monitoring, so everything here is sized and immutable.
+  CCAPERF_REQUIRE(resolved_.load(std::memory_order_acquire) && shards_ != nullptr,
+                  "Mastermind: the first monitored call on a rank must happen on "
+                  "the rank thread, before any parallel-region monitoring");
+  CCAPERF_REQUIRE(method < methods_count_.load(std::memory_order_acquire),
+                  "Mastermind::start: bad method handle");
+  CCAPERF_REQUIRE(static_cast<std::size_t>(lane) < lanes_.size(),
+                  "Mastermind::start: pool lane outside the measurement shard set");
+  Method& m = method_ref(method);
+  CCAPERF_REQUIRE(extra != nullptr || params.size == m.param_names.size(),
+                  "Mastermind::start: wrong parameter count for '" + m.key + "'");
+  tau::Registry& sreg = shards_->shard(lane);
+  LaneState& L = lanes_[lane];
+  Open& o = push_open(L, method);
+  o.n_params = static_cast<std::uint32_t>(params.size);
+  for (std::size_t i = 0; i < params.size; ++i) o.param_vals[i] = params.data[i];
+  o.mpi_us_start = 0.0;  // no MPI happens on worker lanes
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (extra != nullptr)
+      for (const auto& [name, v] : *extra)
+        o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
+    count_edge(L.depth >= 2 ? L.open[L.depth - 2].method : kInvalidMethodHandle,
+               method);
+  }
+  if (!m.lane_timer_ok[lane]) {
+    m.lane_timer[lane] = sreg.timer(m.key, "PROXY");
+    m.lane_timer_ok[lane] = 1;
+  }
+  sreg.start(m.lane_timer[lane]);
+  if (sreg.tracing() && params.size > 0) {
+    if (!m.lane_arg_ok[lane]) {
+      m.lane_arg_string[lane] = sreg.trace_string(m.param_names[0]);
+      m.lane_arg_ok[lane] = 1;
+    }
+    sreg.trace_arg(m.lane_arg_string[lane], params.data[0]);
+  }
+}
+
+void MastermindComponent::stop_on_lane(MethodHandle method, int lane) {
+  CCAPERF_REQUIRE(resolved_.load(std::memory_order_acquire) && shards_ != nullptr,
+                  "Mastermind::stop: monitoring stop on an unresolved rank");
+  CCAPERF_REQUIRE(method < methods_count_.load(std::memory_order_acquire),
+                  "Mastermind::stop: bad method handle");
+  Method& m = method_ref(method);
+  tau::Registry& sreg = shards_->shard(lane);
+  const double wall_us = m.lane_timer_ok[lane] ? sreg.stop(m.lane_timer[lane]) : 0.0;
+  LaneState& L = lanes_[lane];
+  CCAPERF_REQUIRE(L.depth > 0 && L.open[L.depth - 1].method == method,
+                  "Mastermind::stop: mismatched monitoring stop for '" + m.key + "'");
+  Open& o = L.open[--L.depth];
+
+  std::lock_guard<std::mutex> lk(mu_);
+  Record& rec = *m.record;
+  rec.add_times(wall_us, 0.0, wall_us);  // compute == wall off the rank thread
+  for (std::size_t i = 0; i < o.n_params; ++i)
+    rec.set_param(m.param_cols[i], o.param_vals[i]);
+  for (const auto& [col, v] : o.extra_params) rec.set_param(col, v);
+  rec.set_param(m.thread_col, static_cast<double>(lane));
+  // Hardware counters are rank-level state read on the rank thread only;
+  // worker rows leave the counter columns NaN.
+  rec.finish_row();
+  // Telemetry emission and generation retirement stay on lane 0; worker
+  // rows still count toward the emission interval.
+  if (telem_sink_ != nullptr) ++telem_records_;
+}
+
 void MastermindComponent::start(const std::string& method_key, const ParamMap& params) {
+  const int lane = ccaperf::ThreadPool::current_lane();
+  if (lane != 0) {
+    start_on_lane(intern_method(method_key), ParamSpan{}, &params, lane);
+    return;
+  }
   const bool telem = telem_sink_ != nullptr;
   const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   const MethodHandle h = intern_method(method_key);
-  Method& m = methods_[h];
-  Open& o = push_open(h);
-  for (const auto& [name, v] : params)
-    o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
+  Method& m = method_ref(h);
+  LaneState& L = lanes_[0];
+  Open& o = push_open(L, h);
+  {
+    std::unique_lock<std::mutex> lk;
+    if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+    for (const auto& [name, v] : params)
+      o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
+  }
   o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
   reg.counters().read_values(o.counters_start);
   o.gen_start = reg.generation();
-  count_edge(open_depth_ >= 2 ? open_[open_depth_ - 2].method : kInvalidMethodHandle, h);
+  const MethodHandle caller =
+      L.depth >= 2 ? L.open[L.depth - 2].method : kInvalidMethodHandle;
+  if (threaded_) {
+    std::lock_guard<std::mutex> lk(mu_);
+    count_edge(caller, h);
+  } else {
+    count_edge(caller, h);
+  }
   if (!m.timer_resolved) {
     m.timer = reg.timer(m.key, "PROXY");
     m.timer_resolved = true;
@@ -384,6 +550,8 @@ void MastermindComponent::stop(const std::string& method_key) {
 void MastermindComponent::start_telemetry(std::ostream& sink,
                                           std::uint64_t interval_records) {
   tau::Registry& reg = registry();
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
   telem_sink_ = &sink;
   telem_interval_ = interval_records < 1 ? 1 : interval_records;
   telem_gen_ = reg.generation();
@@ -398,18 +566,27 @@ void MastermindComponent::start_telemetry(std::ostream& sink,
 }
 
 void MastermindComponent::stop_telemetry() {
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
   if (telem_sink_ == nullptr) return;
-  emit_telemetry();  // final line, so short runs never end up empty
+  emit_telemetry_unlocked();  // final line, so short runs never end up empty
   telem_sink_ = nullptr;
 }
 
+// Called with mu_ held on threaded ranks (from the lane-0 stop path).
 void MastermindComponent::maybe_emit_telemetry() {
   if (telem_sink_ != nullptr &&
       telem_records_ - telem_records_last_ >= telem_interval_)
-    emit_telemetry();
+    emit_telemetry_unlocked();
 }
 
 void MastermindComponent::emit_telemetry() {
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  emit_telemetry_unlocked();
+}
+
+void MastermindComponent::emit_telemetry_unlocked() {
   if (telem_sink_ == nullptr) return;
   const tau::Clock::time_point t0 = tau::Clock::now();
   tau::Registry& reg = registry();

@@ -19,14 +19,18 @@
 // view survives as a materialized compatibility cache.
 
 #include <cmath>
+#include <atomic>
+#include <deque>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "core/modeling.hpp"
 #include "core/ports.hpp"
+#include "tau/shards.hpp"
 
 namespace core {
 
@@ -238,6 +242,14 @@ class MastermindComponent final : public cca::Component,
     // method's trace slice as its argument (e.g. "Q") while tracing.
     std::uint32_t arg_string = 0;
     bool arg_string_resolved = false;
+    // Threaded mode (DESIGN.md §9): worker lanes time into their own
+    // registry shards, so timer ids and trace-string ids are per lane.
+    // Each lane only ever touches its own slot (sized before any region).
+    std::vector<tau::TimerId> lane_timer;
+    std::vector<char> lane_timer_ok;
+    std::vector<std::uint32_t> lane_arg_string;
+    std::vector<char> lane_arg_ok;
+    std::size_t thread_col = 0;  ///< "thread" param column (threaded only)
   };
 
   /// In-flight monitored call. Pooled: popped entries keep their buffers,
@@ -253,18 +265,38 @@ class MastermindComponent final : public cca::Component,
     std::vector<std::uint64_t> counters_start;
   };
 
+  /// Per-lane LIFO of in-flight calls. Lane 0 is the rank thread; worker
+  /// lanes get their own stacks so monitored calls inside a parallel
+  /// region nest independently (each lane only touches its own state).
+  struct LaneState {
+    std::vector<Open> open;  // pooled, like the old open_
+    std::size_t depth = 0;
+  };
+
   tau::Registry& registry();
+  tau::Registry& resolve_measurement();
+  void init_method_lane_state(Method& m);
   MethodHandle intern_method(std::string_view key);
-  Open& push_open(MethodHandle h);
+  MethodHandle intern_method_unlocked(std::string_view key);
+  Method& method_ref(MethodHandle h);
+  Open& push_open(LaneState& lane, MethodHandle h);
   void refresh_counter_columns(Method& m);
   void count_edge(MethodHandle caller, MethodHandle callee);
+  void start_on_lane(MethodHandle method, ParamSpan params, const ParamMap* extra,
+                     int lane);
+  void stop_on_lane(MethodHandle method, int lane);
+  void emit_telemetry_unlocked();
 
   cca::Services* svc_ = nullptr;
   tau::Registry* reg_ = nullptr;          // resolved once through the port
   tau::GroupId mpi_group_ = 0;            // interned with the registry
-  std::vector<Method> methods_;
-  std::vector<Open> open_;                // LIFO pool of in-flight calls
-  std::size_t open_depth_ = 0;
+  tau::RegistryShards* shards_ = nullptr;  // borrowed from MeasurementPort
+  bool threaded_ = false;                  // lanes > 1 once resolved
+  std::atomic<bool> resolved_{false};      // measurement port resolved
+  mutable std::mutex mu_;                  // guards shared state (threaded only)
+  std::deque<Method> methods_;             // deque: stable refs under growth
+  std::atomic<std::size_t> methods_count_{0};
+  std::vector<LaneState> lanes_{1};        // [0] = rank thread
   std::vector<std::uint64_t> counters_scratch_;
   std::vector<CallEdge> edges_;
   std::vector<std::pair<MethodHandle, MethodHandle>> edge_ids_;  // parallel

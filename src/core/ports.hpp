@@ -27,6 +27,10 @@
 #include "cca/framework.hpp"
 #include "tau/registry.hpp"
 
+namespace tau {
+class RegistryShards;
+}
+
 namespace core {
 
 /// Performance-relevant parameters extracted by a proxy before forwarding
@@ -60,6 +64,12 @@ class MeasurementPort : public cca::Port {
  public:
   /// The rank-local TAU registry (timing/event/control/query interfaces).
   virtual tau::Registry& registry() = 0;
+
+  /// Per-thread registry shards for multi-threaded ranks (DESIGN.md §9),
+  /// or nullptr when the provider is single-threaded-only. When non-null,
+  /// shard(0) is registry() and worker pool lanes time into their own
+  /// shards, merged back at region barriers.
+  virtual tau::RegistryShards* shards() { return nullptr; }
 };
 
 /// Monitoring interface used by proxies (the paper's "MonUF port").

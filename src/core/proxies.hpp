@@ -21,6 +21,8 @@
 // MethodHandle/ParamSpan surface; the monitored component itself is still
 // fetched per call so reconnection (candidate swapping, §6) keeps working.
 
+#include <mutex>
+
 #include "components/ports.hpp"
 #include "core/ports.hpp"
 
@@ -76,10 +78,12 @@ class StatesProxy final : public cca::Component, public components::StatesPort {
   euler::KernelCounts compute(const amr::PatchData<double>& u,
                               const amr::Box& interior, euler::Dir dir,
                               euler::Array2& left, euler::Array2& right) override {
-    if (monitor_ == nullptr) {
+    // call_once: the first compute() may land inside a parallel region,
+    // where several lanes race to resolve the monitor.
+    std::call_once(once_, [this] {
       monitor_ = svc_->get_port_as<MonitorPort>("monitor");
       method_ = monitor_->register_method("sc_proxy::compute()", {"Q", "mode"});
-    }
+    });
     auto* real = svc_->get_port_as<StatesPort>("states_real");
     const double params[2] = {static_cast<double>(u.pts_per_comp()),
                               dir == euler::Dir::x ? 0.0 : 1.0};
@@ -89,6 +93,7 @@ class StatesProxy final : public cca::Component, public components::StatesPort {
 
  private:
   cca::Services* svc_ = nullptr;
+  std::once_flag once_;
   MonitorPort* monitor_ = nullptr;
   MethodHandle method_ = kInvalidMethodHandle;
 };
@@ -111,10 +116,10 @@ class FluxProxy final : public cca::Component, public components::FluxPort {
 
   euler::KernelCounts compute(const euler::Array2& left, const euler::Array2& right,
                               euler::Dir dir, euler::Array2& flux) override {
-    if (monitor_ == nullptr) {
+    std::call_once(once_, [this] {
       monitor_ = svc_->get_port_as<MonitorPort>("monitor");
       method_ = monitor_->register_method(key_, {"Q", "mode"});
-    }
+    });
     auto* real = svc_->get_port_as<FluxPort>("flux_real");
     const double params[2] = {
         static_cast<double>(static_cast<std::size_t>(left.nx()) * left.ny()),
@@ -133,6 +138,7 @@ class FluxProxy final : public cca::Component, public components::FluxPort {
  private:
   std::string key_;
   cca::Services* svc_ = nullptr;
+  std::once_flag once_;
   MonitorPort* monitor_ = nullptr;
   MethodHandle method_ = kInvalidMethodHandle;
 };
@@ -193,7 +199,7 @@ class AMRMeshProxy final : public cca::Component, public components::MeshPort {
     return svc_->get_port_as<components::MeshPort>("mesh_real");
   }
   MonitorPort* monitor() {
-    if (monitor_ == nullptr) {
+    std::call_once(once_, [this] {
       monitor_ = svc_->get_port_as<MonitorPort>("monitor");
       h_initialize_ = monitor_->register_method("icc_proxy::initialize()", {});
       h_ghost_update_ =
@@ -203,7 +209,7 @@ class AMRMeshProxy final : public cca::Component, public components::MeshPort {
       h_restrict_ =
           monitor_->register_method("icc_proxy::restrict()", {"level", "cells"});
       h_regrid_ = monitor_->register_method("icc_proxy::regrid()", {});
-    }
+    });
     return monitor_;
   }
   void level_params(int level, double out[2]) {
@@ -213,6 +219,7 @@ class AMRMeshProxy final : public cca::Component, public components::MeshPort {
   }
 
   cca::Services* svc_ = nullptr;
+  std::once_flag once_;
   MonitorPort* monitor_ = nullptr;
   MethodHandle h_initialize_ = kInvalidMethodHandle;
   MethodHandle h_ghost_update_ = kInvalidMethodHandle;

@@ -7,22 +7,40 @@
 // or disable all MPI timers via their group identifier" — via
 // registry().set_group_enabled(tau::kMpiGroup, ...)).
 //
+// Multi-threaded ranks (CCAPERF_THREADS > 1, DESIGN.md §9): the component
+// sizes a tau::RegistryShards set to the rank's thread pool and installs
+// the pool's region-end hook, so per-lane measurements fold into the
+// primary registry after every parallel region — that hook is the
+// "barrier point" where the merged view becomes visible to snapshots,
+// telemetry and trace export. With one lane the shard set is empty and
+// the hook is never installed, leaving the serial path untouched.
+//
 // The component must be created and destroyed on its rank's thread (true
 // under the SCMD assembly, where each rank owns its framework).
 
 #include <memory>
 
 #include "core/ports.hpp"
+#include "support/thread_pool.hpp"
 #include "tau/mpi_adapter.hpp"
+#include "tau/shards.hpp"
 
 namespace core {
 
 class TauMeasurementComponent final : public cca::Component, public MeasurementPort {
  public:
   TauMeasurementComponent()
-      : adapter_(registry_), installer_(std::make_unique<mpp::HooksInstaller>(&adapter_)) {}
+      : adapter_(registry_), installer_(std::make_unique<mpp::HooksInstaller>(&adapter_)) {
+    ccaperf::ThreadPool& pool = ccaperf::rank_pool();
+    shards_ = std::make_unique<tau::RegistryShards>(registry_, pool.size());
+    if (pool.size() > 1) {
+      pool_ = &pool;
+      pool_->set_region_end_hook([this] { shards_->merge_into_primary(); });
+    }
+  }
 
   ~TauMeasurementComponent() override {
+    if (pool_ != nullptr) pool_->set_region_end_hook(nullptr);
     installer_.reset();  // uninstall hooks before the registry dies
   }
 
@@ -32,11 +50,19 @@ class TauMeasurementComponent final : public cca::Component, public MeasurementP
   }
 
   tau::Registry& registry() override { return registry_; }
+  tau::RegistryShards* shards() override { return shards_.get(); }
+
+  /// Re-mirrors the primary's tracing state onto the shards; call after
+  /// arming/disarming tracing on registry() (assemble_instrumented_app
+  /// does this when CCAPERF_TRACE is set).
+  void sync_shard_tracing() { shards_->mirror_tracing(); }
 
  private:
   tau::Registry registry_;
   tau::MpiHookAdapter adapter_;
   std::unique_ptr<mpp::HooksInstaller> installer_;
+  std::unique_ptr<tau::RegistryShards> shards_;
+  ccaperf::ThreadPool* pool_ = nullptr;  // non-null only when lanes > 1
 };
 
 }  // namespace core

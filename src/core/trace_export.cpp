@@ -13,9 +13,10 @@ namespace core {
 using tau::TraceKind;
 using tau::TraceRecord;
 
-RankTrace collect_rank_trace(const tau::Registry& reg, int rank) {
+RankTrace collect_rank_trace(const tau::Registry& reg, int rank, int thread) {
   RankTrace t;
   t.rank = rank;
+  t.thread = thread;
   t.epoch = reg.trace_epoch();
   t.events = reg.snapshot_trace();
   t.timer_names.reserve(reg.num_timers());
@@ -56,9 +57,9 @@ class EventWriter {
   explicit EventWriter(std::ostream& os) : os_(os) {}
 
   /// Opens the object and writes the common (ph, pid, tid, ts) prefix.
-  EventWriter& begin(char ph, int rank, double ts) {
-    os_ << (first_ ? "\n" : ",\n") << "{\"ph\":\"" << ph << "\",\"pid\":" << rank
-        << ",\"tid\":" << rank << ",\"ts\":" << ccaperf::json_number(ts, 3);
+  EventWriter& begin(char ph, int pid, int tid, double ts) {
+    os_ << (first_ ? "\n" : ",\n") << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"ts\":" << ccaperf::json_number(ts, 3);
     first_ = false;
     return *this;
   }
@@ -91,11 +92,14 @@ MergeStats TraceMerger::write_chrome_trace(std::ostream& os) const {
     std::scoped_lock lock(mu_);
     ranks = ranks_;
   }
-  std::sort(ranks.begin(), ranks.end(),
-            [](const RankTrace& a, const RankTrace& b) { return a.rank < b.rank; });
+  std::sort(ranks.begin(), ranks.end(), [](const RankTrace& a, const RankTrace& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.thread < b.thread;
+  });
 
   MergeStats stats;
-  stats.ranks = ranks.size();
+  // Thread shards share their rank's process: count distinct ranks only.
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    if (i == 0 || ranks[i].rank != ranks[i - 1].rank) ++stats.ranks;
 
   // Align every rank onto the earliest trace epoch (all epochs come from
   // the one steady clock — ranks are threads of this process).
@@ -130,13 +134,24 @@ MergeStats TraceMerger::write_chrome_trace(std::ostream& os) const {
   for (const RankTrace& r : ranks) {
     const double offset_us =
         std::chrono::duration<double, std::micro>(r.epoch - t0).count();
+    // Thread 0 is the rank's own track (tid = rank, exactly the
+    // single-threaded export); pool lanes get tid 1000+lane so they sort
+    // below the rank thread inside the same process.
+    const int tid = r.thread == 0 ? r.rank : 1000 + r.thread;
     const std::string rank_label = "rank " + std::to_string(r.rank);
-    w.begin('M', r.rank, 0.0).name("process_name");
-    w.raw(",\"args\":{\"name\":\"" + ccaperf::json_escape(rank_label) + "\"}");
-    w.end();
-    w.begin('M', r.rank, 0.0).name("thread_name");
-    w.raw(",\"args\":{\"name\":\"" + ccaperf::json_escape(rank_label) + "\"}");
-    w.end();
+    if (r.thread == 0) {
+      w.begin('M', r.rank, tid, 0.0).name("process_name");
+      w.raw(",\"args\":{\"name\":\"" + ccaperf::json_escape(rank_label) + "\"}");
+      w.end();
+      w.begin('M', r.rank, tid, 0.0).name("thread_name");
+      w.raw(",\"args\":{\"name\":\"" + ccaperf::json_escape(rank_label) + "\"}");
+      w.end();
+    } else {
+      const std::string lane_label = rank_label + " thread " + std::to_string(r.thread);
+      w.begin('M', r.rank, tid, 0.0).name("thread_name");
+      w.raw(",\"args\":{\"name\":\"" + ccaperf::json_escape(lane_label) + "\"}");
+      w.end();
+    }
 
     std::vector<std::uint32_t> open;  // enter/exit balance guard
     double last_ts = 0.0;
@@ -145,7 +160,7 @@ MergeStats TraceMerger::write_chrome_trace(std::ostream& os) const {
       last_ts = std::max(last_ts, ts);
       switch (e.kind) {
         case TraceKind::enter:
-          w.begin('B', r.rank, ts).name(name_or(r.timer_names, e.id));
+          w.begin('B', r.rank, tid, ts).name(name_or(r.timer_names, e.id));
           if (e.has_arg())
             w.raw(",\"args\":{\"" +
                   ccaperf::json_escape(
@@ -162,19 +177,19 @@ MergeStats TraceMerger::write_chrome_trace(std::ostream& os) const {
             ++stats.orphan_exits;
             break;
           }
-          w.begin('E', r.rank, ts).end();
+          w.begin('E', r.rank, tid, ts).end();
           ++stats.events;
           ++stats.slices;
           open.pop_back();
           break;
         case TraceKind::instant:
-          w.begin('i', r.rank, ts).name(name_or(r.strings, e.id));
+          w.begin('i', r.rank, tid, ts).name(name_or(r.strings, e.id));
           w.raw(",\"s\":\"t\"");
           w.end();
           ++stats.events;
           break;
         case TraceKind::counter:
-          w.begin('C', r.rank, ts).name(name_or(r.counter_names, e.id));
+          w.begin('C', r.rank, tid, ts).name(name_or(r.counter_names, e.id));
           w.raw(",\"args\":{\"value\":" + ccaperf::json_number(e.value(), 3) + "}");
           w.end();
           ++stats.events;
@@ -184,7 +199,7 @@ MergeStats TraceMerger::write_chrome_trace(std::ostream& os) const {
           const auto it = flow_ids.find(msg_key(r.rank, e));
           if (it == flow_ids.end()) break;  // counted as unmatched above
           const bool send = e.kind == TraceKind::msg_send;
-          w.begin(send ? 's' : 'f', r.rank, ts).name("msg");
+          w.begin(send ? 's' : 'f', r.rank, tid, ts).name("msg");
           w.raw(",\"cat\":\"msg\",\"id\":" + std::to_string(it->second));
           if (send)
             w.raw(",\"args\":{\"bytes\":" + std::to_string(e.payload) +
@@ -202,7 +217,7 @@ MergeStats TraceMerger::write_chrome_trace(std::ostream& os) const {
     // snapshot_trace() closes open activations, so leftovers here mean a
     // caller handed us a raw (unbalanced) event list: close them anyway.
     while (!open.empty()) {
-      w.begin('E', r.rank, last_ts).end();
+      w.begin('E', r.rank, tid, last_ts).end();
       ++stats.events;
       ++stats.slices;
       open.pop_back();

@@ -34,6 +34,7 @@ namespace core {
 /// rank's framework) into plain data the merger can keep.
 struct RankTrace {
   int rank = 0;
+  int thread = 0;                        ///< 0 = rank thread, >0 = pool lane
   tau::Clock::time_point epoch{};        ///< steady-clock instant of t_us == 0
   std::vector<tau::TraceRecord> events;  ///< balanced (via snapshot_trace)
   std::vector<std::string> timer_names;  ///< index = TimerId
@@ -43,13 +44,17 @@ struct RankTrace {
   std::uint64_t dropped_events = 0;      ///< lost to the ring bound
 };
 
-/// Snapshots `reg`'s trace and name tables for rank `rank`.
-RankTrace collect_rank_trace(const tau::Registry& reg, int rank);
+/// Snapshots `reg`'s trace and name tables for rank `rank`. For a
+/// multi-threaded rank, pass each registry shard with its pool lane as
+/// `thread`; the merged trace shows one named track per thread inside the
+/// rank's process (thread 0 keeps the rank's own track, byte-identical to
+/// the single-threaded export).
+RankTrace collect_rank_trace(const tau::Registry& reg, int rank, int thread = 0);
 
 /// What the merge produced / lost — callers gate acceptance on this
 /// (e.g. "every retained send must have found its recv").
 struct MergeStats {
-  std::size_t ranks = 0;
+  std::size_t ranks = 0;            ///< distinct ranks (threads don't add)
   std::size_t events = 0;           ///< JSON trace events written
   std::size_t slices = 0;           ///< complete begin/end slice pairs
   std::size_t flows = 0;            ///< matched send/recv pairs

@@ -14,6 +14,7 @@
 // transverse momentum, energy, phi mass).
 
 #include <cmath>
+#include <cstdint>
 
 #include "euler/state.hpp"
 
@@ -26,6 +27,14 @@ struct FaceFlux {
   double energy = 0.0;
   double phi_mass = 0.0;
 };
+
+/// FLOP cost models the probes charge per face (kernels.cpp and the
+/// cache/model benches must agree on these, so they live with the flux
+/// math): EFM is two half-fluxes (erf + exp + moments, constant cost);
+/// Godunov is a fixed sampling cost plus a per-Newton-iteration term.
+inline constexpr std::uint64_t kEfmFlopsPerFace = 120;
+inline constexpr std::uint64_t kGodunovFlopsPerFace = 60;
+inline constexpr std::uint64_t kGodunovFlopsPerIteration = 45;
 
 namespace detail {
 

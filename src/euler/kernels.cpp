@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "hwc/cache_sim.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace euler {
 
@@ -49,20 +52,23 @@ inline void load_prim_stencil(const amr::PatchData<double>& U, int i0, int j0,
   }
 }
 
-}  // namespace
+/// Span of the sweep's OUTER loop in direction `dir`: rows (fj) for
+/// Dir::x, columns (fi) for Dir::y — the loop whose iterations are
+/// independent and can be split across lanes or counter shards.
+inline int outer_extent(int nx, int ny, Dir dir) {
+  return dir == Dir::x ? ny : nx;
+}
 
+/// Reconstruction over outer indices [o_begin, o_end); the full-span call
+/// is the original serial kernel, a sub-span is one lane's (or one counter
+/// shard's) slice. Shape checks are the caller's job.
 template <class Probe>
-KernelCounts compute_states(const amr::PatchData<double>& U,
-                            const amr::Box& interior, Dir dir,
-                            const GasModel& gas, Array2& left, Array2& right,
-                            Probe& probe) {
-  CCAPERF_REQUIRE(U.nghost() >= 2, "compute_states: need >= 2 ghost cells");
-  int nx = 0, ny = 0;
-  face_dims(interior, dir, nx, ny);
-  CCAPERF_REQUIRE(left.nx() == nx && left.ny() == ny && left.ncomp() == kNcomp &&
-                      right.nx() == nx && right.ny() == ny &&
-                      right.ncomp() == kNcomp,
-                  "compute_states: face array shape mismatch");
+KernelCounts compute_states_range(const amr::PatchData<double>& U,
+                                  const amr::Box& interior, Dir dir,
+                                  const GasModel& gas, Array2& left,
+                                  Array2& right, Probe& probe, int o_begin,
+                                  int o_end) {
+  const int nx = left.nx(), ny = left.ny();
   KernelCounts counts;
 
   // w[k]: primitive states at the four stencil cells around a face (face
@@ -87,7 +93,7 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
 
   if (dir == Dir::x) {
     // Sequential mode: inner loop is unit stride in memory.
-    for (int fj = 0; fj < ny; ++fj) {
+    for (int fj = o_begin; fj < o_end; ++fj) {
       const int j = interior.lo().j + fj;
       for (int fi = 0; fi < nx; ++fi) {
         const int i = interior.lo().i + fi;
@@ -96,7 +102,7 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
     }
   } else {
     // Strided mode: inner loop strides by the padded row length.
-    for (int fi = 0; fi < nx; ++fi) {
+    for (int fi = o_begin; fi < o_end; ++fi) {
       const int i = interior.lo().i + fi;
       for (int fj = 0; fj < ny; ++fj) {
         const int j = interior.lo().j + fj;
@@ -105,6 +111,30 @@ KernelCounts compute_states(const amr::PatchData<double>& U,
     }
   }
   return counts;
+}
+
+void check_states_shapes(const amr::PatchData<double>& U,
+                         const amr::Box& interior, Dir dir, const Array2& left,
+                         const Array2& right) {
+  CCAPERF_REQUIRE(U.nghost() >= 2, "compute_states: need >= 2 ghost cells");
+  int nx = 0, ny = 0;
+  face_dims(interior, dir, nx, ny);
+  CCAPERF_REQUIRE(left.nx() == nx && left.ny() == ny && left.ncomp() == kNcomp &&
+                      right.nx() == nx && right.ny() == ny &&
+                      right.ncomp() == kNcomp,
+                  "compute_states: face array shape mismatch");
+}
+
+}  // namespace
+
+template <class Probe>
+KernelCounts compute_states(const amr::PatchData<double>& U,
+                            const amr::Box& interior, Dir dir,
+                            const GasModel& gas, Array2& left, Array2& right,
+                            Probe& probe) {
+  check_states_shapes(U, interior, dir, left, right);
+  return compute_states_range(U, interior, dir, gas, left, right, probe, 0,
+                              outer_extent(left.nx(), left.ny(), dir));
 }
 
 namespace {
@@ -134,17 +164,61 @@ inline void store_face_flux(Array2& flux, int fi, int fj, const FaceFlux& f,
                   sizeof(double));
 }
 
-/// Shared sweep driver: walks faces in the direction-appropriate loop
-/// order and applies `face_op(fi, fj)`.
+/// Shared sweep driver: walks faces of the outer span [o_begin, o_end) in
+/// the direction-appropriate loop order and applies `face_op(fi, fj)`.
 template <class FaceOp>
-void sweep_faces(const Array2& left, Dir dir, FaceOp&& face_op) {
+void sweep_faces(const Array2& left, Dir dir, int o_begin, int o_end,
+                 FaceOp&& face_op) {
   if (dir == Dir::x) {
-    for (int fj = 0; fj < left.ny(); ++fj)
+    for (int fj = o_begin; fj < o_end; ++fj)
       for (int fi = 0; fi < left.nx(); ++fi) face_op(fi, fj);
   } else {
-    for (int fi = 0; fi < left.nx(); ++fi)
+    for (int fi = o_begin; fi < o_end; ++fi)
       for (int fj = 0; fj < left.ny(); ++fj) face_op(fi, fj);
   }
+}
+
+template <class Probe>
+KernelCounts efm_flux_range(const Array2& left, const Array2& right, Dir dir,
+                            const GasModel& gas, Array2& flux, Probe& probe,
+                            int o_begin, int o_end) {
+  KernelCounts counts;
+  sweep_faces(left, dir, o_begin, o_end, [&](int fi, int fj) {
+    const Prim l = load_face_state(left, fi, fj, probe);
+    const Prim r = load_face_state(right, fi, fj, probe);
+    const FaceFlux f = efm_face_flux(l, r, gas);
+    probe.flops(kEfmFlopsPerFace);  // two half-fluxes: erf + exp + moments
+    store_face_flux(flux, fi, fj, f, probe);
+    ++counts.faces;
+  });
+  return counts;
+}
+
+template <class Probe>
+KernelCounts godunov_flux_range(const Array2& left, const Array2& right, Dir dir,
+                                const GasModel& gas, Array2& flux, Probe& probe,
+                                int o_begin, int o_end) {
+  KernelCounts counts;
+  sweep_faces(left, dir, o_begin, o_end, [&](int fi, int fj) {
+    const Prim l = load_face_state(left, fi, fj, probe);
+    const Prim r = load_face_state(right, fi, fj, probe);
+    const RiemannResult rr = exact_riemann(l, r, gas);
+    const FaceFlux f = godunov_face_flux(rr.sampled, gas);
+    counts.riemann_iterations += static_cast<std::uint64_t>(rr.iterations);
+    probe.flops(kGodunovFlopsPerFace +
+                kGodunovFlopsPerIteration *
+                    static_cast<std::uint64_t>(rr.iterations));
+    store_face_flux(flux, fi, fj, f, probe);
+    ++counts.faces;
+  });
+  return counts;
+}
+
+void check_flux_shapes(const Array2& left, const Array2& flux,
+                       const char* what) {
+  CCAPERF_REQUIRE(flux.nx() == left.nx() && flux.ny() == left.ny() &&
+                      flux.ncomp() == kNcomp,
+                  std::string(what) + ": flux array shape mismatch");
 }
 
 }  // namespace
@@ -152,68 +226,67 @@ void sweep_faces(const Array2& left, Dir dir, FaceOp&& face_op) {
 template <class Probe>
 KernelCounts efm_flux_sweep(const Array2& left, const Array2& right, Dir dir,
                             const GasModel& gas, Array2& flux, Probe& probe) {
-  CCAPERF_REQUIRE(flux.nx() == left.nx() && flux.ny() == left.ny() &&
-                      flux.ncomp() == kNcomp,
-                  "efm_flux_sweep: flux array shape mismatch");
-  KernelCounts counts;
-  sweep_faces(left, dir, [&](int fi, int fj) {
-    const Prim l = load_face_state(left, fi, fj, probe);
-    const Prim r = load_face_state(right, fi, fj, probe);
-    const FaceFlux f = efm_face_flux(l, r, gas);
-    probe.flops(120);  // two half-fluxes: erf + exp + moments
-    store_face_flux(flux, fi, fj, f, probe);
-    ++counts.faces;
-  });
-  return counts;
+  check_flux_shapes(left, flux, "efm_flux_sweep");
+  return efm_flux_range(left, right, dir, gas, flux, probe, 0,
+                        outer_extent(left.nx(), left.ny(), dir));
 }
 
 template <class Probe>
 KernelCounts godunov_flux_sweep(const Array2& left, const Array2& right, Dir dir,
                                 const GasModel& gas, Array2& flux, Probe& probe) {
-  CCAPERF_REQUIRE(flux.nx() == left.nx() && flux.ny() == left.ny() &&
-                      flux.ncomp() == kNcomp,
-                  "godunov_flux_sweep: flux array shape mismatch");
-  KernelCounts counts;
-  sweep_faces(left, dir, [&](int fi, int fj) {
-    const Prim l = load_face_state(left, fi, fj, probe);
-    const Prim r = load_face_state(right, fi, fj, probe);
-    const RiemannResult rr = exact_riemann(l, r, gas);
-    const FaceFlux f = godunov_face_flux(rr.sampled, gas);
-    counts.riemann_iterations += static_cast<std::uint64_t>(rr.iterations);
-    probe.flops(60 + 45 * static_cast<std::uint64_t>(rr.iterations));
-    store_face_flux(flux, fi, fj, f, probe);
-    ++counts.faces;
-  });
-  return counts;
+  check_flux_shapes(left, flux, "godunov_flux_sweep");
+  return godunov_flux_range(left, right, dir, gas, flux, probe, 0,
+                            outer_extent(left.nx(), left.ny(), dir));
 }
 
-void flux_divergence(const Array2& fx, const Array2& fy, const amr::Box& interior,
-                     double dx, double dy, amr::PatchData<double>& dudt) {
+namespace {
+
+// Face-normal-frame flux components -> conserved components:
+// x faces: (mass, mom_n, mom_t, E, phi) -> (rho, mx, my, E, rphi)
+// y faces: mom_n is y momentum, mom_t is x momentum.
+constexpr int x_map[kNcomp] = {kRho, kMx, kMy, kE, kRphi};
+constexpr int y_map[kNcomp] = {kRho, kMy, kMx, kE, kRphi};
+
+/// One component's divergence rows [jj_begin, jj_end). Every dudt cell is
+/// written exactly once from already-final face fluxes, so any row
+/// partition produces bit-identical output.
+void flux_divergence_rows(const Array2& fx, const Array2& fy,
+                          const amr::Box& interior, double inv_dx,
+                          double inv_dy, amr::PatchData<double>& dudt, int c,
+                          int jj_begin, int jj_end) {
+  const int W = interior.width();
+  for (int jj = jj_begin; jj < jj_end; ++jj) {
+    const int j = interior.lo().j + jj;
+    for (int ii = 0; ii < W; ++ii) {
+      const int i = interior.lo().i + ii;
+      double div = 0.0;
+      // Find which face-frame component feeds conserved component c.
+      for (int k = 0; k < kNcomp; ++k) {
+        if (x_map[k] == c) div += (fx(ii + 1, jj, k) - fx(ii, jj, k)) * inv_dx;
+        if (y_map[k] == c) div += (fy(ii, jj + 1, k) - fy(ii, jj, k)) * inv_dy;
+      }
+      dudt(i, j, c) = -div;
+    }
+  }
+}
+
+void check_divergence_shapes(const Array2& fx, const Array2& fy,
+                             const amr::Box& interior) {
   const int W = interior.width(), H = interior.height();
   CCAPERF_REQUIRE(fx.nx() == W + 1 && fx.ny() == H && fy.nx() == W &&
                       fy.ny() == H + 1,
                   "flux_divergence: face array shape mismatch");
+}
+
+}  // namespace
+
+void flux_divergence(const Array2& fx, const Array2& fy, const amr::Box& interior,
+                     double dx, double dy, amr::PatchData<double>& dudt) {
+  check_divergence_shapes(fx, fy, interior);
   const double inv_dx = 1.0 / dx, inv_dy = 1.0 / dy;
-  // Face-normal-frame flux components -> conserved components:
-  // x faces: (mass, mom_n, mom_t, E, phi) -> (rho, mx, my, E, rphi)
-  // y faces: mom_n is y momentum, mom_t is x momentum.
-  static constexpr int x_map[kNcomp] = {kRho, kMx, kMy, kE, kRphi};
-  static constexpr int y_map[kNcomp] = {kRho, kMy, kMx, kE, kRphi};
-  for (int c = 0; c < kNcomp; ++c) {
-    for (int jj = 0; jj < H; ++jj) {
-      const int j = interior.lo().j + jj;
-      for (int ii = 0; ii < W; ++ii) {
-        const int i = interior.lo().i + ii;
-        double div = 0.0;
-        // Find which face-frame component feeds conserved component c.
-        for (int k = 0; k < kNcomp; ++k) {
-          if (x_map[k] == c) div += (fx(ii + 1, jj, k) - fx(ii, jj, k)) * inv_dx;
-          if (y_map[k] == c) div += (fy(ii, jj + 1, k) - fy(ii, jj, k)) * inv_dy;
-        }
-        dudt(i, j, c) = -div;
-      }
-    }
-  }
+  for (int c = 0; c < kNcomp; ++c)
+    flux_divergence_rows(fx, fy, interior, inv_dx, inv_dy, dudt, c, 0,
+                         interior.height());
 }
 
 double max_wave_speed(const amr::PatchData<double>& U, const amr::Box& interior,
@@ -237,6 +310,192 @@ void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
   for (int j = interior.lo().j; j <= interior.hi().j; ++j)
     for (int i = interior.lo().i; i <= interior.hi().i; ++i)
       for (int c = 0; c < kNcomp; ++c) totals[c] += U(i, j, c);
+}
+
+// --- thread-parallel sweeps --------------------------------------------------
+
+namespace {
+
+/// Per-lane fold slot, padded so lanes never share a cache line.
+struct alignas(64) LaneCounts {
+  KernelCounts c;
+};
+
+KernelCounts sum_lanes(const std::vector<LaneCounts>& lanes) {
+  KernelCounts total;
+  for (const LaneCounts& l : lanes) total += l.c;
+  return total;
+}
+
+}  // namespace
+
+KernelCounts compute_states_mt(ccaperf::ThreadPool& pool,
+                               const amr::PatchData<double>& U,
+                               const amr::Box& interior, Dir dir,
+                               const GasModel& gas, Array2& left,
+                               Array2& right) {
+  hwc::NullProbe probe;
+  if (pool.size() == 1)
+    return compute_states(U, interior, dir, gas, left, right, probe);
+  check_states_shapes(U, interior, dir, left, right);
+  const int outer = outer_extent(left.nx(), left.ny(), dir);
+  std::vector<LaneCounts> lanes(static_cast<std::size_t>(pool.size()));
+  pool.parallel_for(static_cast<std::size_t>(outer), [&](std::size_t o, int l) {
+    hwc::NullProbe p;
+    lanes[static_cast<std::size_t>(l)].c += compute_states_range(
+        U, interior, dir, gas, left, right, p, static_cast<int>(o),
+        static_cast<int>(o) + 1);
+  });
+  return sum_lanes(lanes);
+}
+
+KernelCounts efm_flux_sweep_mt(ccaperf::ThreadPool& pool, const Array2& left,
+                               const Array2& right, Dir dir, const GasModel& gas,
+                               Array2& flux) {
+  hwc::NullProbe probe;
+  if (pool.size() == 1)
+    return efm_flux_sweep(left, right, dir, gas, flux, probe);
+  check_flux_shapes(left, flux, "efm_flux_sweep");
+  const int outer = outer_extent(left.nx(), left.ny(), dir);
+  std::vector<LaneCounts> lanes(static_cast<std::size_t>(pool.size()));
+  pool.parallel_for(static_cast<std::size_t>(outer), [&](std::size_t o, int l) {
+    hwc::NullProbe p;
+    lanes[static_cast<std::size_t>(l)].c +=
+        efm_flux_range(left, right, dir, gas, flux, p, static_cast<int>(o),
+                       static_cast<int>(o) + 1);
+  });
+  return sum_lanes(lanes);
+}
+
+KernelCounts godunov_flux_sweep_mt(ccaperf::ThreadPool& pool, const Array2& left,
+                                   const Array2& right, Dir dir,
+                                   const GasModel& gas, Array2& flux) {
+  hwc::NullProbe probe;
+  if (pool.size() == 1)
+    return godunov_flux_sweep(left, right, dir, gas, flux, probe);
+  check_flux_shapes(left, flux, "godunov_flux_sweep");
+  const int outer = outer_extent(left.nx(), left.ny(), dir);
+  std::vector<LaneCounts> lanes(static_cast<std::size_t>(pool.size()));
+  pool.parallel_for(static_cast<std::size_t>(outer), [&](std::size_t o, int l) {
+    hwc::NullProbe p;
+    lanes[static_cast<std::size_t>(l)].c +=
+        godunov_flux_range(left, right, dir, gas, flux, p, static_cast<int>(o),
+                           static_cast<int>(o) + 1);
+  });
+  return sum_lanes(lanes);
+}
+
+void flux_divergence_mt(ccaperf::ThreadPool& pool, const Array2& fx,
+                        const Array2& fy, const amr::Box& interior, double dx,
+                        double dy, amr::PatchData<double>& dudt) {
+  if (pool.size() == 1) {
+    flux_divergence(fx, fy, interior, dx, dy, dudt);
+    return;
+  }
+  check_divergence_shapes(fx, fy, interior);
+  const double inv_dx = 1.0 / dx, inv_dy = 1.0 / dy;
+  const int H = interior.height();
+  // Flatten (component, row) so short patches still spread across lanes.
+  pool.parallel_for(static_cast<std::size_t>(kNcomp) *
+                        static_cast<std::size_t>(H),
+                    [&](std::size_t t, int) {
+    const int c = static_cast<int>(t) / H;
+    const int jj = static_cast<int>(t) % H;
+    flux_divergence_rows(fx, fy, interior, inv_dx, inv_dy, dudt, c, jj, jj + 1);
+  });
+}
+
+// --- deterministic counted sweeps --------------------------------------------
+
+namespace {
+
+/// One counter shard's result slot (padded: slabs run on different lanes).
+struct alignas(64) SlabCounts {
+  KernelCounts kernel;
+  hwc::ProbeCounts probe;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+};
+
+/// Fixed slab bounds: slab s of kCounterShards covers outer indices
+/// [outer*s/kShards, outer*(s+1)/kShards) — a function of the problem
+/// size only, never of the lane count.
+inline int slab_lo(int outer, int s) {
+  return static_cast<int>((static_cast<long long>(outer) * s) / kCounterShards);
+}
+
+/// Runs `sweep(probe, lo, hi)` for every slab (in parallel when the pool
+/// has lanes), each against its own cold XeonHierarchy, then merges the
+/// integer counters in slab order.
+template <class SlabSweep>
+CountedSweep run_counted_slabs(ccaperf::ThreadPool& pool, int outer,
+                               SlabSweep&& sweep) {
+  std::vector<SlabCounts> slabs(static_cast<std::size_t>(kCounterShards));
+  auto run_slab = [&](std::size_t s, int) {
+    const int lo = slab_lo(outer, static_cast<int>(s));
+    const int hi = slab_lo(outer, static_cast<int>(s) + 1);
+    if (lo == hi) return;
+    hwc::XeonHierarchy mem;  // cold per slab: totals don't depend on lanes
+    hwc::CacheProbe probe(&mem.l1);
+    slabs[s].kernel = sweep(probe, lo, hi);
+    slabs[s].probe = probe.counts();
+    slabs[s].l1_misses = mem.l1.counters().misses;
+    slabs[s].l2_misses = mem.l2.counters().misses;
+  };
+  if (pool.size() == 1) {
+    for (std::size_t s = 0; s < slabs.size(); ++s) run_slab(s, 0);
+  } else {
+    pool.parallel_for(slabs.size(), run_slab);
+  }
+  CountedSweep out;
+  for (const SlabCounts& s : slabs) {
+    out.kernel += s.kernel;
+    out.probe.loads += s.probe.loads;
+    out.probe.stores += s.probe.stores;
+    out.probe.flops += s.probe.flops;
+    out.l1_misses += s.l1_misses;
+    out.l2_misses += s.l2_misses;
+  }
+  return out;
+}
+
+}  // namespace
+
+CountedSweep compute_states_counted(ccaperf::ThreadPool& pool,
+                                    const amr::PatchData<double>& U,
+                                    const amr::Box& interior, Dir dir,
+                                    const GasModel& gas, Array2& left,
+                                    Array2& right) {
+  check_states_shapes(U, interior, dir, left, right);
+  const int outer = outer_extent(left.nx(), left.ny(), dir);
+  return run_counted_slabs(pool, outer,
+                           [&](hwc::CacheProbe& probe, int lo, int hi) {
+    return compute_states_range(U, interior, dir, gas, left, right, probe, lo,
+                                hi);
+  });
+}
+
+CountedSweep efm_flux_sweep_counted(ccaperf::ThreadPool& pool,
+                                    const Array2& left, const Array2& right,
+                                    Dir dir, const GasModel& gas, Array2& flux) {
+  check_flux_shapes(left, flux, "efm_flux_sweep");
+  const int outer = outer_extent(left.nx(), left.ny(), dir);
+  return run_counted_slabs(pool, outer,
+                           [&](hwc::CacheProbe& probe, int lo, int hi) {
+    return efm_flux_range(left, right, dir, gas, flux, probe, lo, hi);
+  });
+}
+
+CountedSweep godunov_flux_sweep_counted(ccaperf::ThreadPool& pool,
+                                        const Array2& left, const Array2& right,
+                                        Dir dir, const GasModel& gas,
+                                        Array2& flux) {
+  check_flux_shapes(left, flux, "godunov_flux_sweep");
+  const int outer = outer_extent(left.nx(), left.ny(), dir);
+  return run_counted_slabs(pool, outer,
+                           [&](hwc::CacheProbe& probe, int lo, int hi) {
+    return godunov_flux_range(left, right, dir, gas, flux, probe, lo, hi);
+  });
 }
 
 // Explicit instantiations: the production (NullProbe) and cache-traced

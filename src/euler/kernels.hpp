@@ -25,6 +25,10 @@
 #include "euler/state.hpp"
 #include "hwc/probe.hpp"
 
+namespace ccaperf {
+class ThreadPool;
+}
+
 namespace euler {
 
 enum class Dir { x, y };
@@ -80,6 +84,12 @@ inline void face_dims(const amr::Box& interior, Dir dir, int& nx, int& ny) {
 struct KernelCounts {
   std::uint64_t faces = 0;
   std::uint64_t riemann_iterations = 0;  ///< Godunov only
+
+  KernelCounts& operator+=(const KernelCounts& o) {
+    faces += o.faces;
+    riemann_iterations += o.riemann_iterations;
+    return *this;
+  }
 };
 
 /// MUSCL (minmod-limited) reconstruction of left/right primitive interface
@@ -117,5 +127,69 @@ double max_wave_speed(const amr::PatchData<double>& U, const amr::Box& interior,
 /// Total conserved quantities over the interior (conservation tests).
 void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
                      double totals[kNcomp]);
+
+// --- thread-parallel sweeps (DESIGN.md §9) -----------------------------------
+//
+// The `_mt` wrappers split the sweep's OUTER loop (rows for Dir::x,
+// columns for Dir::y) over the pool's lanes. Every face is written exactly
+// once and the per-face math is untouched, so the output arrays are
+// bit-identical to the serial kernels for any thread count; the integer
+// KernelCounts are folded per lane and summed (associative — also exact).
+// With a one-lane pool (or when called inside an enclosing parallel
+// region) they degenerate to the serial kernel on the calling thread.
+// Wall-clock measurement configurations only: the probe is hwc::NullProbe.
+
+KernelCounts compute_states_mt(ccaperf::ThreadPool& pool,
+                               const amr::PatchData<double>& U,
+                               const amr::Box& interior, Dir dir,
+                               const GasModel& gas, Array2& left, Array2& right);
+
+KernelCounts efm_flux_sweep_mt(ccaperf::ThreadPool& pool, const Array2& left,
+                               const Array2& right, Dir dir, const GasModel& gas,
+                               Array2& flux);
+
+KernelCounts godunov_flux_sweep_mt(ccaperf::ThreadPool& pool, const Array2& left,
+                                   const Array2& right, Dir dir,
+                                   const GasModel& gas, Array2& flux);
+
+void flux_divergence_mt(ccaperf::ThreadPool& pool, const Array2& fx,
+                        const Array2& fy, const amr::Box& interior, double dx,
+                        double dy, amr::PatchData<double>& dudt);
+
+// --- deterministic counted sweeps --------------------------------------------
+//
+// Cache-counting cannot share one simulator across lanes without making
+// miss totals depend on interleaving. The counted sweeps instead decompose
+// the outer loop into kCounterShards FIXED contiguous slabs (independent
+// of thread count), replay each slab through its own cold XeonHierarchy +
+// CacheProbe, and merge the integer counters in slab order — so the
+// totals are invariant across thread counts (1 lane and N lanes produce
+// identical numbers), at the cost of per-slab cold-start misses relative
+// to the single-simulator serial sweep.
+
+inline constexpr int kCounterShards = 8;
+
+/// Merged result of a sharded counted sweep.
+struct CountedSweep {
+  KernelCounts kernel;
+  hwc::ProbeCounts probe;        ///< loads/stores/flops, summed in slab order
+  std::uint64_t l1_misses = 0;   ///< cold-shard L1 misses, summed in slab order
+  std::uint64_t l2_misses = 0;
+};
+
+CountedSweep compute_states_counted(ccaperf::ThreadPool& pool,
+                                    const amr::PatchData<double>& U,
+                                    const amr::Box& interior, Dir dir,
+                                    const GasModel& gas, Array2& left,
+                                    Array2& right);
+
+CountedSweep efm_flux_sweep_counted(ccaperf::ThreadPool& pool, const Array2& left,
+                                    const Array2& right, Dir dir,
+                                    const GasModel& gas, Array2& flux);
+
+CountedSweep godunov_flux_sweep_counted(ccaperf::ThreadPool& pool,
+                                        const Array2& left, const Array2& right,
+                                        Dir dir, const GasModel& gas,
+                                        Array2& flux);
 
 }  // namespace euler

@@ -1,0 +1,124 @@
+#pragma once
+// ccaperf::ThreadPool — a small work-stealing pool for intra-rank
+// parallelism (DESIGN.md §9).
+//
+// The SCMD model (mpp::Runtime) gives one thread per rank; this pool adds
+// lanes *inside* a rank so AMR patch loops and Euler kernel row blocks can
+// run concurrently while the measurement stack stays deterministic:
+//
+//  - A pool of size N has N *lanes*: the calling thread participates as
+//    lane 0 and N-1 persistent workers take lanes 1..N-1. Lane indices are
+//    what the per-thread tau::Registry shards key on.
+//  - Size 1 means *no* threads, no locks, no atomics: parallel_for runs
+//    the body inline, so `CCAPERF_THREADS=1` is byte-identical to the
+//    serial code it replaced.
+//  - parallel_for(n, body) splits [0, n) into per-lane contiguous ranges;
+//    an idle lane steals the back half of a victim's remaining range
+//    (lazy binary splitting), so irregular patch costs still balance.
+//  - Nested parallel_for from inside a region runs inline on the calling
+//    lane — kernels parallelized at the row-block level compose with the
+//    patch-level loop without oversubscribing.
+//  - The first exception thrown by any task is rethrown on the caller
+//    after the region completes (mirrors mpp::Runtime::run).
+//  - A region-end hook runs on the caller after every top-level region.
+//    TauMeasurementComponent installs the shard merge there, which is the
+//    "barrier point" where per-thread measurements fold into the rank
+//    view (deterministically: lanes are merged in index order).
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccaperf {
+
+class ThreadPool {
+ public:
+  /// `nlanes` counts the caller: 1 = inline serial (no worker threads).
+  explicit ThreadPool(int nlanes);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return nlanes_; }
+
+  /// Runs body(i, lane) for every i in [0, n), lane in [0, size()).
+  /// Blocks until all n tasks have run (or a task threw — remaining tasks
+  /// are abandoned and the first exception is rethrown here). Reentrant
+  /// calls from inside a region run inline on the calling lane.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, int)>& body);
+
+  /// Hook invoked on the calling thread after every *top-level* region
+  /// (even one that ends in an exception), before parallel_for returns.
+  /// Pass nullptr to clear. The measurement layer merges its per-lane
+  /// shards here.
+  void set_region_end_hook(std::function<void()> hook);
+
+  /// Lane index of the calling thread inside an active region of *any*
+  /// pool; 0 outside regions (the rank thread is always lane 0).
+  static int current_lane();
+
+  // -- introspection for tests/benches ------------------------------------
+  std::uint64_t regions() const { return regions_; }
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+  struct Region {
+    const std::function<void(std::size_t, int)>* body = nullptr;
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;  // first failure, guarded by err_mu
+    std::mutex err_mu;
+    int exited = 0;  // workers that left run_lane, guarded by pool mu_
+  };
+
+  void worker_main(int lane);
+  void run_lane(Region& rgn, int lane);
+  bool grab_chunk(int lane, std::size_t& b, std::size_t& e);
+  bool steal_chunk(int lane);
+
+  const int nlanes_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards region_/epoch_/shutdown_/Region::exited
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Region* region_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  std::function<void()> region_end_hook_;
+  std::uint64_t regions_ = 0;
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// Lane count requested via CCAPERF_THREADS (clamped to [1, 256]);
+/// 1 when unset. Read from the environment on every call so a bench can
+/// setenv() between runs.
+int configured_threads();
+
+/// The calling thread's rank-local pool, created on first use with
+/// configured_threads() lanes. Each mpp rank thread gets its own pool
+/// (thread_local), mirroring the one-Registry-per-rank measurement model.
+ThreadPool& rank_pool();
+
+/// Rebuilds the calling thread's rank_pool() with `nlanes` lanes. Only
+/// safe while no component holds a hook or shard set sized to the old
+/// pool — i.e. between app assemblies, which is when benches toggle
+/// thread counts in-process.
+void set_rank_pool_threads(int nlanes);
+
+}  // namespace ccaperf

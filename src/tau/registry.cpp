@@ -142,6 +142,45 @@ void Registry::retire_generations_before(Generation g) {
   }
 }
 
+// --- shard merging -----------------------------------------------------------
+
+void Registry::absorb(const TimerStats& row) {
+  if (row.calls == 0 && row.inclusive_us == 0.0 && row.exclusive_us == 0.0)
+    return;
+  const TimerId id = timer(row.name, row.group);
+  touch(id);
+  TimerStats& t = timers_[id];
+  t.calls += row.calls;
+  t.inclusive_us += row.inclusive_us;
+  t.exclusive_us += row.exclusive_us;
+  groups_[timer_group_[id]].inclusive_us += row.inclusive_us;
+}
+
+void Registry::absorb_events(const std::map<std::string, AtomicEvent>& events) {
+  for (const auto& [name, ev] : events) events_[name].merge(ev);
+}
+
+std::vector<TimerStats> Registry::drain() {
+  CCAPERF_REQUIRE(stack_.empty(), "Registry::drain: timers still running");
+  std::vector<TimerStats> rows;
+  for (TimerStats& t : timers_) {
+    if (t.calls == 0 && t.inclusive_us == 0.0 && t.exclusive_us == 0.0)
+      continue;
+    rows.push_back(t);
+    t.calls = 0;
+    t.inclusive_us = 0.0;
+    t.exclusive_us = 0.0;
+  }
+  for (Group& g : groups_) g.inclusive_us = 0.0;
+  return rows;
+}
+
+std::map<std::string, AtomicEvent> Registry::take_events() {
+  std::map<std::string, AtomicEvent> out;
+  out.swap(events_);
+  return out;
+}
+
 // --- start/stop --------------------------------------------------------------
 
 void Registry::start(TimerId id) {
@@ -307,6 +346,13 @@ void Registry::set_tracing(bool enabled) {
     if (tracing_) trace_push_open_frames(/*as_exit=*/true);
     tracing_ = false;
   }
+}
+
+void Registry::set_tracing_from_epoch(Clock::time_point epoch) {
+  trace_.clear();
+  trace_epoch_ = epoch;
+  tracing_ = true;
+  trace_push_open_frames(/*as_exit=*/false);
 }
 
 void Registry::set_trace_capacity(std::size_t events) {

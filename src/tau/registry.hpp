@@ -168,6 +168,33 @@ class Registry {
   /// have been opened at generation >= g). Keeps long runs bounded.
   void retire_generations_before(Generation g);
 
+  // --- shard merging -----------------------------------------------------------
+  // Per-thread registry shards (tau::RegistryShards, DESIGN.md §9) fold
+  // their accumulated stats into the rank's primary registry at region
+  // barriers. Folding is plain addition in a fixed order, so the merged
+  // view is deterministic and the generation/touch machinery sees the
+  // absorbed timers exactly as if they had fired here.
+
+  /// Folds one completed-stats row into this registry: the timer is
+  /// created on first sight (keeping the row's group), its calls and
+  /// inclusive/exclusive sums are added, the per-group accumulator is
+  /// advanced, and the timer is touched so snapshot_delta/telemetry
+  /// consumers see the merge. Rows with no activity are ignored.
+  void absorb(const TimerStats& row);
+
+  /// Folds another registry's atomic events into this one's
+  /// (ccaperf::RunningStats::merge per event name).
+  void absorb_events(const std::map<std::string, AtomicEvent>& events);
+
+  /// Returns the rows with any accumulated activity and zeroes every
+  /// timer's stats and every group accumulator (interned names and ids
+  /// survive, so re-use after a drain stays allocation-free). The timer
+  /// stack must be empty — shards are only drained between regions.
+  std::vector<TimerStats> drain();
+
+  /// Moves the atomic events out (the map is left empty).
+  std::map<std::string, AtomicEvent> take_events();
+
  private:
   struct Frame {
     TimerId id;
@@ -232,6 +259,11 @@ class Registry {
   /// synthetic exits for those still open, keeping the buffer balanced.
   void set_tracing(bool enabled);
   bool tracing() const { return tracing_; }
+
+  /// Like set_tracing(true), but with a caller-provided epoch: per-thread
+  /// shard registries adopt the primary's epoch so their tracks line up
+  /// on the same time axis when merged (core::TraceMerger).
+  void set_tracing_from_epoch(Clock::time_point epoch);
 
   /// Bound of the trace ring in events (0 = unbounded legacy vector mode).
   /// Resets the trace.

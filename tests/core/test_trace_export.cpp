@@ -242,6 +242,50 @@ TEST(TraceExport, CollectRankTraceLiftsRegistryState) {
   EXPECT_EQ(st.unmatched_sends, 1u);  // single-rank trace: no recv side
 }
 
+TEST(TraceExport, ThreadShardsBecomeTracksInsideTheRankProcess) {
+  TraceMerger merger;
+  RankTrace main_track;
+  main_track.rank = 0;
+  main_track.epoch = tau::Clock::time_point{};
+  main_track.timer_names = {"step()"};
+  main_track.events = {enter(0.0, 0), exit_of(10.0, 0)};
+  merger.add_rank(main_track);
+
+  RankTrace lane_track;
+  lane_track.rank = 0;
+  lane_track.thread = 2;
+  lane_track.epoch = tau::Clock::time_point{};
+  lane_track.timer_names = {"patch()"};
+  lane_track.events = {enter(1.0, 0), exit_of(9.0, 0)};
+  merger.add_rank(lane_track);
+
+  std::ostringstream os;
+  const MergeStats st = merger.write_chrome_trace(os);
+  // The shard shares rank 0's process: it adds a track, not a rank.
+  EXPECT_EQ(st.ranks, 1u);
+  EXPECT_EQ(st.slices, 2u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"rank 0 thread 2\""), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":0,\"tid\":1002"), std::string::npos);
+  // The rank thread keeps its own tid (= rank), exactly as before.
+  EXPECT_NE(out.find("\"pid\":0,\"tid\":0"), std::string::npos);
+  // Only one process_name: shards don't re-announce the process.
+  EXPECT_EQ(out.find("process_name"), out.rfind("process_name"));
+}
+
+TEST(TraceExport, CollectRankTraceRecordsTheLane) {
+  tau::Registry reg;
+  reg.set_tracing(true);
+  const tau::TimerId id = reg.timer("w");
+  reg.start(id);
+  reg.stop(id);
+  const RankTrace t = core::collect_rank_trace(reg, 3, 2);
+  EXPECT_EQ(t.rank, 3);
+  EXPECT_EQ(t.thread, 2);
+  // Default argument keeps the rank-thread form.
+  EXPECT_EQ(core::collect_rank_trace(reg, 3).thread, 0);
+}
+
 TEST(TraceExport, TraceEnvParsesTheSwitch) {
   ::unsetenv("CCAPERF_TRACE");
   ::unsetenv("CCAPERF_TRACE_EVENTS");

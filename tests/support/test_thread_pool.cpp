@@ -1,0 +1,175 @@
+// Property suite for ccaperf::ThreadPool (DESIGN.md §9): every index runs
+// exactly once regardless of lane count and stealing, exceptions surface
+// on the caller, nested regions serialize, and the region-end hook fires
+// at top level only.
+
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int lanes : {1, 2, 3, 4, 7}) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{17}, std::size_t{1000}}) {
+      ccaperf::ThreadPool pool(lanes);
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.parallel_for(n, [&](std::size_t i, int lane) {
+        ASSERT_GE(lane, 0);
+        ASSERT_LT(lane, pool.size());
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "lanes=" << lanes << " n=" << n
+                                     << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, SumConservationUnderIrregularLoad) {
+  ccaperf::ThreadPool pool(4);
+  constexpr std::size_t kN = 500;
+  std::atomic<long> sum{0};
+  pool.parallel_for(kN, [&](std::size_t i, int) {
+    // Skewed costs provoke stealing: early indices are ~100x heavier.
+    volatile double x = 1.0;
+    const int spins = i < 50 ? 20000 : 200;
+    for (int k = 0; k < spins; ++k) x = x * 1.0000001;
+    sum.fetch_add(static_cast<long>(i) + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long>(kN * (kN + 1) / 2));
+}
+
+TEST(ThreadPool, StealsHappenWhenOneLaneIsSlow) {
+  ccaperf::ThreadPool pool(4);
+  // One long-running front chunk (owned by lane 0) plus many cheap tasks:
+  // with only 4 lanes the other lanes drain their own ranges and must
+  // steal the remainder of lane 0's.
+  std::atomic<int> ran{0};
+  pool.parallel_for(400, [&](std::size_t i, int) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 400);
+  EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ccaperf::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i, int) {
+                          if (i == 42) throw std::runtime_error("task 42");
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  EXPECT_LT(ran.load(), 100);  // abort abandons some tasks
+  // The pool is reusable after a failed region.
+  std::atomic<int> again{0};
+  pool.parallel_for(64, [&](std::size_t, int) {
+    again.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(again.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromInlinePool) {
+  ccaperf::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [&](std::size_t i, int) {
+                     if (i == 2) throw std::logic_error("inline");
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnCallingLane) {
+  ccaperf::ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_for(16, [&](std::size_t, int outer_lane) {
+    pool.parallel_for(8, [&](std::size_t, int inner_lane) {
+      EXPECT_EQ(inner_lane, outer_lane);
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16 * 8);
+}
+
+TEST(ThreadPool, CurrentLaneIsZeroOutsideRegions) {
+  EXPECT_EQ(ccaperf::ThreadPool::current_lane(), 0);
+  ccaperf::ThreadPool pool(3);
+  std::atomic<bool> saw_worker_lane{false};
+  pool.parallel_for(64, [&](std::size_t i, int lane) {
+    EXPECT_EQ(ccaperf::ThreadPool::current_lane(), lane);
+    if (lane > 0) saw_worker_lane.store(true, std::memory_order_relaxed);
+    // Index 0 lands on the caller's front chunk: park it until a worker
+    // lane has run something, so worker participation is guaranteed even
+    // on a single-core host (workers own the tail ranges and must drain
+    // them for the region to finish).
+    if (i == 0)
+      while (!saw_worker_lane.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+  });
+  EXPECT_EQ(ccaperf::ThreadPool::current_lane(), 0);
+  EXPECT_TRUE(saw_worker_lane.load());
+}
+
+TEST(ThreadPool, RegionEndHookFiresOncePerTopLevelRegion) {
+  ccaperf::ThreadPool pool(2);
+  int fired = 0;
+  pool.set_region_end_hook([&] { ++fired; });
+  pool.parallel_for(10, [&](std::size_t, int) {
+    pool.parallel_for(3, [](std::size_t, int) {});  // nested: no hook
+  });
+  EXPECT_EQ(fired, 1);
+  pool.parallel_for(0, [](std::size_t, int) {});  // empty region still ends
+  EXPECT_EQ(fired, 2);
+  pool.set_region_end_hook(nullptr);
+  pool.parallel_for(4, [](std::size_t, int) {});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(pool.regions(), 3u);
+}
+
+TEST(ThreadPool, RegionEndHookFiresEvenOnException) {
+  ccaperf::ThreadPool pool(2);
+  int fired = 0;
+  pool.set_region_end_hook([&] { ++fired; });
+  EXPECT_THROW(pool.parallel_for(
+                   32, [](std::size_t i, int) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ThreadPool, ConfiguredThreadsReadsEnvEachCall) {
+  unsetenv("CCAPERF_THREADS");
+  EXPECT_EQ(ccaperf::configured_threads(), 1);
+  setenv("CCAPERF_THREADS", "6", 1);
+  EXPECT_EQ(ccaperf::configured_threads(), 6);
+  setenv("CCAPERF_THREADS", "0", 1);
+  EXPECT_EQ(ccaperf::configured_threads(), 1);  // clamped
+  unsetenv("CCAPERF_THREADS");
+}
+
+TEST(ThreadPool, SetRankPoolThreadsRebuildsThePool) {
+  ccaperf::set_rank_pool_threads(1);
+  EXPECT_EQ(ccaperf::rank_pool().size(), 1);
+  ccaperf::set_rank_pool_threads(3);
+  EXPECT_EQ(ccaperf::rank_pool().size(), 3);
+  std::atomic<int> ran{0};
+  ccaperf::rank_pool().parallel_for(
+      50, [&](std::size_t, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 50);
+  ccaperf::set_rank_pool_threads(1);
+}
+
+}  // namespace
