@@ -3,7 +3,12 @@
 // AMRMesh "results in load-balancing and domain (re-)decomposition". The
 // default policy is knapsack/LPT on patch cell counts; this bench compares
 // it against round-robin on the real case-study hierarchy after regrid
-// and reports cell-count imbalance (max/mean per rank).
+// and reports cell-count imbalance (max/mean per rank). The imbalance
+// series is deterministic (the mesh and the min-heap placement are), so
+// scripts/bench_gate.py gates it via bench/baselines/loadbalance.json: a
+// placement change that worsens the decomposition fails CI.
+//
+// Results land in bench_out/loadbalance.json.
 
 #include "bench_common.hpp"
 #include "components/app_assembly.hpp"
@@ -57,6 +62,16 @@ int main() {
   double knap_worst = 1.0, rr_worst = 1.0;
   for (double v : knap) knap_worst = std::max(knap_worst, v);
   for (double v : rr) rr_worst = std::max(rr_worst, v);
+
+  std::vector<bench::JsonEntry> json{
+      {"policy", "knapsack_worst_imbalance", knap_worst},
+      {"policy", "round_robin_worst_imbalance", rr_worst},
+      {"policy", "knapsack_no_worse", knap_worst <= rr_worst ? 1.0 : 0.0},
+  };
+  for (std::size_t l = 0; l < knap.size(); ++l)
+    json.push_back({"policy", "knapsack_imbalance_l" + std::to_string(l),
+                    knap[l]});
+  bench::write_bench_json("bench_out/loadbalance.json", json);
 
   bench::print_comparison(
       "load-balance ablation",

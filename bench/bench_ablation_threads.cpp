@@ -35,28 +35,6 @@ int env_int(const char* name, int fallback, int lo) {
   return std::max(lo, std::atoi(v));
 }
 
-struct JsonEntry {
-  std::string name;
-  std::string metric;
-  double value = 0.0;
-};
-
-void write_json(const std::string& path, const std::vector<JsonEntry>& entries) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cout << "warning: cannot open " << path << " (run from the repo root)\n";
-    return;
-  }
-  os << "[\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    os << "  {\"name\": \"" << entries[i].name << "\", \"metric\": \""
-       << entries[i].metric << "\", \"value\": " << entries[i].value << "}"
-       << (i + 1 < entries.size() ? "," : "") << "\n";
-  }
-  os << "]\n";
-  std::cout << "series written to " << path << '\n';
-}
-
 struct RunResult {
   double step_ms = 0.0;
   std::vector<double> field;      ///< all local cells, canonical order
@@ -213,7 +191,7 @@ int main() {
                " lanes / " + std::to_string(hw) + " cores"},
       });
 
-  write_json("bench_out/threads.json",
+  bench::write_bench_json("bench_out/threads.json",
              {
                  {"fig01_step_loop", "serial_ms", serial.step_ms},
                  {"fig01_step_loop", "threaded_ms", mt.step_ms},

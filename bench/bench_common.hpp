@@ -243,6 +243,35 @@ inline std::string write_series_csv(const std::string& filename,
   return path;
 }
 
+/// One gateable data point for scripts/bench_gate.py: benches write a list
+/// of these to bench_out/<name>.json and the checked-in baseline in
+/// bench/baselines/<name>.json selects which metrics are gated.
+struct JsonEntry {
+  std::string name;
+  std::string metric;
+  double value = 0.0;
+};
+
+inline void write_bench_json(const std::string& path,
+                             const std::vector<JsonEntry>& entries) {
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  std::ofstream os(path);
+  if (!os) {
+    std::cout << "warning: cannot open " << path << " (run from the repo root)\n";
+    return;
+  }
+  os << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    os << "  {\"name\": \"" << entries[i].name << "\", \"metric\": \""
+       << entries[i].metric << "\", \"value\": " << entries[i].value << "}"
+       << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  std::cout << "series written to " << path << '\n';
+}
+
 /// One row of the paper-vs-measured comparison block.
 struct Comparison {
   std::string quantity;

@@ -10,7 +10,7 @@
 #   STAGES="tier1 trace-smoke" scripts/check_tier1.sh
 #
 # STAGES is a space-separated subset of:
-#   tier1 trace-smoke chaos-soak tsan asan
+#   tier1 trace-smoke chaos-soak ranks-scaling tsan asan
 # so the CI pipeline can fan the stages out across jobs while local runs
 # keep the single-command default.
 set -euo pipefail
@@ -20,7 +20,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${STAGES:-"tier1 trace-smoke chaos-soak tsan asan"}
+STAGES=${STAGES:-"tier1 trace-smoke chaos-soak ranks-scaling tsan asan"}
 
 want() {
   case " ${STAGES} " in
@@ -124,17 +124,55 @@ PY
   echo "chaos soak: OK"
 fi
 
+if want ranks-scaling; then
+  echo "== rank-scaling smoke (64-rank fig01, tree collectives + sharded balance) =="
+  # The tree collectives and the distributed load balancer (active at >= 16
+  # ranks) must keep a clean large-world run deterministic: two identical
+  # 64-rank runs produce byte-identical density CSVs, and the per-rank
+  # telemetry still parses.
+  need_fig01
+  (cd "${SMOKE_DIR}" && mkdir -p ranks-a ranks-b &&
+   cd ranks-a &&
+   CCAPERF_TRACE=trace.json CCAPERF_RANKS=64 CCAPERF_STEPS=2 "${FIG01}" >/dev/null &&
+   cd ../ranks-b && CCAPERF_RANKS=64 CCAPERF_STEPS=2 "${FIG01}" >/dev/null)
+  python3 - "${SMOKE_DIR}" <<'PY'
+import filecmp, glob, json, os, sys
+
+smoke = sys.argv[1]
+a = sorted(glob.glob(os.path.join(smoke, "ranks-a", "bench_out", "figs",
+                                  "fig01_density.rank*.csv")))
+b = sorted(glob.glob(os.path.join(smoke, "ranks-b", "bench_out", "figs",
+                                  "fig01_density.rank*.csv")))
+assert len(a) == len(b) > 0, (len(a), len(b))
+for pa, pb in zip(a, b):
+    assert os.path.basename(pa) == os.path.basename(pb), (pa, pb)
+    assert filecmp.cmp(pa, pb, shallow=False), f"density CSV differs: {pa}"
+ranks = 0
+for path in glob.glob(os.path.join(smoke, "ranks-a", "telemetry.rank*.jsonl")):
+    ranks += 1
+    for line in open(path):
+        json.loads(line)
+assert ranks > 0, "no telemetry emitted"
+print(f"ranks scaling: {len(a)} density CSVs byte-identical across runs, "
+      f"telemetry from {ranks} rank files parses")
+PY
+  echo "ranks scaling: OK"
+fi
+
 if want tsan; then
   echo "== thread-sanitized concurrency suites (${TSAN_DIR}) =="
-  # Lock-ordering-sensitive paths: the mpp fault layer (retry ledger, held
-  # queues, dedupe under the mailbox lock) and the threaded-rank layer
-  # (work-stealing pool, sharded registries, lane-dispatched monitor,
-  # multi-threaded kernels).
+  # Lock-ordering-sensitive paths: the mpp fault layer (indexed fault
+  # queues, dedupe windows under the mailbox lock), the tree collectives
+  # (per-rank hop slots at 64/129 ranks), the sharded load balancer, and
+  # the threaded-rank layer (work-stealing pool, sharded registries,
+  # lane-dispatched monitor, multi-threaded kernels).
   cmake -B "${TSAN_DIR}" -S . -DCCAPERF_SANITIZE=thread >/dev/null
   cmake --build "${TSAN_DIR}" -j "${JOBS}" \
     --target test_mpp test_amr test_support test_core test_euler test_tau
-  "${TSAN_DIR}/tests/mpp/test_mpp" --gtest_filter='FaultInjection.*:Recovery.*'
-  "${TSAN_DIR}/tests/amr/test_amr" --gtest_filter='ExchangeFaults.*'
+  "${TSAN_DIR}/tests/mpp/test_mpp" \
+    --gtest_filter='FaultInjection.*:Recovery.*:*TreeCollectivesAtScale.*:DedupeAtScale.*'
+  "${TSAN_DIR}/tests/amr/test_amr" \
+    --gtest_filter='ExchangeFaults.*:*DistributedBalance*'
   "${TSAN_DIR}/tests/support/test_support" --gtest_filter='ThreadPool.*'
   "${TSAN_DIR}/tests/core/test_core" --gtest_filter='ThreadedMonitor.*'
   "${TSAN_DIR}/tests/euler/test_euler" --gtest_filter='KernelsMt.*'

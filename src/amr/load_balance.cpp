@@ -2,57 +2,131 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
 
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
 namespace amr {
 
-double balance_owners(std::vector<PatchInfo>& patches, int nranks,
-                      BalancePolicy policy) {
-  CCAPERF_REQUIRE(nranks >= 1, "balance_owners: nranks >= 1");
-  std::vector<long> load(static_cast<std::size_t>(nranks), 0);
+namespace {
 
+/// Shared assignment core over precomputed weights. Fills `load` (one
+/// entry per rank) as a side effect.
+void assign_owners(std::vector<PatchInfo>& patches, int nranks,
+                   BalancePolicy policy, const std::vector<long>& weight,
+                   std::vector<long>& load) {
+  load.assign(static_cast<std::size_t>(nranks), 0);
   switch (policy) {
     case BalancePolicy::round_robin: {
       int next = 0;
-      for (PatchInfo& p : patches) {
-        p.owner = next;
-        load[static_cast<std::size_t>(next)] += p.box.num_pts();
+      for (std::size_t k = 0; k < patches.size(); ++k) {
+        patches[k].owner = next;
+        load[static_cast<std::size_t>(next)] += weight[k];
         next = (next + 1) % nranks;
       }
       break;
     }
     case BalancePolicy::knapsack: {
-      // LPT: heaviest patch first onto the least-loaded rank. Weights are
-      // precomputed once (in parallel when the rank pool has lanes) so the
-      // comparator doesn't recompute box areas O(n log n) times; the sort
-      // itself stays stable for determinism across ranks.
-      std::vector<long> weight(patches.size());
-      ccaperf::rank_pool().parallel_for(
-          patches.size(),
-          [&](std::size_t k, int) { weight[k] = patches[k].box.num_pts(); });
+      // LPT: heaviest patch first onto the least-loaded rank. The sort is
+      // stable for determinism across ranks; placement uses a min-heap of
+      // (load, rank) pairs with lazy invalidation, O(log nranks) per patch
+      // instead of a linear min_element probe that degenerates at high
+      // rank counts. The lexicographic pair order reproduces min_element's
+      // tie-break exactly: lowest rank among equally loaded ranks.
       std::vector<std::size_t> order(patches.size());
       std::iota(order.begin(), order.end(), std::size_t{0});
       std::stable_sort(order.begin(), order.end(),
                        [&](std::size_t a, std::size_t b) {
                          return weight[a] > weight[b];
                        });
+      using Slot = std::pair<long, int>;
+      std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+      for (int r = 0; r < nranks; ++r) heap.emplace(0L, r);
       for (std::size_t k : order) {
-        const auto lightest = static_cast<std::size_t>(
-            std::min_element(load.begin(), load.end()) - load.begin());
-        patches[k].owner = static_cast<int>(lightest);
-        load[lightest] += weight[k];
+        // Entries go stale when their rank is re-pushed with more load;
+        // loads only grow, so a stale top is detected by value mismatch.
+        while (heap.top().first !=
+               load[static_cast<std::size_t>(heap.top().second)])
+          heap.pop();
+        const int r = heap.top().second;
+        heap.pop();
+        patches[k].owner = r;
+        load[static_cast<std::size_t>(r)] += weight[k];
+        heap.emplace(load[static_cast<std::size_t>(r)], r);
       }
       break;
     }
   }
+}
 
-  const long total = std::accumulate(load.begin(), load.end(), 0L);
+double imbalance_of(long peak, long total, int nranks) {
   if (total == 0) return 1.0;
   const double mean = static_cast<double>(total) / static_cast<double>(nranks);
-  const long peak = *std::max_element(load.begin(), load.end());
   return static_cast<double>(peak) / mean;
+}
+
+}  // namespace
+
+double balance_owners(std::vector<PatchInfo>& patches, int nranks,
+                      BalancePolicy policy) {
+  CCAPERF_REQUIRE(nranks >= 1, "balance_owners: nranks >= 1");
+  // Weights are precomputed once (in parallel when the rank pool has
+  // lanes) so the sort comparator doesn't recompute box areas.
+  std::vector<long> weight(patches.size());
+  ccaperf::rank_pool().parallel_for(
+      patches.size(),
+      [&](std::size_t k, int) { weight[k] = patches[k].box.num_pts(); });
+  std::vector<long> load;
+  assign_owners(patches, nranks, policy, weight, load);
+  const long total = std::accumulate(load.begin(), load.end(), 0L);
+  const long peak =
+      load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  return imbalance_of(peak, total, nranks);
+}
+
+double balance_owners(mpp::Comm& comm, std::vector<PatchInfo>& patches,
+                      BalancePolicy policy) {
+  CCAPERF_REQUIRE(comm.valid(), "balance_owners: invalid communicator");
+  const int nranks = comm.size();
+  // Patch metadata is replicated, so every rank takes the same branch.
+  if (nranks < kDistributedBalanceThreshold || patches.empty())
+    return balance_owners(patches, nranks, policy);
+
+  // Sharded weights: rank r computes the weights of its contiguous index
+  // shard only, then a tree allgatherv assembles the full vector on every
+  // rank — O(P/R) local work instead of O(P), with the exchange riding
+  // the O(log R) Bruck path.
+  const std::size_t P = patches.size();
+  const auto nr = static_cast<std::size_t>(nranks);
+  const auto me = static_cast<std::size_t>(comm.rank());
+  std::vector<std::size_t> counts(nr);
+  for (std::size_t r = 0; r < nr; ++r)
+    counts[r] = P / nr + (r < P % nr ? 1 : 0);
+  std::size_t lo = 0;
+  for (std::size_t r = 0; r < me; ++r) lo += counts[r];
+  std::vector<long> mine(counts[me]);
+  ccaperf::rank_pool().parallel_for(mine.size(), [&](std::size_t k, int) {
+    mine[k] = patches[lo + k].box.num_pts();
+  });
+  std::vector<long> weight(P);
+  comm.allgatherv<long>(mine, weight, counts);
+
+  std::vector<long> load;
+  assign_owners(patches, nranks, policy, weight, load);
+
+  // Imbalance from a reduction of per-rank load summaries (max, sum) —
+  // each rank contributes only its own load, no full-vector rescan.
+  const long summary[2] = {load[me], load[me]};
+  long reduced[2] = {0, 0};
+  comm.allreduce_bytes(summary, reduced, sizeof(long[2]), 1,
+                       [](void* acc, const void* in, std::size_t) {
+                         auto* a = static_cast<long*>(acc);
+                         const auto* b = static_cast<const long*>(in);
+                         a[0] = std::max(a[0], b[0]);
+                         a[1] += b[1];
+                       });
+  return imbalance_of(reduced[0], reduced[1], nranks);
 }
 
 }  // namespace amr

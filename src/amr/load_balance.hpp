@@ -2,12 +2,14 @@
 // Patch-to-rank assignment. The paper's AMRMesh performs "load-balancing
 // and domain (re-)decomposition" after regridding; the default policy here
 // is greedy longest-processing-time (a knapsack-style heuristic): patches
-// sorted by cell count, each assigned to the currently least-loaded rank.
+// sorted by cell count, each assigned to the currently least-loaded rank
+// via a min-heap of rank loads (O(log ranks) per placement).
 // A round-robin policy is kept for the load-balance ablation bench.
 
 #include <vector>
 
 #include "amr/level.hpp"
+#include "mpp/comm.hpp"
 
 namespace amr {
 
@@ -17,8 +19,23 @@ enum class BalancePolicy {
 };
 
 /// Assigns `owner` for every patch. Returns the load imbalance ratio
-/// max_rank_cells / mean_rank_cells (1.0 == perfect).
+/// max_rank_cells / mean_rank_cells (1.0 == perfect). Every rank computes
+/// every patch weight locally (replicated-metadata path).
 double balance_owners(std::vector<PatchInfo>& patches, int nranks,
+                      BalancePolicy policy = BalancePolicy::knapsack);
+
+/// Group sizes below this use the replicated path: recomputing a handful
+/// of weights locally is cheaper than any communication, and it keeps the
+/// paper-scale (2-3 rank) comm traces byte-identical.
+inline constexpr int kDistributedBalanceThreshold = 16;
+
+/// Communicator-aware variant used by Hierarchy (collective). At
+/// kDistributedBalanceThreshold ranks and above, per-patch weights are
+/// computed in contiguous index shards — one per rank — and shared with a
+/// tree allgatherv, and the imbalance summary comes from a reduction of
+/// per-rank load summaries, so no rank recomputes the whole patch list.
+/// The assignment itself is deterministic and identical on every rank.
+double balance_owners(mpp::Comm& comm, std::vector<PatchInfo>& patches,
                       BalancePolicy policy = BalancePolicy::knapsack);
 
 }  // namespace amr

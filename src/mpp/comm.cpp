@@ -433,6 +433,16 @@ void Comm::deliver_faulty(int dest, int tag, const void* data, std::size_t bytes
   const bool reliable = bytes >= Fabric::kRendezvousBytes;
   if (reliable) msg.rdv_send = sender;
 
+  // Dedupe stream position: contiguous per (context, source, destination
+  // mailbox), unlike the global pair sequence, which interleaves every
+  // context of the rank pair. The destination's DedupeWindow watermarks
+  // this stream; duplicates and retries reuse the value assigned here.
+  {
+    detail::Mailbox& mb = fabric_->mailbox(context_, dest);
+    std::scoped_lock lock(mb.mu);
+    msg.dseq = ++mb.dedupe_next[src_w];
+  }
+
   const FaultDecision d =
       fabric_->fault_plan().decide(src_w, dst_w, sender->seq, 1);
   switch (d.kind) {
@@ -465,6 +475,7 @@ void Comm::deliver_faulty(int dest, int tag, const void* data, std::size_t bytes
       clone.src_world = msg.src_world;
       clone.dst_world = msg.dst_world;
       clone.seq = msg.seq;  // same identity: the dedupe filter's job
+      clone.dseq = msg.dseq;
       if (!msg.payload.empty()) {
         clone.payload = fabric_->pool().acquire(msg.payload.size());
         std::memcpy(clone.payload.data(), msg.payload.data(), msg.payload.size());
@@ -539,8 +550,6 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
           sender = std::move(it->rdv_send);
           sender->deliver_at = it->deliver_at;
         }
-        if (fabric_->faults_active())
-          mb.delivered[it->src_world].insert(it->seq);
         st->status = Status{it->src, it->tag, msg_bytes};
         st->deliver_at = it->deliver_at;
         st->src_world = it->src_world;
@@ -651,7 +660,74 @@ void Comm::collective(std::size_t scratch_bytes,
   sleep_us(fabric_->delay_us(my_world_rank(), delay_bytes));
 }
 
+// --- tree collectives ------------------------------------------------------
+//
+// Barrier and the allgather family run over per-rank HopSlot relays instead
+// of the CollectiveBay: a dissemination barrier and Bruck-style allgathers,
+// both O(log n) rounds per rank for any group size (no power-of-two
+// requirement). The bay serializes all n ranks through one mutex per
+// operation — fine at the paper's 3 processors, quadratic-cost thundering
+// herd at 256 (DESIGN.md §10). Results are byte-identical to the flat
+// path, the outer MPI hook bracket is unchanged, and each rank still
+// consumes exactly one modeled-delay draw per operation, so clean-run
+// traces and counters match the pre-tree fabric bit for bit. Per-hop
+// progress is additionally visible through CommHooks::on_collective_hop.
+
+void Comm::hop_send(int dest_group, std::uint64_t gen, int round,
+                    const void* data, std::size_t bytes, const char* op) const {
+  detail::HopSlot& slot = fabric_->hop_slot(context_, dest_group);
+  std::vector<std::byte> payload;
+  if (bytes > 0) {
+    payload = fabric_->pool().acquire(bytes);
+    std::memcpy(payload.data(), data, bytes);
+  }
+  {
+    std::scoped_lock lock(slot.mu);
+    slot.arrived.emplace(std::make_pair(gen, round), std::move(payload));
+    slot.cv.notify_all();
+  }
+  if (CommHooks* h = hooks())
+    h->on_collective_hop(HopEvent{op, round, world_rank_of(dest_group), bytes});
+}
+
+std::vector<std::byte> Comm::hop_recv(std::uint64_t gen, int round,
+                                      const char* op) const {
+  detail::HopSlot& slot = fabric_->hop_slot(context_, group_rank_);
+  const auto key = std::make_pair(gen, round);
+  std::unique_lock lock(slot.mu);
+  slot.cv.wait(lock, [&] {
+    return slot.arrived.count(key) != 0 || fabric_->is_aborted();
+  });
+  auto it = slot.arrived.find(key);
+  if (it == slot.arrived.end())
+    throw CommError(CommErrc::aborted, std::string("mpp: ") + op +
+                                           " aborted (a peer rank failed)");
+  std::vector<std::byte> payload = std::move(it->second);
+  slot.arrived.erase(it);
+  return payload;
+}
+
 void Comm::barrier() {
+  HookScope hook("MPI_Barrier()");
+  CCAPERF_REQUIRE(valid(), "barrier on invalid communicator");
+  const int n = size();
+  if (n > 1) {
+    detail::HopSlot& slot = fabric_->hop_slot(context_, group_rank_);
+    const std::uint64_t gen = ++slot.generation;
+    // Dissemination: in round k every rank signals (rank + 2^k) and waits
+    // on (rank - 2^k); after ceil(log2 n) rounds each rank transitively
+    // heard from everyone.
+    int round = 0;
+    for (int dist = 1; dist < n; dist <<= 1, ++round) {
+      hop_send((group_rank_ + dist) % n, gen, round, nullptr, 0,
+               "MPI_Barrier()");
+      hop_recv(gen, round, "MPI_Barrier()");
+    }
+  }
+  sleep_us(fabric_->delay_us(my_world_rank(), 0));
+}
+
+void Comm::barrier_flat() {
   HookScope hook("MPI_Barrier()");
   collective(0, [](detail::CollectiveBay&, bool) {}, [](detail::CollectiveBay&) {}, 0);
 }
@@ -711,6 +787,49 @@ void Comm::reduce_bytes(const void* in, void* out, std::size_t elem_bytes,
 
 void Comm::allgather_bytes(const void* in, std::size_t chunk_bytes, void* out) {
   HookScope hook("MPI_Allgather()");
+  CCAPERF_REQUIRE(valid(), "allgather on invalid communicator");
+  const std::size_t n = static_cast<std::size_t>(size());
+  hook.set_bytes(chunk_bytes * n);
+  if (n == 1) {
+    if (chunk_bytes > 0) std::memcpy(out, in, chunk_bytes);
+  } else {
+    // Bruck: `acc` packs blocks in rotated order (position p holds rank
+    // (me + p) % n's chunk); round k ships the first min(2^k, n - 2^k)
+    // blocks to (me - 2^k) and appends the same count from (me + 2^k).
+    const int ni = static_cast<int>(n);
+    std::vector<std::byte> acc(chunk_bytes * n);
+    if (chunk_bytes > 0) std::memcpy(acc.data(), in, chunk_bytes);
+    detail::HopSlot& slot = fabric_->hop_slot(context_, group_rank_);
+    const std::uint64_t gen = ++slot.generation;
+    int round = 0;
+    for (int dist = 1; dist < ni; dist <<= 1, ++round) {
+      const std::size_t send_blocks =
+          std::min<std::size_t>(static_cast<std::size_t>(dist),
+                                n - static_cast<std::size_t>(dist));
+      hop_send((group_rank_ - dist + ni) % ni, gen, round, acc.data(),
+               send_blocks * chunk_bytes, "MPI_Allgather()");
+      std::vector<std::byte> got = hop_recv(gen, round, "MPI_Allgather()");
+      CCAPERF_REQUIRE(got.size() == send_blocks * chunk_bytes,
+                      "allgather: hop payload size mismatch");
+      if (!got.empty()) {
+        std::memcpy(acc.data() + static_cast<std::size_t>(dist) * chunk_bytes,
+                    got.data(), got.size());
+        fabric_->pool().release(std::move(got));
+      }
+    }
+    // Un-rotate: acc position p is rank (me + p) % n's block.
+    for (std::size_t p = 0; chunk_bytes > 0 && p < n; ++p)
+      std::memcpy(static_cast<std::byte*>(out) +
+                      ((static_cast<std::size_t>(group_rank_) + p) % n) *
+                          chunk_bytes,
+                  acc.data() + p * chunk_bytes, chunk_bytes);
+  }
+  sleep_us(fabric_->delay_us(my_world_rank(), chunk_bytes * n));
+}
+
+void Comm::allgather_bytes_flat(const void* in, std::size_t chunk_bytes,
+                                void* out) {
+  HookScope hook("MPI_Allgather()");
   const std::size_t n = static_cast<std::size_t>(size());
   hook.set_bytes(chunk_bytes * n);
   collective(
@@ -747,6 +866,68 @@ void Comm::gather_bytes(const void* in, std::size_t chunk_bytes, void* out, int 
 
 void Comm::allgatherv_bytes(const void* in, std::size_t my_bytes, void* out,
                             std::span<const std::size_t> byte_counts) {
+  HookScope hook("MPI_Allgatherv()");
+  CCAPERF_REQUIRE(valid(), "allgatherv on invalid communicator");
+  const std::size_t n = static_cast<std::size_t>(size());
+  CCAPERF_REQUIRE(byte_counts.size() == n, "allgatherv: need one count per rank");
+  CCAPERF_REQUIRE(byte_counts[static_cast<std::size_t>(group_rank_)] == my_bytes,
+                  "allgatherv: my_bytes disagrees with byte_counts");
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < n; ++r) total += byte_counts[r];
+  hook.set_bytes(total);
+  if (n == 1) {
+    if (my_bytes > 0) std::memcpy(out, in, my_bytes);
+  } else {
+    // Bruck with variable block sizes: every rank knows every count, so
+    // the rotated packing offsets (`roff`) and per-hop byte counts are
+    // computed locally. Position p of `acc` holds rank (me + p) % n's
+    // block, which keeps each round's send a contiguous prefix.
+    const int ni = static_cast<int>(n);
+    const auto me = static_cast<std::size_t>(group_rank_);
+    std::vector<std::size_t> roff(n + 1, 0);
+    for (std::size_t p = 0; p < n; ++p)
+      roff[p + 1] = roff[p] + byte_counts[(me + p) % n];
+    std::vector<std::byte> acc(total);
+    if (my_bytes > 0) std::memcpy(acc.data(), in, my_bytes);
+    detail::HopSlot& slot = fabric_->hop_slot(context_, group_rank_);
+    const std::uint64_t gen = ++slot.generation;
+    int round = 0;
+    for (int dist = 1; dist < ni; dist <<= 1, ++round) {
+      const std::size_t send_blocks =
+          std::min<std::size_t>(static_cast<std::size_t>(dist),
+                                n - static_cast<std::size_t>(dist));
+      // I receive from (me + dist) its rotated prefix, which lands as my
+      // blocks [dist, dist + send_blocks): my expected byte count equals
+      // my own rotated span for those positions.
+      const std::size_t expect =
+          roff[static_cast<std::size_t>(dist) + send_blocks] -
+          roff[static_cast<std::size_t>(dist)];
+      hop_send((group_rank_ - dist + ni) % ni, gen, round, acc.data(),
+               roff[send_blocks], "MPI_Allgatherv()");
+      std::vector<std::byte> got = hop_recv(gen, round, "MPI_Allgatherv()");
+      CCAPERF_REQUIRE(got.size() == expect,
+                      "allgatherv: hop payload size mismatch");
+      if (!got.empty()) {
+        std::memcpy(acc.data() + roff[static_cast<std::size_t>(dist)],
+                    got.data(), got.size());
+        fabric_->pool().release(std::move(got));
+      }
+    }
+    // Un-rotate into rank order.
+    std::vector<std::size_t> off(n + 1, 0);
+    for (std::size_t r = 0; r < n; ++r) off[r + 1] = off[r] + byte_counts[r];
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t r = (me + p) % n;
+      if (byte_counts[r] > 0)
+        std::memcpy(static_cast<std::byte*>(out) + off[r], acc.data() + roff[p],
+                    byte_counts[r]);
+    }
+  }
+  sleep_us(fabric_->delay_us(my_world_rank(), total));
+}
+
+void Comm::allgatherv_bytes_flat(const void* in, std::size_t my_bytes, void* out,
+                                 std::span<const std::size_t> byte_counts) {
   HookScope hook("MPI_Allgatherv()");
   CCAPERF_REQUIRE(byte_counts.size() == static_cast<std::size_t>(size()),
                   "allgatherv: need one count per rank");

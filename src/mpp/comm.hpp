@@ -172,6 +172,15 @@ class Comm {
                         std::span<const std::size_t> byte_counts);
   void alltoall_bytes(const void* in, std::size_t chunk_bytes, void* out);
 
+  /// Reference single-rendezvous (CollectiveBay) implementations of the
+  /// tree collectives above. Byte-identical results and hook names; kept
+  /// for equivalence tests and the flat-vs-tree ablation in
+  /// bench_ablation_ranks, not for production call sites.
+  void barrier_flat();
+  void allgather_bytes_flat(const void* in, std::size_t chunk_bytes, void* out);
+  void allgatherv_bytes_flat(const void* in, std::size_t my_bytes, void* out,
+                             std::span<const std::size_t> byte_counts);
+
   template <class T, class Op = std::plus<T>>
   void allreduce(std::span<const T> in, std::span<T> out) {
     check_pod<T>();
@@ -262,6 +271,17 @@ class Comm {
                       const std::shared_ptr<detail::ReqState>& sender);
   /// Builds the ReqState every send variant shares.
   std::shared_ptr<detail::ReqState> make_send_state(int tag, std::size_t bytes);
+
+  /// One hop of a tree collective: deposits `bytes` into `dest_group`'s
+  /// HopSlot under (gen, round) and reports it to on_collective_hop.
+  /// Never blocks (early arrivals buffer in the slot).
+  void hop_send(int dest_group, std::uint64_t gen, int round, const void* data,
+                std::size_t bytes, const char* op) const;
+  /// Blocks until this rank's HopSlot holds (gen, round); returns the
+  /// payload (pool-backed when non-empty). Throws CommErrc::aborted if the
+  /// fabric dies while waiting.
+  std::vector<std::byte> hop_recv(std::uint64_t gen, int round,
+                                  const char* op) const;
 
   /// Generic arrive/compute/depart collective. `deposit(bay, first)` adds
   /// this rank's contribution under the bay lock; `collect(bay)` copies the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "mpp/hooks.hpp"
@@ -63,6 +64,35 @@ BufferPool::Stats BufferPool::stats() const {
   return stats_;
 }
 
+bool DedupeWindow::insert(std::uint64_t seq) {
+  if (contains(seq)) return false;
+  const std::uint64_t off = seq - watermark_ - 1;
+  CCAPERF_REQUIRE(off < kMaxWindowBits,
+                  "DedupeWindow: out-of-order span exceeded the window cap");
+  while (span() <= off) words_.push_back(0);
+  {
+    const std::uint64_t g = head_ + off;
+    words_[static_cast<std::size_t>(g / 64)] |= std::uint64_t{1} << (g % 64);
+  }
+  // Slide the watermark over the contiguous accepted prefix, clearing each
+  // consumed bit so a drained window releases its words; amortized O(1)
+  // per insert.
+  while (span() > 0 && ((words_.front() >> head_) & 1u)) {
+    ++watermark_;
+    words_.front() &= ~(std::uint64_t{1} << head_);
+    if (++head_ == 64) {
+      words_.pop_front();
+      head_ = 0;
+    }
+  }
+  // Trailing all-zero words carry no membership (every set bit is below
+  // them), so span() stays an exact measure of the out-of-order extent.
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+  if (words_.empty()) head_ = 0;
+  peak_span_ = std::max(peak_span_, span());
+  return true;
+}
+
 }  // namespace detail
 
 Fabric::Fabric(int world_size, NetworkModel net)
@@ -100,8 +130,11 @@ void Fabric::ensure_context(std::uint64_t context, int group_size) {
     return;
   }
   it->second.mailboxes.reserve(static_cast<std::size_t>(group_size));
-  for (int r = 0; r < group_size; ++r)
+  it->second.hop_slots.reserve(static_cast<std::size_t>(group_size));
+  for (int r = 0; r < group_size; ++r) {
     it->second.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+    it->second.hop_slots.push_back(std::make_unique<detail::HopSlot>());
+  }
   it->second.bay = std::make_unique<detail::CollectiveBay>();
 }
 
@@ -120,8 +153,14 @@ void Fabric::abort() {
   for (auto& sig : signals_) sig->notify();
   std::scoped_lock lock(contexts_mu_);
   for (auto& [id, state] : contexts_) {
-    std::scoped_lock bay_lock(state.bay->mu);
-    state.bay->cv.notify_all();
+    {
+      std::scoped_lock bay_lock(state.bay->mu);
+      state.bay->cv.notify_all();
+    }
+    for (auto& slot : state.hop_slots) {
+      std::scoped_lock slot_lock(slot->mu);
+      slot->cv.notify_all();
+    }
   }
 }
 
@@ -130,6 +169,17 @@ detail::CollectiveBay& Fabric::bay(std::uint64_t context) {
   auto it = contexts_.find(context);
   CCAPERF_REQUIRE(it != contexts_.end(), "bay: unknown context");
   return *it->second.bay;
+}
+
+detail::HopSlot& Fabric::hop_slot(std::uint64_t context, int group_rank) {
+  std::scoped_lock lock(contexts_mu_);
+  auto it = contexts_.find(context);
+  CCAPERF_REQUIRE(it != contexts_.end(), "hop_slot: unknown context");
+  auto& slots = it->second.hop_slots;
+  CCAPERF_REQUIRE(group_rank >= 0 &&
+                      static_cast<std::size_t>(group_rank) < slots.size(),
+                  "hop_slot: group rank out of range");
+  return *slots[static_cast<std::size_t>(group_rank)];
 }
 
 // ---------------------------------------------------------------------------
@@ -172,18 +222,18 @@ void Fabric::route(std::uint64_t context, int dest_group, int dest_world,
   detail::Mailbox& mb = mailbox(context, dest_group);
   {
     std::scoped_lock lock(mb.mu);
-    // Dedupe before matching: the duplicate of an already-delivered (or
-    // still-parked) message must never reach a receive.
-    auto delivered_it = mb.delivered.find(msg.src_world);
-    if (delivered_it != mb.delivered.end() &&
-        delivered_it->second.count(msg.seq) != 0) {
-      suppressed = true;
-    } else {
-      for (const auto& parked : mb.unexpected) {
-        if (parked.src_world == msg.src_world && parked.seq == msg.seq) {
-          suppressed = true;
-          break;
-        }
+    // Dedupe before matching: the duplicate of an already-accepted message
+    // (delivered *or* still parked — the window marks at accept time, so
+    // one O(1) probe covers both) must never reach a receive.
+    if (msg.dseq != 0) {
+      detail::DedupeWindow& win = mb.dedupe[msg.src_world];
+      suppressed = !win.insert(msg.dseq);
+      if (!suppressed) {
+        std::uint64_t peak = dedupe_span_peak_.load(std::memory_order_relaxed);
+        while (peak < win.peak_span() &&
+               !dedupe_span_peak_.compare_exchange_weak(
+                   peak, win.peak_span(), std::memory_order_relaxed))
+          ;
       }
     }
     if (!suppressed) {
@@ -200,7 +250,6 @@ void Fabric::route(std::uint64_t context, int dest_group, int dest_world,
           it->state->seq = msg.seq;
           completed = it->state;
           mb.posted.erase(it);
-          mb.delivered[msg.src_world].insert(msg.seq);
           break;
         }
       }
@@ -252,19 +301,36 @@ void Fabric::flush_reorder(int src_world, int dst_world) {
     bool found = false;
     {
       std::scoped_lock lock(fault_mu_);
-      for (auto it = held_.begin(); it != held_.end(); ++it) {
-        if (it->release_on_next && it->msg.src_world == src_world &&
-            it->msg.dst_world == dst_world) {
-          next = std::move(*it);
-          held_.erase(it);
-          found = true;
-          break;
+      auto pit = fault_reorder_.find({src_world, dst_world});
+      if (pit != fault_reorder_.end()) {
+        while (!pit->second.empty() && !found) {
+          const std::uint64_t id = pit->second.front();
+          pit->second.pop_front();
+          auto it = fault_items_.find(id);
+          // A missing id was already released by the step fallback in
+          // fault_poll; its index entry is stale, skip it.
+          if (it == fault_items_.end()) continue;
+          next = std::move(it->second);
+          fault_items_.erase(it);
+          found = true;  // its fault_due_ entry goes stale the same way
         }
+        if (pit->second.empty()) fault_reorder_.erase(pit);
       }
     }
     if (!found) return;
     route(next.context, next.dest_group, next.dest_world, std::move(next.msg));
   }
+}
+
+void Fabric::fault_enqueue(detail::FaultedMessage&& fm) {
+  std::scoped_lock lock(fault_mu_);
+  const std::uint64_t id = next_fault_id_++;
+  fault_due_.emplace(fm.release_step, id);
+  if (fm.release_on_next)
+    fault_reorder_[{fm.msg.src_world, fm.msg.dst_world}].push_back(id);
+  fault_items_.emplace(id, std::move(fm));
+  fault_items_peak_ =
+      std::max(fault_items_peak_, static_cast<std::uint64_t>(fault_items_.size()));
 }
 
 void Fabric::fault_hold(std::uint64_t context, int dest_group, int dest_world,
@@ -278,8 +344,7 @@ void Fabric::fault_hold(std::uint64_t context, int dest_group, int dest_world,
                    static_cast<std::uint64_t>(steps);
   h.release_on_next = release_on_next;
   h.msg = std::move(msg);
-  std::scoped_lock lock(fault_mu_);
-  held_.push_back(std::move(h));
+  fault_enqueue(std::move(h));
 }
 
 void Fabric::fault_lose(std::uint64_t context, int dest_group, int dest_world,
@@ -292,8 +357,15 @@ void Fabric::fault_lose(std::uint64_t context, int dest_group, int dest_world,
   l.release_step = progress_step_.load(std::memory_order_acquire) +
                    static_cast<std::uint64_t>(fault_plan_.spec().retry_base_steps);
   l.msg = std::move(msg);
-  std::scoped_lock lock(fault_mu_);
-  ledger_.push_back(std::move(l));
+  fault_enqueue(std::move(l));
+}
+
+void Fabric::dedupe_tombstone(std::uint64_t context, int dest_group,
+                              int src_world, std::uint64_t dseq) {
+  if (dseq == 0) return;
+  detail::Mailbox& mb = mailbox(context, dest_group);
+  std::scoped_lock lock(mb.mu);
+  mb.dedupe[src_world].insert(dseq);
 }
 
 void Fabric::fault_poll() {
@@ -303,49 +375,76 @@ void Fabric::fault_poll() {
   std::vector<detail::FaultedMessage> due;
   std::vector<FaultEvent> events;
   std::vector<std::shared_ptr<detail::ReqState>> failed_senders;
+  struct Tombstone {
+    std::uint64_t context;
+    int dest_group;
+    int src_world;
+    std::uint64_t dseq;
+  };
+  std::vector<Tombstone> tombstones;
   {
     std::scoped_lock lock(fault_mu_);
-    // Reorder-held entries normally release via flush_reorder; the step
-    // threshold is their fallback when no later pair message ever routes.
-    for (auto it = held_.begin(); it != held_.end();) {
-      if (it->release_step <= step) {
-        due.push_back(std::move(*it));
-        it = held_.erase(it);
-      } else {
-        ++it;
-      }
-    }
     const FaultSpec& spec = fault_plan_.spec();
-    for (auto it = ledger_.begin(); it != ledger_.end();) {
-      if (it->release_step > step) {
-        ++it;
+    // Pop exactly the due prefix of the step index; cost is O(due), not
+    // O(in-flight history). Ids released earlier through flush_reorder are
+    // gone from the store and their index entries skip harmlessly.
+    while (!fault_due_.empty() && fault_due_.begin()->first <= step) {
+      const std::uint64_t id = fault_due_.begin()->second;
+      fault_due_.erase(fault_due_.begin());
+      auto it = fault_items_.find(id);
+      if (it == fault_items_.end()) continue;
+      detail::FaultedMessage& fm = it->second;
+      if (fm.attempt == 0) {
+        // Held (delay/duplicate/reorder): release now. For reorder entries
+        // this step threshold is the fallback when no later pair message
+        // ever routes; drop the pair-index entry it leaves behind.
+        if (fm.release_on_next) {
+          auto pit =
+              fault_reorder_.find({fm.msg.src_world, fm.msg.dst_world});
+          if (pit != fault_reorder_.end()) {
+            auto& ids = pit->second;
+            for (auto idit = ids.begin(); idit != ids.end(); ++idit) {
+              if (*idit == id) {
+                ids.erase(idit);
+                break;
+              }
+            }
+            if (ids.empty()) fault_reorder_.erase(pit);
+          }
+        }
+        due.push_back(std::move(fm));
+        fault_items_.erase(it);
         continue;
       }
-      const std::uint32_t attempt = it->attempt + 1;
+      const std::uint32_t attempt = fm.attempt + 1;
       if (attempt > static_cast<std::uint32_t>(spec.retry_max_attempts)) {
         events.push_back(FaultEvent{FaultEvent::Type::retry_exhausted,
-                                    FaultKind::drop, it->msg.src_world,
-                                    it->msg.dst_world, it->msg.seq,
-                                    it->attempt});
-        if (it->msg.rdv_send) failed_senders.push_back(std::move(it->msg.rdv_send));
-        it = ledger_.erase(it);
+                                    FaultKind::drop, fm.msg.src_world,
+                                    fm.msg.dst_world, fm.msg.seq, fm.attempt});
+        if (fm.msg.rdv_send) failed_senders.push_back(std::move(fm.msg.rdv_send));
+        // The message is permanently lost: tombstone its dedupe-stream
+        // position so the destination's watermark can advance over it
+        // instead of pinning the window open forever.
+        tombstones.push_back(Tombstone{fm.context, fm.dest_group,
+                                       fm.msg.src_world, fm.msg.dseq});
+        fault_items_.erase(it);
         continue;
       }
-      it->attempt = attempt;
+      fm.attempt = attempt;
       events.push_back(FaultEvent{FaultEvent::Type::retry, FaultKind::drop,
-                                  it->msg.src_world, it->msg.dst_world,
-                                  it->msg.seq, attempt});
+                                  fm.msg.src_world, fm.msg.dst_world,
+                                  fm.msg.seq, attempt});
       const FaultDecision redecide = fault_plan_.decide(
-          it->msg.src_world, it->msg.dst_world, it->msg.seq, attempt);
+          fm.msg.src_world, fm.msg.dst_world, fm.msg.seq, attempt);
       if (redecide.kind == FaultKind::drop) {
         // Lost again: exponential backoff before the next attempt.
-        it->release_step =
+        fm.release_step =
             step + (static_cast<std::uint64_t>(spec.retry_base_steps)
                     << (attempt - 1));
-        ++it;
+        fault_due_.emplace(fm.release_step, id);
       } else {
-        due.push_back(std::move(*it));
-        it = ledger_.erase(it);
+        due.push_back(std::move(fm));
+        fault_items_.erase(it);
       }
     }
   }
@@ -371,12 +470,36 @@ void Fabric::fault_poll() {
                          std::memory_order_release);
     sender->signal->notify();
   }
+  for (const Tombstone& t : tombstones)
+    dedupe_tombstone(t.context, t.dest_group, t.src_world, t.dseq);
   for (auto& m : due)
     route(m.context, m.dest_group, m.dest_world, std::move(m.msg));
 }
 
-FaultStats Fabric::fault_stats() const {
+FaultStats Fabric::fault_stats() {
   FaultStats s;
+  {
+    std::scoped_lock lock(fault_mu_);
+    s.fault_items_peak = fault_items_peak_;
+  }
+  s.dedupe_span_peak = dedupe_span_peak_.load(std::memory_order_relaxed);
+  // Smallest watermark among sources that delivered anything: walking the
+  // mailboxes is fine here, fault_stats is a report-time call.
+  std::uint64_t wm_min = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+  {
+    std::scoped_lock lock(contexts_mu_);
+    for (auto& [id, state] : contexts_) {
+      for (auto& mb : state.mailboxes) {
+        std::scoped_lock mb_lock(mb->mu);
+        for (const auto& [src, win] : mb->dedupe) {
+          any = true;
+          wm_min = std::min(wm_min, win.watermark());
+        }
+      }
+    }
+  }
+  s.dedupe_watermark_min = any ? wm_min : 0;
   s.injected_drops = injected_drops_.load(std::memory_order_relaxed);
   s.injected_delays = injected_delays_.load(std::memory_order_relaxed);
   s.injected_duplicates = injected_duplicates_.load(std::memory_order_relaxed);

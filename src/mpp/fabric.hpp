@@ -21,9 +21,13 @@
 //    delivery time has passed; waits sleep until then, which is how network
 //    cost becomes visible wall-clock time in profiles.
 //  * Matching preserves MPI's non-overtaking order per (source, tag).
-//  * Collectives run through a per-context `CollectiveBay` using an
-//    arrive/compute/depart generation protocol; an optional modeled delay
-//    is applied per rank on exit.
+//  * Reduction-shaped collectives (allreduce/bcast/reduce/gather/alltoall)
+//    run through a per-context `CollectiveBay` using an
+//    arrive/compute/depart generation protocol. Barrier and the allgather
+//    family instead run dissemination / Bruck algorithms over per-rank
+//    `HopSlot` relays — O(log n) hops per rank — so they stay sub-quadratic
+//    at hundreds of ranks (DESIGN.md §10). Either way one modeled delay is
+//    applied per rank on exit.
 //
 // The Fabric is internal; user code talks to mpp::Comm / mpp::Runtime.
 
@@ -36,7 +40,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "mpp/fault.hpp"
@@ -120,6 +124,11 @@ struct ParkedMessage {
   int src_world = -1;         ///< message identity (see ReqState)
   int dst_world = -1;
   std::uint64_t seq = 0;
+  /// Dedupe stream position (1-based, contiguous per (context, source,
+  /// destination mailbox)); 0 on the clean path. Injected duplicates and
+  /// retries carry the original's value, which is how the DedupeWindow
+  /// recognizes them.
+  std::uint64_t dseq = 0;
   const std::byte* rdv_data = nullptr;
   std::size_t rdv_bytes = 0;
   std::shared_ptr<ReqState> rdv_send;
@@ -181,6 +190,50 @@ class RankSignal {
   }
 };
 
+/// Per-source duplicate filter with O(1) membership and bounded memory: a
+/// watermark (every dedupe sequence number <= it has been accepted) plus a
+/// bitset window covering the out-of-order span just above it. Replaces the
+/// per-pair std::set of every delivered sequence number, whose memory and
+/// lookup cost grew with total message history instead of in-flight faults.
+class DedupeWindow {
+ public:
+  /// Hard cap on the out-of-order span. Reaching it would mean a source
+  /// raced 64Ki sends past a still-undelivered message, which the bounded
+  /// retry ledger (exponential backoff, capped attempts) cannot produce.
+  static constexpr std::uint64_t kMaxWindowBits = std::uint64_t{1} << 16;
+
+  /// True when `seq` (1-based, contiguous per source) was already accepted.
+  bool contains(std::uint64_t seq) const {
+    if (seq <= watermark_) return true;
+    const std::uint64_t off = seq - watermark_ - 1;
+    return off < span() && bit(off);
+  }
+
+  /// Accepts `seq` and advances the watermark over the now-contiguous
+  /// prefix. Returns false when `seq` was already present (a duplicate).
+  bool insert(std::uint64_t seq);
+
+  std::uint64_t watermark() const { return watermark_; }
+  /// Bits currently spanned beyond the watermark (memory ~ span/8 bytes).
+  std::uint64_t span() const {
+    return static_cast<std::uint64_t>(words_.size()) * 64 - head_;
+  }
+  /// Widest out-of-order extent retained after any insert (zero for a
+  /// fully in-order stream) — the bounded-memory witness.
+  std::uint64_t peak_span() const { return peak_span_; }
+
+ private:
+  bool bit(std::uint64_t off) const {
+    const std::uint64_t g = head_ + off;
+    return (words_[static_cast<std::size_t>(g / 64)] >> (g % 64)) & 1u;
+  }
+
+  std::uint64_t watermark_ = 0;
+  std::uint64_t head_ = 0;  ///< bit offset of watermark_+1 inside words_[0]
+  std::deque<std::uint64_t> words_;
+  std::uint64_t peak_span_ = 0;
+};
+
 /// Matching queues for one (context, group-rank).
 class Mailbox {
  public:
@@ -188,10 +241,14 @@ class Mailbox {
   std::deque<ParkedMessage> unexpected;
   std::deque<PostedRecv> posted;
   std::uint64_t next_post_id = 1;
-  /// Per-sender delivered sequence numbers, maintained only while a
-  /// FaultPlan is active: duplicates injected by the fault layer are
-  /// filtered here, under the same lock that serializes matching.
-  std::map<int, std::set<std::uint64_t>> delivered;
+  /// Duplicate filters, one per sender, maintained only while a FaultPlan
+  /// is active. Keyed by the per-(context, source, this-mailbox) dedupe
+  /// stream (`dedupe_next`, assigned at send time): the global pair
+  /// sequence is shared by every context of a rank pair, so only this
+  /// stream is contiguous here — which is what lets a watermark replace
+  /// the delivered-set.
+  std::map<int, DedupeWindow> dedupe;
+  std::map<int, std::uint64_t> dedupe_next;
 };
 
 /// A message captured by the fault layer: either held for later release
@@ -206,6 +263,23 @@ struct FaultedMessage {
   std::uint64_t release_step = 0;  ///< held: release once progress reaches this
   bool release_on_next = false;    ///< reorder: release when the pair's next message routes
   std::uint32_t attempt = 0;       ///< ledger: delivery attempts so far (>= 1)
+};
+
+/// Per-(context, group-rank) relay slot for tree collectives (barrier /
+/// allgather / allgatherv). Peers deposit per-round payloads here instead
+/// of rendezvousing in the CollectiveBay, so those collectives cost
+/// O(log n) hops per rank rather than one fully serialized n-rank
+/// rendezvous. Keyed by (generation, round): every rank executes the same
+/// collective sequence on a context, so the owner's tree-op counter and
+/// each sender's counter agree without shared state. Deposits never block
+/// (the map buffers early arrivals); receives wait on `cv`.
+struct HopSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::pair<std::uint64_t, int>, std::vector<std::byte>> arrived;
+  /// Completed tree ops of the owning rank; touched only by the owner's
+  /// thread (no lock needed).
+  std::uint64_t generation = 0;
 };
 
 /// Shared-memory collective rendezvous for one communicator context.
@@ -267,6 +341,7 @@ class Fabric {
 
   detail::Mailbox& mailbox(std::uint64_t context, int group_rank);
   detail::CollectiveBay& bay(std::uint64_t context);
+  detail::HopSlot& hop_slot(std::uint64_t context, int group_rank);
   detail::BufferPool& pool() { return pool_; }
   detail::RankSignal& signal(int world_rank) {
     return *signals_[static_cast<std::size_t>(world_rank)];
@@ -329,7 +404,10 @@ class Fabric {
   void fault_lose(std::uint64_t context, int dest_group, int dest_world,
                   detail::ParkedMessage&& msg);
 
-  FaultStats fault_stats() const;
+  /// Snapshot of fault/recovery counters plus delivery-state gauges (the
+  /// dedupe fields walk the mailboxes, so this is a test/report call, not
+  /// a hot-path one).
+  FaultStats fault_stats();
   /// Recovery accounting fed from Comm / amr: wait timeouts and stale-ghost
   /// fallbacks (the events themselves are fired by the caller's hooks).
   void count_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
@@ -348,13 +426,19 @@ class Fabric {
  private:
   struct ContextState {
     std::vector<std::unique_ptr<detail::Mailbox>> mailboxes;
+    std::vector<std::unique_ptr<detail::HopSlot>> hop_slots;
     std::unique_ptr<detail::CollectiveBay> bay;
   };
 
-  /// Routes every held/ledger entry whose trigger fired. `flush_reorder`
-  /// releases reorder-held messages of (src, dst) after a later message of
+  /// Releases reorder-held messages of (src, dst) after a later message of
   /// that pair routed.
   void flush_reorder(int src_world, int dst_world);
+  /// Files a captured message into the in-flight store and its indexes.
+  void fault_enqueue(detail::FaultedMessage&& fm);
+  /// Records an accepted dedupe-stream position (watermark/window update)
+  /// for `src_world` in the given mailbox; caller holds no mailbox lock.
+  void dedupe_tombstone(std::uint64_t context, int dest_group, int src_world,
+                        std::uint64_t dseq);
   /// Fires a fault event on the calling rank's hooks (if any).
   static void fire_fault(const FaultEvent& e);
 
@@ -372,17 +456,30 @@ class Fabric {
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
 
-  // Fault layer. `fault_mu_` is a leaf lock guarding the held queue and the
-  // retransmission ledger; it is never held while taking a mailbox or
+  // Fault layer. `fault_mu_` is a leaf lock guarding the in-flight fault
+  // store and its two indexes; it is never held while taking a mailbox or
   // signal lock (entries are moved out first, then routed).
+  //
+  // Every captured message (held *or* ledgered) lives once in
+  // `fault_items_` under a monotone id. `fault_due_` indexes ids by
+  // release step so a progress poll pops exactly the due prefix —
+  // O(due + log size) — instead of scanning every in-flight entry.
+  // `fault_reorder_` indexes reorder-held ids by (src, dst) world-rank
+  // pair so the routing of the pair's next message releases predecessors
+  // without a scan. An id can sit in both indexes (reorder entries keep a
+  // step fallback); whichever trigger fires first wins, and the loser's
+  // stale index entry is skipped because the id is gone from the store.
   FaultPlan fault_plan_;
   double wait_timeout_us_ = 0.0;
   double idle_limit_us_ = kDefaultIdleLimitUs;
   std::atomic<std::uint64_t> progress_step_{0};
   std::atomic<std::uint64_t> activity_{0};
   std::mutex fault_mu_;
-  std::vector<detail::FaultedMessage> held_;
-  std::vector<detail::FaultedMessage> ledger_;
+  std::uint64_t next_fault_id_ = 1;
+  std::map<std::uint64_t, detail::FaultedMessage> fault_items_;
+  std::multimap<std::uint64_t, std::uint64_t> fault_due_;
+  std::map<std::pair<int, int>, std::deque<std::uint64_t>> fault_reorder_;
+  std::uint64_t fault_items_peak_ = 0;
   std::unique_ptr<std::atomic<std::uint64_t>[]> stall_checks_;
   std::atomic<std::uint64_t> injected_drops_{0};
   std::atomic<std::uint64_t> injected_delays_{0};
@@ -392,6 +489,7 @@ class Fabric {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> retries_exhausted_{0};
   std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<std::uint64_t> dedupe_span_peak_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> stale_fallbacks_{0};
 

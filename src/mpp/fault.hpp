@@ -132,6 +132,16 @@ struct FaultStats {
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t stale_fallbacks = 0;
+  /// Delivery-state gauges (see detail::DedupeWindow): the largest
+  /// out-of-order span any duplicate filter ever buffered (bits; bounded
+  /// by DedupeWindow::kMaxWindowBits), the smallest watermark among
+  /// sources that delivered at least one message (nonzero == every filter
+  /// advanced past its first message instead of accumulating history),
+  /// and the peak number of in-flight captured messages in the fault
+  /// store (what a progress poll's cost now tracks).
+  std::uint64_t dedupe_span_peak = 0;
+  std::uint64_t dedupe_watermark_min = 0;
+  std::uint64_t fault_items_peak = 0;
 
   std::uint64_t injected_total() const {
     return injected_drops + injected_delays + injected_duplicates +

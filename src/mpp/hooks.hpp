@@ -55,6 +55,21 @@ struct FaultEvent {
   std::uint32_t detail = 0;          ///< delay steps / retry attempt / stale segments
 };
 
+/// One hop of a tree-structured collective (barrier / allgather /
+/// allgatherv): reported on the rank initiating the hop, inside the
+/// enclosing collective's hook bracket. `op` is the outer MPI name
+/// ("MPI_Allgather()", ...), `round` the 0-based algorithm round, `peer`
+/// the world rank the payload is handed to, `bytes` the payload carried by
+/// this hop. The aggregate per-rank hop count of a collective is
+/// O(log size), which is what makes it observable that the tree path —
+/// not the flat rendezvous — executed.
+struct HopEvent {
+  const char* op = nullptr;
+  int round = 0;
+  int peer = -1;
+  std::size_t bytes = 0;
+};
+
 /// Interface implemented by measurement systems (see tau::MpiHookAdapter).
 class CommHooks {
  public:
@@ -73,6 +88,9 @@ class CommHooks {
   /// Fault-layer event (injection, retry, timeout, staleness). Only fired
   /// when a FaultPlan is active or a wait times out; default no-op.
   virtual void on_fault(const FaultEvent&) {}
+  /// Per-hop progress of a tree collective; default no-op so byte-counting
+  /// adapters (and the merged-counter goldens they feed) are unaffected.
+  virtual void on_collective_hop(const HopEvent&) {}
 };
 
 namespace detail {

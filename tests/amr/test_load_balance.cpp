@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <tuple>
+
 #include "amr/load_balance.hpp"
+#include "mpp/runtime.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -74,6 +80,95 @@ TEST(LoadBalance, DeterministicAcrossCalls) {
   amr::balance_owners(a, 3);
   amr::balance_owners(b, 3);
   for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k].owner, b[k].owner);
+}
+
+std::vector<PatchInfo> random_patches(int n, std::uint64_t seed) {
+  ccaperf::Rng rng(seed);
+  std::vector<PatchInfo> ps;
+  for (int k = 0; k < n; ++k) {
+    const int w = static_cast<int>(rng.uniform_int(2, 48));
+    const int h = static_cast<int>(rng.uniform_int(2, 48));
+    ps.push_back(PatchInfo{k, Box{0, 0, w - 1, h - 1}, -1});
+  }
+  return ps;
+}
+
+TEST(LoadBalance, HeapPlacementMatchesLinearScanReference) {
+  // The min-heap LPT placement (O(log ranks) per patch) must reproduce the
+  // old linear min_element probe exactly, including its tie-break: lowest
+  // rank among equally loaded ranks.
+  for (const auto& [npatch, nranks, seed] :
+       {std::tuple{1, 1, 11ull}, {20, 4, 12ull}, {57, 7, 13ull},
+        {200, 37, 14ull}, {96, 96, 15ull}, {31, 64, 16ull}}) {
+    auto ps = random_patches(npatch, seed);
+    auto ref = ps;
+    amr::balance_owners(ps, nranks, BalancePolicy::knapsack);
+
+    // Reference: stable sort by descending weight, then scan for the
+    // least-loaded rank (the pre-heap implementation).
+    std::vector<long> weight(ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      weight[k] = ref[k].box.num_pts();
+    std::vector<std::size_t> order(ref.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return weight[a] > weight[b];
+    });
+    std::vector<long> load(static_cast<std::size_t>(nranks), 0);
+    for (std::size_t k : order) {
+      const auto it = std::min_element(load.begin(), load.end());
+      const int r = static_cast<int>(it - load.begin());
+      ref[k].owner = r;
+      load[static_cast<std::size_t>(r)] += weight[k];
+    }
+    for (std::size_t k = 0; k < ps.size(); ++k)
+      EXPECT_EQ(ps[k].owner, ref[k].owner)
+          << "npatch=" << npatch << " nranks=" << nranks << " patch=" << k;
+  }
+}
+
+class DistributedBalanceAtSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedBalanceAtSize, MatchesReplicatedLocalPath) {
+  // At >= kDistributedBalanceThreshold ranks the comm overload shards the
+  // weight computation and assembles it with the tree allgatherv; the
+  // resulting owners and imbalance must equal the replicated local path
+  // bit-for-bit on every rank. 33 is odd and non-power-of-two; the
+  // 10-patch case forces zero-size shards (fewer patches than ranks).
+  const int nranks = GetParam();
+  ASSERT_GE(nranks, amr::kDistributedBalanceThreshold);
+  for (const int npatch : {10, 120}) {
+    const auto reference_input = random_patches(npatch, 77u + static_cast<std::uint64_t>(npatch));
+    auto expect = reference_input;
+    const double local_imbalance =
+        amr::balance_owners(expect, nranks, BalancePolicy::knapsack);
+    std::atomic<int> mismatches{0};
+    mpp::Runtime::run(nranks, [&](mpp::Comm& world) {
+      auto mine = reference_input;
+      const double imbalance =
+          amr::balance_owners(world, mine, BalancePolicy::knapsack);
+      if (imbalance != local_imbalance) ++mismatches;
+      for (std::size_t k = 0; k < mine.size(); ++k)
+        if (mine[k].owner != expect[k].owner) ++mismatches;
+    });
+    EXPECT_EQ(mismatches.load(), 0) << "npatch=" << npatch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistributedBalanceAtSize,
+                         ::testing::Values(16, 33));
+
+TEST(DistributedBalance, BelowThresholdUsesReplicatedPathUnchanged) {
+  auto base = random_patches(40, 5);
+  auto expect = base;
+  const double want = amr::balance_owners(expect, 3, BalancePolicy::knapsack);
+  mpp::Runtime::run(3, [&](mpp::Comm& world) {
+    auto mine = base;
+    const double got = amr::balance_owners(world, mine, BalancePolicy::knapsack);
+    EXPECT_DOUBLE_EQ(got, want);
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      EXPECT_EQ(mine[k].owner, expect[k].owner);
+  });
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -137,6 +138,128 @@ TEST_P(CollectivesAtSize, BackToBackCollectivesDoNotCrosstalk) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesAtSize, ::testing::Values(1, 2, 3, 5, 8));
+
+// --- Tree path at scale ---------------------------------------------------
+//
+// The dissemination barrier and Bruck allgather/allgatherv replaced the flat
+// CollectiveBay implementations behind the same API (DESIGN.md §10). At 64
+// (power of two) and 129 (odd, non-power-of-two) ranks these cases pin the
+// two contracts that swap relies on: byte-identical results against both a
+// locally computed reference and the retained flat path, and exactly
+// ceil(log2 n) relay hops per rank per collective — the O(log n) witness
+// that the tree, not the flat rendezvous, executed.
+
+int ceil_log2(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+
+/// Counts tree hops per outer MPI name plus the enclosing hook brackets, so
+/// a test can assert both "O(log n) hops happened" and "the outer accounting
+/// the TAU adapter sees is still one bracket per collective call".
+struct HopCounter : mpp::CommHooks {
+  void on_begin(const char* name) override {
+    if (std::strcmp(name, "MPI_Barrier()") == 0) ++barrier_begins;
+    if (std::strcmp(name, "MPI_Allgather()") == 0) ++allgather_begins;
+    if (std::strcmp(name, "MPI_Allgatherv()") == 0) ++allgatherv_begins;
+  }
+  void on_end(const char*, std::size_t) override {}
+  void on_collective_hop(const mpp::HopEvent& e) override {
+    if (std::strcmp(e.op, "MPI_Barrier()") == 0) ++barrier_hops;
+    if (std::strcmp(e.op, "MPI_Allgather()") == 0) ++allgather_hops;
+    if (std::strcmp(e.op, "MPI_Allgatherv()") == 0) ++allgatherv_hops;
+    hop_bytes += e.bytes;
+  }
+  int barrier_begins = 0, allgather_begins = 0, allgatherv_begins = 0;
+  int barrier_hops = 0, allgather_hops = 0, allgatherv_hops = 0;
+  std::size_t hop_bytes = 0;
+};
+
+class TreeCollectivesAtScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeCollectivesAtScale, BarrierCompletesRepeatedly) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    for (int i = 0; i < 4; ++i) world.barrier();
+  });
+}
+
+TEST_P(TreeCollectivesAtScale, AllgatherMatchesFlatAndReference) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    const auto n = static_cast<std::size_t>(world.size());
+    std::vector<int> mine(3);
+    for (int k = 0; k < 3; ++k)
+      mine[static_cast<std::size_t>(k)] = world.rank() * 3 + k;
+    std::vector<int> tree(n * 3, -1), flat(n * 3, -2);
+    world.allgather<int>(mine, tree);
+    world.allgather_bytes_flat(mine.data(), mine.size() * sizeof(int),
+                               flat.data());
+    EXPECT_EQ(tree, flat);
+    for (std::size_t i = 0; i < tree.size(); ++i)
+      EXPECT_EQ(tree[i], static_cast<int>(i));
+  });
+}
+
+TEST_P(TreeCollectivesAtScale, AllgathervMatchesFlatAndReference) {
+  Runtime::run(GetParam(), [](Comm& world) {
+    // Variable chunks including empty ones: rank r contributes r % 4
+    // elements of value r (zero-size contributions must round-trip both
+    // paths — the sharded load balancer produces them when patches are
+    // scarcer than ranks).
+    const auto n = static_cast<std::size_t>(world.size());
+    std::vector<std::size_t> counts(n);
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      counts[r] = r % 4;
+      total += counts[r];
+    }
+    std::vector<int> mine(static_cast<std::size_t>(world.rank() % 4),
+                          world.rank());
+    std::vector<int> tree(total, -1), flat(total, -2);
+    world.allgatherv<int>(mine, tree, counts);
+    std::vector<std::size_t> byte_counts(n);
+    for (std::size_t r = 0; r < n; ++r) byte_counts[r] = counts[r] * sizeof(int);
+    world.allgatherv_bytes_flat(mine.data(), mine.size() * sizeof(int),
+                                flat.data(), byte_counts);
+    EXPECT_EQ(tree, flat);
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t k = 0; k < counts[r]; ++k)
+        EXPECT_EQ(tree[pos++], static_cast<int>(r));
+  });
+}
+
+TEST_P(TreeCollectivesAtScale, HopAccountingIsLogarithmicPerRank) {
+  const int n = GetParam();
+  const int rounds = ceil_log2(n);
+  Runtime::run(n, [&](Comm& world) {
+    HopCounter hc;
+    mpp::HooksInstaller install(&hc);
+    world.barrier();
+    std::vector<int> mine{world.rank()};
+    std::vector<int> all(static_cast<std::size_t>(n));
+    world.allgather<int>(mine, all);
+    const std::vector<std::size_t> counts(static_cast<std::size_t>(n), 1);
+    world.allgatherv<int>(mine, all, counts);
+    // One hop per algorithm round per rank, ceil(log2 n) rounds.
+    EXPECT_EQ(hc.barrier_hops, rounds);
+    EXPECT_EQ(hc.allgather_hops, rounds);
+    EXPECT_EQ(hc.allgatherv_hops, rounds);
+    // The outer brackets the TAU timers hang off are unchanged: exactly one
+    // begin per collective call, hop events strictly inside them.
+    EXPECT_EQ(hc.barrier_begins, 1);
+    EXPECT_EQ(hc.allgather_begins, 1);
+    EXPECT_EQ(hc.allgatherv_begins, 1);
+    // The flat path reports no hops (it is a bay rendezvous, not a tree).
+    const int tree_hops = hc.barrier_hops;
+    world.barrier_flat();
+    EXPECT_EQ(hc.barrier_hops, tree_hops);
+    EXPECT_EQ(hc.barrier_begins, 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeCollectivesAtScale,
+                         ::testing::Values(64, 129));
 
 TEST(Collectives, MixedP2PAndCollectives) {
   Runtime::run(3, [](Comm& world) {
