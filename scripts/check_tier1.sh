@@ -10,7 +10,7 @@
 #   STAGES="tier1 trace-smoke" scripts/check_tier1.sh
 #
 # STAGES is a space-separated subset of:
-#   tier1 trace-smoke chaos-soak ranks-scaling tsan asan
+#   tier1 trace-smoke chaos-soak ranks-scaling simd-matrix tsan asan
 # so the CI pipeline can fan the stages out across jobs while local runs
 # keep the single-command default.
 set -euo pipefail
@@ -20,7 +20,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${STAGES:-"tier1 trace-smoke chaos-soak ranks-scaling tsan asan"}
+STAGES=${STAGES:-"tier1 trace-smoke chaos-soak ranks-scaling simd-matrix tsan asan"}
 
 want() {
   case " ${STAGES} " in
@@ -159,6 +159,42 @@ PY
   echo "ranks scaling: OK"
 fi
 
+if want simd-matrix; then
+  echo "== SIMD dispatch matrix (fig01 byte-identical across forced ISA levels) =="
+  # The runtime-dispatched kernels (CCAPERF_SIMD, DESIGN.md §11) must be
+  # bit-identical to the scalar reference: the same 2-rank fig01 run forced
+  # to each ISA level, with the simulated counter backend pinned
+  # (CCAPERF_HWC=sim), must write byte-identical density CSVs. Levels the
+  # host cannot run clamp down (ultimately to scalar), so on a non-AVX
+  # runner the stage degrades to a scalar-vs-scalar determinism check
+  # instead of failing.
+  need_fig01
+  for isa in scalar avx2 native; do
+    (cd "${SMOKE_DIR}" && mkdir -p "simd-${isa}" && cd "simd-${isa}" &&
+     CCAPERF_SIMD="${isa}" CCAPERF_HWC=sim \
+     CCAPERF_RANKS=2 CCAPERF_STEPS=2 "${FIG01}" >/dev/null)
+  done
+  python3 - "${SMOKE_DIR}" <<'PY'
+import filecmp, glob, os, sys
+
+smoke = sys.argv[1]
+ref = sorted(glob.glob(os.path.join(smoke, "simd-scalar", "bench_out", "figs",
+                                    "fig01_density.rank*.csv")))
+assert ref, "scalar fig01 run wrote no density CSVs"
+for isa in ("avx2", "native"):
+    other = sorted(glob.glob(os.path.join(smoke, f"simd-{isa}", "bench_out",
+                                          "figs", "fig01_density.rank*.csv")))
+    assert len(other) == len(ref), (isa, len(other), len(ref))
+    for pr, po in zip(ref, other):
+        assert os.path.basename(pr) == os.path.basename(po), (pr, po)
+        assert filecmp.cmp(pr, po, shallow=False), \
+            f"density CSV differs between scalar and {isa}: {po}"
+print(f"simd matrix: {len(ref)} density CSVs byte-identical across "
+      "scalar/avx2/native dispatch")
+PY
+  echo "simd matrix: OK"
+fi
+
 if want tsan; then
   echo "== thread-sanitized concurrency suites (${TSAN_DIR}) =="
   # Lock-ordering-sensitive paths: the mpp fault layer (indexed fault
@@ -175,7 +211,8 @@ if want tsan; then
     --gtest_filter='ExchangeFaults.*:*DistributedBalance*'
   "${TSAN_DIR}/tests/support/test_support" --gtest_filter='ThreadPool.*'
   "${TSAN_DIR}/tests/core/test_core" --gtest_filter='ThreadedMonitor.*'
-  "${TSAN_DIR}/tests/euler/test_euler" --gtest_filter='KernelsMt.*'
+  "${TSAN_DIR}/tests/euler/test_euler" \
+    --gtest_filter='KernelsMt.*:SimdDispatch.*:SimdKernels.*'
   "${TSAN_DIR}/tests/tau/test_tau" --gtest_filter='RegistryShards.*'
 fi
 

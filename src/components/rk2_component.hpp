@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "components/ports.hpp"
+#include "euler/kernels.hpp"
 #include "support/thread_pool.hpp"
 
 namespace components {
@@ -97,10 +98,14 @@ class RK2Component final : public cca::Component, public IntegratorPort {
       const amr::Box box = lvl.patch(jobs[k].first).box;
       amr::PatchData<double> dudt(box, 0, euler::kNcomp, 0.0);
       invflux->compute(data, box, dx, dy, dudt);
+      // Row-contiguous update through the ISA-dispatched kernel (identical
+      // to `data(i,j,c) += dt * dudt(i,j,c)` at every level, see
+      // euler/simd.hpp); data and dudt have different row strides (ghosts
+      // vs none), so rows are the largest contiguous runs.
       for (int c = 0; c < euler::kNcomp; ++c)
         for (int j = box.lo().j; j <= box.hi().j; ++j)
-          for (int i = box.lo().i; i <= box.hi().i; ++i)
-            data(i, j, c) += dt * dudt(i, j, c);
+          euler::rk2_axpy(&data(box.lo().i, j, c), &dudt(box.lo().i, j, c), dt,
+                          static_cast<std::size_t>(box.width()));
     });
 
     // Stage 2: U <- (U_old + U1 + dt L(U1)) / 2.
@@ -114,9 +119,10 @@ class RK2Component final : public cca::Component, public IntegratorPort {
       const amr::PatchData<double>& old = u_old.at(jobs[k].first);
       for (int c = 0; c < euler::kNcomp; ++c)
         for (int j = box.lo().j; j <= box.hi().j; ++j)
-          for (int i = box.lo().i; i <= box.hi().i; ++i)
-            data(i, j, c) =
-                0.5 * (old(i, j, c) + data(i, j, c) + dt * dudt(i, j, c));
+          euler::rk2_heun_average(&data(box.lo().i, j, c),
+                                  &old(box.lo().i, j, c),
+                                  &dudt(box.lo().i, j, c), dt,
+                                  static_cast<std::size_t>(box.width()));
     });
 
     // Subcycled children, then conservative averaging back onto us.

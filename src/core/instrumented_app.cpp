@@ -1,5 +1,7 @@
 #include "core/instrumented_app.hpp"
 
+#include <cstdio>
+
 #include "core/trace_export.hpp"
 
 namespace core {
@@ -49,6 +51,14 @@ InstrumentedApp assemble_instrumented_app(mpp::Comm& world,
   app.mastermind = dynamic_cast<MastermindComponent*>(&fw.component("mastermind"));
   CCAPERF_REQUIRE(app.tau != nullptr && app.mastermind != nullptr,
                   "instrumented app: PMM component cast failed");
+
+  // CCAPERF_HWC=perf points the PAPI-named registry sources at the real
+  // PMU; default (sim) keeps the deterministic simulator counters. A
+  // walled-off PMU degrades back to sim with a one-line notice.
+  app.hwc_report = app.hwc_backend.install(app.registry().counters());
+  if (app.hwc_report.degraded())
+    std::fprintf(stderr, "ccaperf: CCAPERF_HWC=perf unavailable (%s); using sim\n",
+                 app.hwc_report.detail.c_str());
 
   // Measurement plumbing.
   fw.connect("mastermind", "measurement", "tau", "measurement");

@@ -13,6 +13,7 @@
 #include "core/mastermind.hpp"
 #include "core/proxies.hpp"
 #include "core/tau_component.hpp"
+#include "hwc/perf_events.hpp"
 
 namespace core {
 
@@ -21,6 +22,10 @@ struct InstrumentedApp {
   std::unique_ptr<cca::Framework> framework;
   TauMeasurementComponent* tau = nullptr;
   MastermindComponent* mastermind = nullptr;
+  /// Hardware-counter backend (CCAPERF_HWC): owns any perf_event fds the
+  /// registry's counter sources read, so it lives with the assembly.
+  hwc::PerfBackend hwc_backend;
+  hwc::HwcInstallReport hwc_report;
 
   cca::Framework& fw() { return *framework; }
   tau::Registry& registry() { return tau->registry(); }

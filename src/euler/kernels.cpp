@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
+#include "euler/kernels_isa.hpp"
+#include "euler/kernels_ranges.hpp"
+#include "euler/simd.hpp"
 #include "hwc/cache_sim.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -12,105 +16,75 @@ namespace euler {
 
 namespace {
 
-double minmod(double a, double b) {
-  if (a * b <= 0.0) return 0.0;
-  return std::abs(a) < std::abs(b) ? a : b;
-}
+using detail::outer_extent;
 
-/// Byte stride between consecutive components of one face of an Array2
-/// (contiguous in the component-innermost layout).
-inline std::ptrdiff_t comp_stride_bytes(const Array2& a) {
-  return a.comp_stride() * static_cast<std::ptrdiff_t>(sizeof(double));
-}
-
-/// Gathers the four stencil cells around a face (k = -2..+1 along `dir`)
-/// as primitive quintuples in the face-normal frame: w[k] = (rho, u_n,
-/// u_t, p, phi). The four reads per component form one strided run — unit
-/// stride for X sweeps — probed through the batched cache-sim API.
+// The SIMD TUs instantiate the vector kernels for exactly these probe
+// types; anything else (one-off test probes) takes the scalar reference.
 template <class Probe>
-inline void load_prim_stencil(const amr::PatchData<double>& U, int i0, int j0,
-                              Dir dir, const GasModel& gas, Probe& probe,
-                              double w[4][kNcomp]) {
-  const int di = dir == Dir::x ? 1 : 0;
-  const int dj = dir == Dir::x ? 0 : 1;
-  const int im2 = i0 - 2 * di;
-  const int jm2 = j0 - 2 * dj;
-  const std::ptrdiff_t stride = (dir == Dir::x ? 1 : U.row_stride()) *
-                                static_cast<std::ptrdiff_t>(sizeof(double));
-  for (int c = 0; c < kNcomp; ++c)
-    probe.load_run(&U(im2, jm2, c), stride, 4, sizeof(double));
-  for (int k = 0; k < 4; ++k) {
-    double q[kNcomp];
-    for (int c = 0; c < kNcomp; ++c) q[c] = U(im2 + k * di, jm2 + k * dj, c);
-    const Prim p = cons_to_prim(q, gas);
-    probe.flops(18);  // conversion cost (divides, gamma closure)
-    w[k][0] = p.rho;
-    w[k][1] = dir == Dir::x ? p.u : p.v;
-    w[k][2] = dir == Dir::x ? p.v : p.u;
-    w[k][3] = p.p;
-    w[k][4] = p.phi;
-  }
-}
+inline constexpr bool kSimdDispatchable =
+    std::is_same_v<Probe, hwc::NullProbe> ||
+    std::is_same_v<Probe, hwc::CacheProbe> ||
+    std::is_same_v<Probe, hwc::ScalarReplayProbe>;
 
-/// Span of the sweep's OUTER loop in direction `dir`: rows (fj) for
-/// Dir::x, columns (fi) for Dir::y — the loop whose iterations are
-/// independent and can be split across lanes or counter shards.
-inline int outer_extent(int nx, int ny, Dir dir) {
-  return dir == Dir::x ? ny : nx;
-}
-
-/// Reconstruction over outer indices [o_begin, o_end); the full-span call
-/// is the original serial kernel, a sub-span is one lane's (or one counter
-/// shard's) slice. Shape checks are the caller's job.
+/// Range-level dispatch: every public entry point (serial, _mt, _counted)
+/// funnels through here, so the active ISA level applies uniformly.
 template <class Probe>
-KernelCounts compute_states_range(const amr::PatchData<double>& U,
-                                  const amr::Box& interior, Dir dir,
-                                  const GasModel& gas, Array2& left,
-                                  Array2& right, Probe& probe, int o_begin,
-                                  int o_end) {
-  const int nx = left.nx(), ny = left.ny();
-  KernelCounts counts;
-
-  // w[k]: primitive states at the four stencil cells around a face (face
-  // between cell -1 and cell 0 of the local numbering, k = -2..+1 mapped
-  // to 0..3).
-  double w[4][kNcomp];
-  const std::ptrdiff_t face_comp = comp_stride_bytes(left);
-
-  auto reconstruct_face = [&](int fi, int fj, int i0, int j0) {
-    load_prim_stencil(U, i0, j0, dir, gas, probe, w);
-    for (int c = 0; c < kNcomp; ++c) {
-      const double sl = minmod(w[1][c] - w[0][c], w[2][c] - w[1][c]);
-      const double sr = minmod(w[2][c] - w[1][c], w[3][c] - w[2][c]);
-      left(fi, fj, c) = w[1][c] + 0.5 * sl;
-      right(fi, fj, c) = w[2][c] - 0.5 * sr;
-    }
-    probe.store_run(left.addr(fi, fj, 0), face_comp, kNcomp, sizeof(double));
-    probe.store_run(right.addr(fi, fj, 0), face_comp, kNcomp, sizeof(double));
-    probe.flops(8 * kNcomp);
-    ++counts.faces;
-  };
-
-  if (dir == Dir::x) {
-    // Sequential mode: inner loop is unit stride in memory.
-    for (int fj = o_begin; fj < o_end; ++fj) {
-      const int j = interior.lo().j + fj;
-      for (int fi = 0; fi < nx; ++fi) {
-        const int i = interior.lo().i + fi;
-        reconstruct_face(fi, fj, i, j);
-      }
-    }
-  } else {
-    // Strided mode: inner loop strides by the padded row length.
-    for (int fi = o_begin; fi < o_end; ++fi) {
-      const int i = interior.lo().i + fi;
-      for (int fj = 0; fj < ny; ++fj) {
-        const int j = interior.lo().j + fj;
-        reconstruct_face(fi, fj, i, j);
-      }
+KernelCounts states_range(const amr::PatchData<double>& U,
+                          const amr::Box& interior, Dir dir,
+                          const GasModel& gas, Array2& left, Array2& right,
+                          Probe& probe, int o_begin, int o_end) {
+  if constexpr (kSimdDispatchable<Probe>) {
+    switch (simd::active()) {
+#if defined(CCAPERF_SIMD_AVX512)
+      case simd::Isa::avx512:
+        return detail::states_range_avx512(U, interior, dir, gas, left, right,
+                                           probe, o_begin, o_end);
+#endif
+#if defined(CCAPERF_SIMD_AVX2)
+      case simd::Isa::avx2:
+        return detail::states_range_avx2(U, interior, dir, gas, left, right,
+                                         probe, o_begin, o_end);
+#endif
+      default:
+        break;
     }
   }
-  return counts;
+  return detail::states_range_scalar(U, interior, dir, gas, left, right, probe,
+                                     o_begin, o_end);
+}
+
+template <class Probe>
+KernelCounts efm_range(const Array2& left, const Array2& right, Dir dir,
+                       const GasModel& gas, Array2& flux, Probe& probe,
+                       int o_begin, int o_end) {
+  if constexpr (kSimdDispatchable<Probe>) {
+    switch (simd::active()) {
+#if defined(CCAPERF_SIMD_AVX512)
+      case simd::Isa::avx512:
+        return detail::efm_range_avx512(left, right, dir, gas, flux, probe,
+                                        o_begin, o_end);
+#endif
+#if defined(CCAPERF_SIMD_AVX2)
+      case simd::Isa::avx2:
+        return detail::efm_range_avx2(left, right, dir, gas, flux, probe,
+                                      o_begin, o_end);
+#endif
+      default:
+        break;
+    }
+  }
+  return detail::efm_range_scalar(left, right, dir, gas, flux, probe, o_begin,
+                                  o_end);
+}
+
+// Godunov's exact Riemann solve iterates data-dependently per face, so it
+// stays scalar at every ISA level.
+template <class Probe>
+KernelCounts godunov_range(const Array2& left, const Array2& right, Dir dir,
+                           const GasModel& gas, Array2& flux, Probe& probe,
+                           int o_begin, int o_end) {
+  return detail::godunov_range_scalar(left, right, dir, gas, flux, probe,
+                                      o_begin, o_end);
 }
 
 void check_states_shapes(const amr::PatchData<double>& U,
@@ -125,95 +99,6 @@ void check_states_shapes(const amr::PatchData<double>& U,
                   "compute_states: face array shape mismatch");
 }
 
-}  // namespace
-
-template <class Probe>
-KernelCounts compute_states(const amr::PatchData<double>& U,
-                            const amr::Box& interior, Dir dir,
-                            const GasModel& gas, Array2& left, Array2& right,
-                            Probe& probe) {
-  check_states_shapes(U, interior, dir, left, right);
-  return compute_states_range(U, interior, dir, gas, left, right, probe, 0,
-                              outer_extent(left.nx(), left.ny(), dir));
-}
-
-namespace {
-
-/// Reads the 5 primitive face components, probed as one contiguous run.
-template <class Probe>
-inline Prim load_face_state(const Array2& a, int fi, int fj, Probe& probe) {
-  probe.load_run(a.addr(fi, fj, 0), comp_stride_bytes(a), kNcomp, sizeof(double));
-  Prim w;
-  w.rho = a(fi, fj, 0);
-  w.u = a(fi, fj, 1);  // face-normal frame
-  w.v = a(fi, fj, 2);
-  w.p = a(fi, fj, 3);
-  w.phi = a(fi, fj, 4);
-  return w;
-}
-
-template <class Probe>
-inline void store_face_flux(Array2& flux, int fi, int fj, const FaceFlux& f,
-                            Probe& probe) {
-  flux(fi, fj, 0) = f.mass;
-  flux(fi, fj, 1) = f.mom_n;
-  flux(fi, fj, 2) = f.mom_t;
-  flux(fi, fj, 3) = f.energy;
-  flux(fi, fj, 4) = f.phi_mass;
-  probe.store_run(flux.addr(fi, fj, 0), comp_stride_bytes(flux), kNcomp,
-                  sizeof(double));
-}
-
-/// Shared sweep driver: walks faces of the outer span [o_begin, o_end) in
-/// the direction-appropriate loop order and applies `face_op(fi, fj)`.
-template <class FaceOp>
-void sweep_faces(const Array2& left, Dir dir, int o_begin, int o_end,
-                 FaceOp&& face_op) {
-  if (dir == Dir::x) {
-    for (int fj = o_begin; fj < o_end; ++fj)
-      for (int fi = 0; fi < left.nx(); ++fi) face_op(fi, fj);
-  } else {
-    for (int fi = o_begin; fi < o_end; ++fi)
-      for (int fj = 0; fj < left.ny(); ++fj) face_op(fi, fj);
-  }
-}
-
-template <class Probe>
-KernelCounts efm_flux_range(const Array2& left, const Array2& right, Dir dir,
-                            const GasModel& gas, Array2& flux, Probe& probe,
-                            int o_begin, int o_end) {
-  KernelCounts counts;
-  sweep_faces(left, dir, o_begin, o_end, [&](int fi, int fj) {
-    const Prim l = load_face_state(left, fi, fj, probe);
-    const Prim r = load_face_state(right, fi, fj, probe);
-    const FaceFlux f = efm_face_flux(l, r, gas);
-    probe.flops(kEfmFlopsPerFace);  // two half-fluxes: erf + exp + moments
-    store_face_flux(flux, fi, fj, f, probe);
-    ++counts.faces;
-  });
-  return counts;
-}
-
-template <class Probe>
-KernelCounts godunov_flux_range(const Array2& left, const Array2& right, Dir dir,
-                                const GasModel& gas, Array2& flux, Probe& probe,
-                                int o_begin, int o_end) {
-  KernelCounts counts;
-  sweep_faces(left, dir, o_begin, o_end, [&](int fi, int fj) {
-    const Prim l = load_face_state(left, fi, fj, probe);
-    const Prim r = load_face_state(right, fi, fj, probe);
-    const RiemannResult rr = exact_riemann(l, r, gas);
-    const FaceFlux f = godunov_face_flux(rr.sampled, gas);
-    counts.riemann_iterations += static_cast<std::uint64_t>(rr.iterations);
-    probe.flops(kGodunovFlopsPerFace +
-                kGodunovFlopsPerIteration *
-                    static_cast<std::uint64_t>(rr.iterations));
-    store_face_flux(flux, fi, fj, f, probe);
-    ++counts.faces;
-  });
-  return counts;
-}
-
 void check_flux_shapes(const Array2& left, const Array2& flux,
                        const char* what) {
   CCAPERF_REQUIRE(flux.nx() == left.nx() && flux.ny() == left.ny() &&
@@ -224,19 +109,29 @@ void check_flux_shapes(const Array2& left, const Array2& flux,
 }  // namespace
 
 template <class Probe>
+KernelCounts compute_states(const amr::PatchData<double>& U,
+                            const amr::Box& interior, Dir dir,
+                            const GasModel& gas, Array2& left, Array2& right,
+                            Probe& probe) {
+  check_states_shapes(U, interior, dir, left, right);
+  return states_range(U, interior, dir, gas, left, right, probe, 0,
+                      outer_extent(left.nx(), left.ny(), dir));
+}
+
+template <class Probe>
 KernelCounts efm_flux_sweep(const Array2& left, const Array2& right, Dir dir,
                             const GasModel& gas, Array2& flux, Probe& probe) {
   check_flux_shapes(left, flux, "efm_flux_sweep");
-  return efm_flux_range(left, right, dir, gas, flux, probe, 0,
-                        outer_extent(left.nx(), left.ny(), dir));
+  return efm_range(left, right, dir, gas, flux, probe, 0,
+                   outer_extent(left.nx(), left.ny(), dir));
 }
 
 template <class Probe>
 KernelCounts godunov_flux_sweep(const Array2& left, const Array2& right, Dir dir,
                                 const GasModel& gas, Array2& flux, Probe& probe) {
   check_flux_shapes(left, flux, "godunov_flux_sweep");
-  return godunov_flux_range(left, right, dir, gas, flux, probe, 0,
-                            outer_extent(left.nx(), left.ny(), dir));
+  return godunov_range(left, right, dir, gas, flux, probe, 0,
+                       outer_extent(left.nx(), left.ny(), dir));
 }
 
 namespace {
@@ -312,6 +207,46 @@ void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
       for (int c = 0; c < kNcomp; ++c) totals[c] += U(i, j, c);
 }
 
+// --- RK2 update kernels ------------------------------------------------------
+
+void rk2_axpy(double* y, const double* x, double a, std::size_t n) {
+  switch (simd::active()) {
+#if defined(CCAPERF_SIMD_AVX512)
+    case simd::Isa::avx512:
+      detail::rk2_axpy_avx512(y, x, a, n);
+      return;
+#endif
+#if defined(CCAPERF_SIMD_AVX2)
+    case simd::Isa::avx2:
+      detail::rk2_axpy_avx2(y, x, a, n);
+      return;
+#endif
+    default:
+      break;
+  }
+  for (std::size_t k = 0; k < n; ++k) y[k] += a * x[k];
+}
+
+void rk2_heun_average(double* u, const double* u_old, const double* dudt,
+                      double dt, std::size_t n) {
+  switch (simd::active()) {
+#if defined(CCAPERF_SIMD_AVX512)
+    case simd::Isa::avx512:
+      detail::rk2_heun_avx512(u, u_old, dudt, dt, n);
+      return;
+#endif
+#if defined(CCAPERF_SIMD_AVX2)
+    case simd::Isa::avx2:
+      detail::rk2_heun_avx2(u, u_old, dudt, dt, n);
+      return;
+#endif
+    default:
+      break;
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    u[k] = 0.5 * (u_old[k] + u[k] + dt * dudt[k]);
+}
+
 // --- thread-parallel sweeps --------------------------------------------------
 
 namespace {
@@ -342,7 +277,7 @@ KernelCounts compute_states_mt(ccaperf::ThreadPool& pool,
   std::vector<LaneCounts> lanes(static_cast<std::size_t>(pool.size()));
   pool.parallel_for(static_cast<std::size_t>(outer), [&](std::size_t o, int l) {
     hwc::NullProbe p;
-    lanes[static_cast<std::size_t>(l)].c += compute_states_range(
+    lanes[static_cast<std::size_t>(l)].c += states_range(
         U, interior, dir, gas, left, right, p, static_cast<int>(o),
         static_cast<int>(o) + 1);
   });
@@ -361,8 +296,8 @@ KernelCounts efm_flux_sweep_mt(ccaperf::ThreadPool& pool, const Array2& left,
   pool.parallel_for(static_cast<std::size_t>(outer), [&](std::size_t o, int l) {
     hwc::NullProbe p;
     lanes[static_cast<std::size_t>(l)].c +=
-        efm_flux_range(left, right, dir, gas, flux, p, static_cast<int>(o),
-                       static_cast<int>(o) + 1);
+        efm_range(left, right, dir, gas, flux, p, static_cast<int>(o),
+                  static_cast<int>(o) + 1);
   });
   return sum_lanes(lanes);
 }
@@ -379,8 +314,8 @@ KernelCounts godunov_flux_sweep_mt(ccaperf::ThreadPool& pool, const Array2& left
   pool.parallel_for(static_cast<std::size_t>(outer), [&](std::size_t o, int l) {
     hwc::NullProbe p;
     lanes[static_cast<std::size_t>(l)].c +=
-        godunov_flux_range(left, right, dir, gas, flux, p, static_cast<int>(o),
-                           static_cast<int>(o) + 1);
+        godunov_range(left, right, dir, gas, flux, p, static_cast<int>(o),
+                      static_cast<int>(o) + 1);
   });
   return sum_lanes(lanes);
 }
@@ -426,21 +361,47 @@ inline int slab_lo(int outer, int s) {
 
 /// Runs `sweep(probe, lo, hi)` for every slab (in parallel when the pool
 /// has lanes), each against its own cold XeonHierarchy, then merges the
-/// integer counters in slab order.
+/// integer counters in slab order. Under CCAPERF_CACHESIM_SAMPLE > 1 each
+/// slab's hierarchy samples 1-in-stride access batches (seeded by the slab
+/// index, so the phases stay deterministic and slab-stable) and the merged
+/// miss counters are the scaled estimates.
+/// Window size for a slab's sampled hierarchy: the largest power of two
+/// (capped at the global default) that still leaves ~2x kCounterShards
+/// windows in the slab. Slab seeds are the shard indices 0..7, so every
+/// phase (seed % stride <= 7) then lands on an existing window and each
+/// slab samples at least one; bigger windows are strictly better beyond
+/// that (boundary cold-start is the dominant bias, and scaled_counters
+/// rescales by the realized fraction, not the nominal stride).
+/// `approx_batches` is a deliberate underestimate (3 runs per face — the
+/// flux kernels' floor).
+unsigned slab_burst_log2(std::uint64_t approx_batches) {
+  unsigned b = 6;
+  while (b < hwc::kDefaultSampleBurstLog2 &&
+         (approx_batches >> (b + 1)) >= 2ull * kCounterShards)
+    ++b;
+  return b;
+}
+
 template <class SlabSweep>
-CountedSweep run_counted_slabs(ccaperf::ThreadPool& pool, int outer,
+CountedSweep run_counted_slabs(ccaperf::ThreadPool& pool, int outer, int inner,
                                SlabSweep&& sweep) {
+  const std::uint32_t sample = hwc::env_sample_stride();
   std::vector<SlabCounts> slabs(static_cast<std::size_t>(kCounterShards));
   auto run_slab = [&](std::size_t s, int) {
     const int lo = slab_lo(outer, static_cast<int>(s));
     const int hi = slab_lo(outer, static_cast<int>(s) + 1);
     if (lo == hi) return;
     hwc::XeonHierarchy mem;  // cold per slab: totals don't depend on lanes
+    if (sample > 1) {
+      const auto batches = static_cast<std::uint64_t>(hi - lo) *
+                           static_cast<std::uint64_t>(inner) * 3;
+      mem.l1.set_sample_stride(sample, s, slab_burst_log2(batches));
+    }
     hwc::CacheProbe probe(&mem.l1);
     slabs[s].kernel = sweep(probe, lo, hi);
     slabs[s].probe = probe.counts();
-    slabs[s].l1_misses = mem.l1.counters().misses;
-    slabs[s].l2_misses = mem.l2.counters().misses;
+    slabs[s].l1_misses = mem.l1.scaled_counters().misses;
+    slabs[s].l2_misses = mem.l2.scaled_counters().misses;
   };
   if (pool.size() == 1) {
     for (std::size_t s = 0; s < slabs.size(); ++s) run_slab(s, 0);
@@ -468,10 +429,10 @@ CountedSweep compute_states_counted(ccaperf::ThreadPool& pool,
                                     Array2& right) {
   check_states_shapes(U, interior, dir, left, right);
   const int outer = outer_extent(left.nx(), left.ny(), dir);
-  return run_counted_slabs(pool, outer,
+  const int inner = dir == Dir::x ? left.nx() : left.ny();
+  return run_counted_slabs(pool, outer, inner,
                            [&](hwc::CacheProbe& probe, int lo, int hi) {
-    return compute_states_range(U, interior, dir, gas, left, right, probe, lo,
-                                hi);
+    return states_range(U, interior, dir, gas, left, right, probe, lo, hi);
   });
 }
 
@@ -480,9 +441,10 @@ CountedSweep efm_flux_sweep_counted(ccaperf::ThreadPool& pool,
                                     Dir dir, const GasModel& gas, Array2& flux) {
   check_flux_shapes(left, flux, "efm_flux_sweep");
   const int outer = outer_extent(left.nx(), left.ny(), dir);
-  return run_counted_slabs(pool, outer,
+  const int inner = dir == Dir::x ? left.nx() : left.ny();
+  return run_counted_slabs(pool, outer, inner,
                            [&](hwc::CacheProbe& probe, int lo, int hi) {
-    return efm_flux_range(left, right, dir, gas, flux, probe, lo, hi);
+    return efm_range(left, right, dir, gas, flux, probe, lo, hi);
   });
 }
 
@@ -492,9 +454,10 @@ CountedSweep godunov_flux_sweep_counted(ccaperf::ThreadPool& pool,
                                         Array2& flux) {
   check_flux_shapes(left, flux, "godunov_flux_sweep");
   const int outer = outer_extent(left.nx(), left.ny(), dir);
-  return run_counted_slabs(pool, outer,
+  const int inner = dir == Dir::x ? left.nx() : left.ny();
+  return run_counted_slabs(pool, outer, inner,
                            [&](hwc::CacheProbe& probe, int lo, int hi) {
-    return godunov_flux_range(left, right, dir, gas, flux, probe, lo, hi);
+    return godunov_range(left, right, dir, gas, flux, probe, lo, hi);
   });
 }
 
@@ -531,5 +494,11 @@ template KernelCounts efm_flux_sweep<hwc::ScalarReplayProbe>(
 template KernelCounts godunov_flux_sweep<hwc::ScalarReplayProbe>(
     const Array2&, const Array2&, Dir, const GasModel&, Array2&,
     hwc::ScalarReplayProbe&);
+template KernelCounts compute_states<hwc::StackDistProbe>(
+    const amr::PatchData<double>&, const amr::Box&, Dir, const GasModel&, Array2&,
+    Array2&, hwc::StackDistProbe&);
+template KernelCounts efm_flux_sweep<hwc::StackDistProbe>(
+    const Array2&, const Array2&, Dir, const GasModel&, Array2&,
+    hwc::StackDistProbe&);
 
 }  // namespace euler

@@ -15,6 +15,12 @@
 // every load/store through the cache simulator and tallies FLOPs (used for
 // deterministic hardware metrics). Explicit instantiations live in
 // kernels.cpp.
+//
+// States and EFM sweeps (and the RK2 updates below) dispatch at runtime to
+// AVX2/AVX-512 vector bodies when the host supports them — see simd.hpp
+// for the CCAPERF_SIMD knob. Every ISA level produces bit-identical faces,
+// fluxes and traced cache counters; Godunov stays scalar (its Riemann
+// solve iterates data-dependently per face).
 
 #include <cstdint>
 #include <vector>
@@ -127,6 +133,19 @@ double max_wave_speed(const amr::PatchData<double>& U, const amr::Box& interior,
 /// Total conserved quantities over the interior (conservation tests).
 void total_conserved(const amr::PatchData<double>& U, const amr::Box& interior,
                      double totals[kNcomp]);
+
+// --- RK2 update kernels (DESIGN.md §11) --------------------------------------
+//
+// The elementwise integrator updates, factored out of RK2Component so they
+// ride the same runtime ISA dispatch (simd.hpp) as the sweep kernels.
+// Every ISA level is bit-identical to the scalar expressions:
+//   rk2_axpy:         y[i] += a * x[i]
+//   rk2_heun_average: u[i] = 0.5 * (u_old[i] + u[i] + dt * dudt[i])
+
+void rk2_axpy(double* y, const double* x, double a, std::size_t n);
+
+void rk2_heun_average(double* u, const double* u_old, const double* dudt,
+                      double dt, std::size_t n);
 
 // --- thread-parallel sweeps (DESIGN.md §9) -----------------------------------
 //

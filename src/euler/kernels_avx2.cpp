@@ -1,0 +1,56 @@
+// AVX2 (W=4 doubles) instantiation of the vector sweep kernels. Compiled
+// with -mavx2 -ffp-contract=off (src/euler/CMakeLists.txt) — the contract
+// flag is load-bearing: a contracted FMA would round once where the scalar
+// reference rounds twice and break cross-ISA bit-identity.
+
+#include "euler/kernels_isa.hpp"
+#include "euler/kernels_simd_impl.hpp"
+
+namespace euler::detail {
+
+template <class Probe>
+KernelCounts states_range_avx2(const amr::PatchData<double>& U,
+                               const amr::Box& interior, Dir dir,
+                               const GasModel& gas, Array2& left, Array2& right,
+                               Probe& probe, int o_begin, int o_end) {
+  return states_range_vec<4>(U, interior, dir, gas, left, right, probe,
+                             o_begin, o_end);
+}
+
+template <class Probe>
+KernelCounts efm_range_avx2(const Array2& left, const Array2& right, Dir dir,
+                            const GasModel& gas, Array2& flux, Probe& probe,
+                            int o_begin, int o_end) {
+  return efm_range_vec<4>(left, right, dir, gas, flux, probe, o_begin, o_end);
+}
+
+void rk2_axpy_avx2(double* y, const double* x, double a, std::size_t n) {
+  rk2_axpy_vec<4>(y, x, a, n);
+}
+
+void rk2_heun_avx2(double* u, const double* u_old, const double* dudt,
+                   double dt, std::size_t n) {
+  rk2_heun_vec<4>(u, u_old, dudt, dt, n);
+}
+
+template KernelCounts states_range_avx2<hwc::NullProbe>(
+    const amr::PatchData<double>&, const amr::Box&, Dir, const GasModel&,
+    Array2&, Array2&, hwc::NullProbe&, int, int);
+template KernelCounts states_range_avx2<hwc::CacheProbe>(
+    const amr::PatchData<double>&, const amr::Box&, Dir, const GasModel&,
+    Array2&, Array2&, hwc::CacheProbe&, int, int);
+template KernelCounts states_range_avx2<hwc::ScalarReplayProbe>(
+    const amr::PatchData<double>&, const amr::Box&, Dir, const GasModel&,
+    Array2&, Array2&, hwc::ScalarReplayProbe&, int, int);
+template KernelCounts efm_range_avx2<hwc::NullProbe>(const Array2&,
+                                                     const Array2&, Dir,
+                                                     const GasModel&, Array2&,
+                                                     hwc::NullProbe&, int, int);
+template KernelCounts efm_range_avx2<hwc::CacheProbe>(
+    const Array2&, const Array2&, Dir, const GasModel&, Array2&,
+    hwc::CacheProbe&, int, int);
+template KernelCounts efm_range_avx2<hwc::ScalarReplayProbe>(
+    const Array2&, const Array2&, Dir, const GasModel&, Array2&,
+    hwc::ScalarReplayProbe&, int, int);
+
+}  // namespace euler::detail

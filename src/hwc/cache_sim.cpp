@@ -1,6 +1,7 @@
 #include "hwc/cache_sim.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace hwc {
 
@@ -38,10 +39,11 @@ CacheSim::Way* CacheSim::touch_way(std::uint64_t line_addr, bool is_write,
 
   // MRU way hint: repeat hits on the hottest line of a set skip the
   // associativity scan entirely (the dominant event in a traced sweep).
-  if (Way& h = row[mru]; valid(h) && h.tag == tag) {
+  const std::uint64_t want = match_meta(tag);
+  if (Way& h = row[mru]; (h.meta & ~std::uint64_t{1}) == want) {
     ++counters_.hits;
     h.lru = ++stamp_;
-    h.dirty |= is_write;
+    h.meta |= static_cast<std::uint64_t>(is_write);
     return &h;
   }
 
@@ -59,10 +61,10 @@ CacheSim::Way* CacheSim::touch_way(std::uint64_t line_addr, bool is_write,
       }
       continue;
     }
-    if (row[w].tag == tag) {
+    if ((row[w].meta & ~std::uint64_t{1}) == want) {
       ++counters_.hits;
       row[w].lru = ++stamp_;
-      row[w].dirty |= is_write;
+      row[w].meta |= static_cast<std::uint64_t>(is_write);
       mru = static_cast<std::uint32_t>(w);
       return &row[w];
     }
@@ -80,16 +82,17 @@ CacheSim::Way* CacheSim::touch_way(std::uint64_t line_addr, bool is_write,
 
   if (!found_invalid) {
     ++counters_.evictions;
-    if (row[victim].dirty) {
+    if (way_dirty(row[victim])) {
       ++counters_.writebacks;
       // Dirty victim written back to the lower level.
       if (lower_ != nullptr) {
-        const std::uint64_t victim_line = (row[victim].tag << tag_shift_) | set;
+        const std::uint64_t victim_line =
+            (way_tag(row[victim]) << tag_shift_) | set;
         lower_->access(victim_line << line_shift_, line_bytes_, true);
       }
     }
   }
-  row[victim] = Way{tag, ++stamp_, gen_, is_write};
+  row[victim] = Way{pack_meta(tag, gen_, is_write), ++stamp_};
   mru = static_cast<std::uint32_t>(victim);
   return &row[victim];
 }
@@ -117,13 +120,15 @@ std::uint64_t CacheSim::access_prebatch(std::uintptr_t addr, std::size_t bytes,
     const std::uint64_t tag = line_addr >> log2u(sets_);
     Way* row = &ways_[static_cast<std::size_t>(set) * assoc_];
 
-    // Hit?
+    // Hit? (Same packed-meta compare as touch_way — tag truncation must
+    // agree between the fill and every lookup path.)
+    const std::uint64_t want = pack_meta(tag, gen_, false);
     bool hit = false;
     for (std::size_t w = 0; w < assoc_; ++w) {
-      if (valid(row[w]) && row[w].tag == tag) {
+      if ((row[w].meta & ~std::uint64_t{1}) == want) {
         ++counters_.hits;
         row[w].lru = ++stamp_;
-        row[w].dirty |= is_write;
+        row[w].meta |= static_cast<std::uint64_t>(is_write);
         hit = true;
         break;
       }
@@ -153,17 +158,17 @@ std::uint64_t CacheSim::access_prebatch(std::uintptr_t addr, std::size_t bytes,
     }
     if (!found_invalid) {
       ++counters_.evictions;
-      if (row[victim].dirty) {
+      if (way_dirty(row[victim])) {
         ++counters_.writebacks;
         // Dirty victim written back to the lower level.
         if (lower_ != nullptr) {
           const std::uint64_t victim_line =
-              (row[victim].tag << log2u(sets_)) | set;
+              (way_tag(row[victim]) << log2u(sets_)) | set;
           lower_->access(victim_line << line_shift_, line_bytes_, true);
         }
       }
     }
-    row[victim] = Way{tag, ++stamp_, gen_, is_write};
+    row[victim] = Way{pack_meta(tag, gen_, is_write), ++stamp_};
   }
   return total_misses;
 }
@@ -181,10 +186,128 @@ std::uint64_t CacheSim::access(std::uintptr_t addr, std::size_t bytes, bool is_w
 
 void CacheSim::flush() {
   // O(1): advancing the generation invalidates every line; ways are
-  // lazily reclaimed (an out-of-generation way reads as invalid).
+  // lazily reclaimed (an out-of-generation way reads as invalid). The
+  // stored generation is only kGenMask bits wide, so on wrap every way is
+  // hard-invalidated (once per 65536 flushes — amortized free) and the
+  // masked generation 0, which cleared ways carry, is skipped; lines from
+  // a previous epoch can therefore never read as valid.
   ++gen_;
+  if ((gen_ & kGenMask) == 0) {
+    std::fill(ways_.begin(), ways_.end(), Way{});
+    ++gen_;
+  }
 }
 
 void CacheSim::reset_counters() { counters_ = CacheCounters{}; }
+
+void CacheSim::set_sample_stride(std::uint32_t stride, std::uint64_t seed,
+                                 unsigned burst_log2) {
+  CCAPERF_REQUIRE(stride >= 1, "CacheSim: sample stride must be >= 1");
+  CCAPERF_REQUIRE(burst_log2 <= 30, "CacheSim: sample burst must be <= 2^30");
+  sample_stride_ = stride;
+  sample_tick_ = 0;
+  sample_seen_ = 0;
+  sample_phase_ = stride > 1 ? seed % stride : 0;
+  sample_burst_log2_ = burst_log2;
+  sample_window_mask_ = (std::uint64_t{1} << burst_log2) - 1;
+  sample_window_active_ = false;  // recomputed at tick 0 (a window boundary)
+  // Lower levels only ever see the sampled fraction of the traffic, so
+  // their counters carry this level's scale even though they don't gate.
+  for (CacheSim* c = this; c != nullptr; c = c->lower_) c->sampler_ = this;
+}
+
+CacheCounters CacheSim::scaled_counters() const {
+  const double f = sampler_->sample_factor();
+  auto scale = [f](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * f + 0.5);
+  };
+  CacheCounters s;
+  s.accesses = scale(counters_.accesses);
+  s.hits = scale(counters_.hits);
+  s.misses = scale(counters_.misses);
+  s.evictions = scale(counters_.evictions);
+  s.writebacks = scale(counters_.writebacks);
+  return s;
+}
+
+std::uint32_t env_sample_stride() {
+  const char* env = std::getenv("CCAPERF_CACHESIM_SAMPLE");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  CCAPERF_REQUIRE(end != nullptr && *end == '\0' && v >= 1 && v <= (1 << 20),
+                  "CCAPERF_CACHESIM_SAMPLE: want an integer stride in [1, 2^20]");
+  return static_cast<std::uint32_t>(v);
+}
+
+// --- StackDistSim ------------------------------------------------------------
+
+StackDistSim::StackDistSim(std::size_t line_bytes, std::size_t max_depth)
+    : max_depth_(max_depth) {
+  CCAPERF_REQUIRE(is_pow2(line_bytes),
+                  "StackDistSim: line size must be a power of two");
+  CCAPERF_REQUIRE(max_depth >= 1, "StackDistSim: max depth must be >= 1");
+  line_shift_ = log2u(line_bytes);
+  hist_.assign(max_depth_, 0);
+}
+
+void StackDistSim::touch_line(std::uint64_t line) {
+  ++accesses_;
+  // MRU fast path: the dominant event (consecutive elements of a run on
+  // one line) costs a compare, like CacheSim's way hint.
+  if (!stack_.empty() && stack_.front() == line) {
+    ++hist_[0];
+    return;
+  }
+  const auto it = std::find(stack_.begin(), stack_.end(), line);
+  if (it == stack_.end()) {
+    ++cold_;
+    // Beyond the tracked depth, lines recount as cold — harmless for any
+    // capacity <= max_depth (see the class comment).
+    if (stack_.size() == max_depth_) stack_.pop_back();
+    stack_.insert(stack_.begin(), line);
+    return;
+  }
+  ++hist_[static_cast<std::size_t>(it - stack_.begin())];
+  std::rotate(stack_.begin(), it, it + 1);  // move-to-front
+}
+
+void StackDistSim::access(std::uintptr_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = static_cast<std::uint64_t>(addr) >> line_shift_;
+  const std::uint64_t last =
+      static_cast<std::uint64_t>(addr + bytes - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) touch_line(line);
+}
+
+void StackDistSim::access_run(std::uintptr_t addr, std::ptrdiff_t stride_bytes,
+                              std::size_t count, std::size_t elem_bytes) {
+  for (std::size_t k = 0; k < count; ++k)
+    access(addr + static_cast<std::uintptr_t>(
+                      static_cast<std::ptrdiff_t>(k) * stride_bytes),
+           elem_bytes);
+}
+
+std::uint64_t StackDistSim::estimate_misses(std::size_t lines) const {
+  // A fully-associative LRU cache of `lines` lines hits exactly the
+  // touches with stack distance < lines.
+  std::uint64_t misses = cold_;
+  for (std::size_t d = std::min(lines, max_depth_); d < max_depth_; ++d)
+    misses += hist_[d];
+  return misses;
+}
+
+double StackDistSim::estimate_miss_rate(std::size_t lines) const {
+  return accesses_ ? static_cast<double>(estimate_misses(lines)) /
+                         static_cast<double>(accesses_)
+                   : 0.0;
+}
+
+void StackDistSim::reset() {
+  stack_.clear();
+  std::fill(hist_.begin(), hist_.end(), 0);
+  accesses_ = 0;
+  cold_ = 0;
+}
 
 }  // namespace hwc

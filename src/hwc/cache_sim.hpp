@@ -26,6 +26,23 @@
 //    without rewriting the way array.
 // All three are exact: counters are bit-identical to an element-by-element
 // `access` loop (tests/hwc/test_access_run.cpp asserts this property).
+//
+// On top of the exact machinery sit two pay-per-sample estimation modes
+// (DESIGN.md §11):
+//  * `set_sample_stride(N, seed)` makes `access_run` simulate only batches
+//    falling in every 1-in-N *window* of 2^burst_log2 consecutive batches
+//    (deterministic seeded phase) and skip the rest entirely;
+//    `scaled_counters()` multiplies the sampled tallies back up by N.
+//    Windows rather than individual batches because sweep kernels emit
+//    heavily cross-correlated batches (consecutive faces share stencil
+//    lines): sampling lone batches would read almost every access as a
+//    cold miss, while a multi-hundred-batch burst reaches the warm steady
+//    state after a few faces and amortizes its boundary. Exact mode
+//    (stride 1) is the default and is bit-identical to today — CI and
+//    paper runs never change.
+//  * StackDistSim (below) replaces set/way simulation with a Mattson
+//    reuse-distance histogram: one pass yields estimated miss counts for
+//    EVERY fully-associative LRU capacity at once.
 
 #include <algorithm>
 #include <cstddef>
@@ -57,6 +74,12 @@ struct CacheCounters {
     return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
   }
 };
+
+/// Sampled-mode window size: 2^9 = 512 consecutive access_run batches per
+/// window (~70 sweep faces) — long enough for the L1 working set to warm
+/// up within a handful of faces, short enough that realistic sweeps span
+/// hundreds of windows per sampling stride.
+inline constexpr unsigned kDefaultSampleBurstLog2 = 9;
 
 /// One level of set-associative, write-back/write-allocate LRU cache.
 class CacheSim {
@@ -98,6 +121,56 @@ class CacheSim {
   void flush();
   void reset_counters();
 
+  /// Sampled mode: batches are grouped into windows of 2^burst_log2
+  /// consecutive access_run calls; only windows whose index is congruent
+  /// to `seed % stride` (mod stride) are simulated, the rest return 0
+  /// without touching any state. Counters then tally roughly 1/stride of
+  /// the traffic; read them back through `scaled_counters()`. Lower levels
+  /// chained via set_lower() inherit the scale (they only ever see the
+  /// sampled traffic). Stride 1 restores exact mode. Resets the batch
+  /// phase; call before (not during) a traced sweep.
+  void set_sample_stride(std::uint32_t stride, std::uint64_t seed = 0,
+                         unsigned burst_log2 = kDefaultSampleBurstLog2);
+  std::uint32_t sample_stride() const { return sample_stride_; }
+
+  /// Scale-up factor for sampled counters: the MEASURED fraction of
+  /// batches simulated (total seen / simulated), not the nominal stride —
+  /// the window grid rarely divides the stream evenly, and using the
+  /// realized fraction removes that granularity error entirely. 1.0 in
+  /// exact mode; the nominal stride if sampling skipped every batch.
+  double sample_factor() const {
+    if (sample_stride_ <= 1) return 1.0;
+    if (sample_seen_ == 0) return static_cast<double>(sample_stride_);
+    return static_cast<double>(sample_tick_) /
+           static_cast<double>(sample_seen_);
+  }
+
+  /// Counters scaled by the gating level's sample_factor() — the estimate
+  /// of what exact mode would have counted. Identical to counters() in
+  /// exact mode.
+  CacheCounters scaled_counters() const;
+
+  /// Sampled-mode group fast path: if the next `batches` access_run calls
+  /// would all be rejected by the gate (they fit inside the current,
+  /// inactive window), consume their ticks in one step and return true.
+  /// Returns false in exact mode, in active windows, and when the group
+  /// straddles a window boundary — callers then replay batch by batch,
+  /// which is bit-identical; this only exists so traced kernels can skip
+  /// the per-batch replay bookkeeping wholesale between sampled windows.
+  bool sample_skip(std::uint64_t batches) {
+    if (sample_stride_ <= 1 || batches == 0) return false;
+    if ((sample_tick_ & sample_window_mask_) == 0)
+      sample_window_active_ =
+          (sample_tick_ >> sample_burst_log2_) % sample_stride_ ==
+          sample_phase_;
+    if (sample_window_active_) return false;
+    if ((sample_tick_ & sample_window_mask_) + batches >
+        sample_window_mask_ + 1)
+      return false;
+    sample_tick_ += batches;
+    return true;
+  }
+
   const CacheCounters& counters() const { return counters_; }
   std::size_t size_bytes() const { return size_bytes_; }
   std::size_t line_bytes() const { return line_bytes_; }
@@ -109,14 +182,38 @@ class CacheSim {
   CacheSim* lower() const { return lower_; }
 
  private:
+  // 16 bytes/way, not 32: the way array is the simulator's real working
+  // set (a 512 kB sim = 1024 sets x 8 ways), and every touch lands on a
+  // random set, so its footprint — not instruction count — bounds the
+  // traced hot path. tag, generation and dirty pack into one word; the
+  // hit check then becomes a single masked compare. The 16-bit generation
+  // field is kept exact by flush() hard-invalidating on wrap. Tags keep
+  // their low 47 bits (the rest shift out of meta): addresses alias only
+  // beyond 2^(47 + tag_shift + line_shift) — far outside any real address
+  // space — and every fill/lookup/writeback path truncates identically, so
+  // the bit-identity property holds for arbitrary 64-bit addresses too.
   struct Way {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  // last-use stamp
-    std::uint64_t gen = 0;  // valid iff gen == CacheSim::gen_
-    bool dirty = false;
+    std::uint64_t meta = 0;  // tag << 17 | (gen & kGenMask) << 1 | dirty
+    std::uint64_t lru = 0;   // last-use stamp
   };
+  static constexpr std::uint64_t kGenMask = 0xffff;  // 16-bit generation
+  static constexpr unsigned kTagShiftInMeta = 17;
 
-  bool valid(const Way& w) const { return w.gen == gen_; }
+  static std::uint64_t pack_meta(std::uint64_t tag, std::uint64_t gen,
+                                 bool dirty) {
+    return tag << kTagShiftInMeta | (gen & kGenMask) << 1 |
+           static_cast<std::uint64_t>(dirty);
+  }
+  static std::uint64_t way_tag(const Way& w) { return w.meta >> kTagShiftInMeta; }
+  static bool way_dirty(const Way& w) { return (w.meta & 1) != 0; }
+  /// Meta of a clean, current-generation way holding `tag`; a way matches
+  /// (any dirty state) iff (meta & ~1) equals this.
+  std::uint64_t match_meta(std::uint64_t tag) const {
+    return pack_meta(tag, gen_, false);
+  }
+  bool valid(const Way& w) const {
+    return ((w.meta >> 1) & kGenMask) == (gen_ & kGenMask);
+  }
   std::uint64_t touch_line(std::uint64_t line_addr, bool is_write);
   /// touch_line, but also hands back the way now holding the line (the
   /// set's new MRU) so access_run can extend guaranteed-hit runs on it.
@@ -129,11 +226,11 @@ class CacheSim {
     const std::uint64_t set = line_addr & (sets_ - 1);
     Way& h = ways_[static_cast<std::size_t>(set) * assoc_ +
                    mru_[static_cast<std::size_t>(set)]];
-    if (h.gen == gen_ && h.tag == line_addr >> tag_shift_) {
+    if ((h.meta & ~std::uint64_t{1}) == match_meta(line_addr >> tag_shift_)) {
       ++counters_.accesses;
       ++counters_.hits;
       h.lru = ++stamp_;
-      h.dirty |= is_write;
+      h.meta |= static_cast<std::uint64_t>(is_write);
       return &h;
     }
     return touch_way(line_addr, is_write, misses);
@@ -149,6 +246,14 @@ class CacheSim {
   std::vector<std::uint32_t> mru_;     // per-set most-recently-used way hint
   std::uint64_t stamp_ = 0;
   std::uint64_t gen_ = 1;              // flush() increments; Way::gen matches
+  std::uint32_t sample_stride_ = 1;    // 1 = exact mode
+  std::uint64_t sample_tick_ = 0;      // access_run batches seen
+  std::uint64_t sample_seen_ = 0;      // access_run batches simulated
+  std::uint64_t sample_phase_ = 0;     // window residue that gets simulated
+  unsigned sample_burst_log2_ = kDefaultSampleBurstLog2;
+  std::uint64_t sample_window_mask_ = (1ull << kDefaultSampleBurstLog2) - 1;
+  bool sample_window_active_ = false;  // cached verdict for current window
+  const CacheSim* sampler_ = this;     // level whose gate scales our counters
   CacheCounters counters_;
   CacheSim* lower_ = nullptr;
 };
@@ -158,7 +263,84 @@ inline std::uint64_t CacheSim::access_run(std::uintptr_t addr,
                                           std::size_t count, std::size_t elem_bytes,
                                           bool is_write) {
   if (count == 0 || elem_bytes == 0) return 0;
+  // Sampled mode: only 1-in-stride windows of consecutive batches are
+  // simulated; the rest return before touching counters or replacement
+  // state. Exact mode (stride 1) takes one predicted-not-taken branch
+  // here and nothing else. The window verdict (a modulo) is computed once
+  // per window boundary and cached — the steady-state skip path is an
+  // increment and two predictable branches, cheap enough to leave on in
+  // the traced production path.
+  if (sample_stride_ > 1) {
+    if ((sample_tick_ & sample_window_mask_) == 0)
+      sample_window_active_ =
+          (sample_tick_ >> sample_burst_log2_) % sample_stride_ ==
+          sample_phase_;
+    ++sample_tick_;
+    if (!sample_window_active_) return 0;
+    ++sample_seen_;
+  }
   std::uint64_t misses = 0;
+
+  // Contiguous aligned runs (the kernels' stencil and state batches) take
+  // a closed-form path: when the stride equals the element size and no
+  // element can straddle a line boundary, each covered line holds a
+  // computable element count — touch the line once, then account the
+  // remaining elements as guaranteed hits in one arithmetic step. The
+  // bookkeeping (accesses/hits, one stamp per element, final LRU stamp on
+  // the way, dirty bit) matches the element loop exactly, so counters and
+  // replacement state stay bit-identical; only the per-element walk goes.
+  if (stride_bytes > 0 && static_cast<std::size_t>(stride_bytes) == elem_bytes &&
+      (elem_bytes & (elem_bytes - 1)) == 0 && elem_bytes <= line_bytes_ &&
+      static_cast<std::uint64_t>(addr) % elem_bytes == 0) {
+    const unsigned elem_shift =
+        static_cast<unsigned>(__builtin_ctzll(static_cast<std::uint64_t>(elem_bytes)));
+    const std::uint64_t base = static_cast<std::uint64_t>(addr);
+    const std::uint64_t span = static_cast<std::uint64_t>(count) << elem_shift;
+    const std::uint64_t first = base >> line_shift_;
+    const std::uint64_t last = (base + span - 1) >> line_shift_;
+    const std::uint64_t gen_field = (gen_ & kGenMask) << 1;
+    const std::uint64_t set_mask = sets_ - 1;
+    const unsigned tag_shift = tag_shift_;
+    const std::size_t assoc = assoc_;
+    Way* const ways = ways_.data();
+    const std::uint32_t* const mru = mru_.data();
+    std::uint64_t acc = 0, hit = 0, stamp = stamp_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      const std::uint64_t line_begin = line << line_shift_;
+      const std::uint64_t lo = line == first ? base : line_begin;
+      const std::uint64_t hi =
+          line == last ? base + span : line_begin + line_bytes_;
+      const std::uint64_t n = (hi - lo) >> elem_shift;
+      const std::uint64_t set = line & set_mask;
+      Way& h = ways[static_cast<std::size_t>(set) * assoc +
+                    mru[static_cast<std::size_t>(set)]];
+      if ((h.meta & ~std::uint64_t{1}) ==
+          ((line >> tag_shift) << kTagShiftInMeta | gen_field)) {
+        acc += n;
+        hit += n;
+        stamp += n;
+        h.lru = stamp;
+        h.meta |= static_cast<std::uint64_t>(is_write);
+      } else {
+        counters_.accesses += acc;
+        counters_.hits += hit;
+        stamp_ = stamp;
+        acc = hit = 0;
+        Way* w = touch_way(line, is_write, misses);
+        stamp = stamp_;
+        if (n > 1) {
+          acc = n - 1;
+          hit = n - 1;
+          stamp += n - 1;
+          w->lru = stamp;
+        }
+      }
+    }
+    counters_.accesses += acc;
+    counters_.hits += hit;
+    stamp_ = stamp;
+    return misses;
+  }
 
   // Invariant: `cur_way` (when non-null) holds `cur_line`, and no line has
   // been touched since — so an element confined to `cur_line` is a
@@ -177,7 +359,7 @@ inline std::uint64_t CacheSim::access_run(std::uintptr_t addr,
   const unsigned line_shift = line_shift_;
   const std::uint64_t set_mask = sets_ - 1;
   const unsigned tag_shift = tag_shift_;
-  const std::uint64_t gen = gen_;
+  const std::uint64_t gen_field = (gen_ & kGenMask) << 1;
   const std::size_t assoc = assoc_;
   Way* const ways = ways_.data();
   const std::uint32_t* const mru = mru_.data();
@@ -190,11 +372,12 @@ inline std::uint64_t CacheSim::access_run(std::uintptr_t addr,
     const std::uint64_t set = line & set_mask;
     Way& h = ways[static_cast<std::size_t>(set) * assoc +
                   mru[static_cast<std::size_t>(set)]];
-    if (h.gen == gen && h.tag == line >> tag_shift) {
+    if ((h.meta & ~std::uint64_t{1}) ==
+        ((line >> tag_shift) << kTagShiftInMeta | gen_field)) {
       ++local_acc;
       ++local_hit;
       h.lru = ++local_stamp;
-      h.dirty |= is_write;
+      h.meta |= static_cast<std::uint64_t>(is_write);
       return &h;
     }
     counters_.accesses += local_acc;
@@ -239,7 +422,7 @@ inline std::uint64_t CacheSim::access_run(std::uintptr_t addr,
         local_hit += run;
         local_stamp += run;
         cur_way->lru = local_stamp;
-        cur_way->dirty |= is_write;
+        cur_way->meta |= static_cast<std::uint64_t>(is_write);
         k += run;
         continue;
       }
@@ -256,7 +439,7 @@ inline std::uint64_t CacheSim::access_run(std::uintptr_t addr,
         ++local_acc;
         ++local_hit;
         cur_way->lru = ++local_stamp;
-        cur_way->dirty |= is_write;
+        cur_way->meta |= static_cast<std::uint64_t>(is_write);
       } else {
         cur_way = touch(line);
         cur_line = line;
@@ -277,6 +460,56 @@ struct XeonHierarchy {
   XeonHierarchy() : l1(8 * 1024, 64, 4), l2(512 * 1024, 64, 8) { l1.set_lower(&l2); }
   CacheSim l1;
   CacheSim l2;
+};
+
+/// Parses CCAPERF_CACHESIM_SAMPLE (the counted sweeps' sampling stride;
+/// unset/empty/1 = exact mode). Raises on malformed values.
+std::uint32_t env_sample_stride();
+
+/// Mattson reuse-distance (stack-distance) profiler: a capacity-agnostic
+/// alternative to full set/way simulation for miss-RATE estimation. Every
+/// line touch records the number of distinct lines referenced since the
+/// last touch of that line (its depth in an LRU stack, maintained
+/// move-to-front); a fully-associative LRU cache of C lines then misses
+/// exactly the touches with distance >= C plus the cold misses, so one
+/// pass prices every capacity at once. Set-associative caches deviate only
+/// through conflict misses, which the euler sweeps' regular strides keep
+/// small (tests/hwc/test_cache_sampling.cpp bounds the error against the
+/// full simulator). Depth is capped at `max_depth`: lines that fall off
+/// the tracked stack recount as cold, which cannot disturb estimates for
+/// capacities <= max_depth (those touches would miss either way).
+class StackDistSim {
+ public:
+  explicit StackDistSim(std::size_t line_bytes,
+                        std::size_t max_depth = std::size_t{1} << 15);
+
+  void access(std::uintptr_t addr, std::size_t bytes);
+  /// Batched form mirroring CacheSim::access_run's element semantics.
+  void access_run(std::uintptr_t addr, std::ptrdiff_t stride_bytes,
+                  std::size_t count, std::size_t elem_bytes);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t cold_misses() const { return cold_; }
+  std::size_t max_depth() const { return max_depth_; }
+  /// histogram()[d] = touches at stack distance d (d < max_depth).
+  const std::vector<std::uint64_t>& histogram() const { return hist_; }
+
+  /// Estimated misses/miss-rate of a fully-associative LRU cache holding
+  /// `lines` cache lines (e.g. size_bytes / line_bytes).
+  std::uint64_t estimate_misses(std::size_t lines) const;
+  double estimate_miss_rate(std::size_t lines) const;
+
+  void reset();
+
+ private:
+  void touch_line(std::uint64_t line);
+
+  unsigned line_shift_;
+  std::size_t max_depth_;
+  std::vector<std::uint64_t> stack_;  // move-to-front LRU; front() = MRU
+  std::vector<std::uint64_t> hist_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_ = 0;
 };
 
 }  // namespace hwc

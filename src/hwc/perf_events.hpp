@@ -1,0 +1,106 @@
+#pragma once
+// Linux perf_events counter backend (DESIGN.md §11).
+//
+// The simulator-backed counters (CacheSim / CacheProbe) model the paper's
+// PAPI metrics deterministically; this backend reads the *real* hardware
+// PMU through perf_event_open(2) and publishes the same PAPI-named
+// sources through hwc::CounterRegistry, so every consumer (Mastermind
+// snapshots, trace counter samples, telemetry) is backend-agnostic.
+//
+// Selection is at runtime via CCAPERF_HWC:
+//   (unset) | "sim"  -> simulator counters only (the default; deterministic)
+//   "perf"           -> try the PMU, degrade per-event, fall back wholesale
+//
+// Degradation ladder (each step logs its reason in the install report):
+//   1. no <linux/perf_event.h> at build time        -> backend compiled out
+//   2. perf_event_open ENOSYS/EACCES/EPERM (container seccomp,
+//      perf_event_paranoid)                         -> simulator, reason kept
+//   3. individual event unsupported (ENOENT/ENODEV) -> that event skipped,
+//      the rest still install
+//   4. event opened but multiplexed or rdpmc-less   -> read(2) slow path
+//
+// Counts are read on the caller's thread with a userspace rdpmc fast path
+// when the kernel exports one (cap_user_rdpmc in the mmap'd control page,
+// seqlock protocol from the perf_event.h header comment), else read(2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwc/counters.hpp"
+
+namespace hwc {
+
+/// Which counter substrate backs the PAPI-named registry sources.
+enum class HwcBackend { sim, perf };
+
+/// Parses CCAPERF_HWC. Unset/empty/"sim" -> sim, "perf" -> perf; anything
+/// else raises (typos must not silently measure the wrong thing).
+HwcBackend env_hwc_backend();
+
+/// One perf_event_open'd counter. Movable, not copyable; closes its fd and
+/// unmaps its control page on destruction.
+class PerfCounter {
+ public:
+  PerfCounter() = default;
+  ~PerfCounter();
+  PerfCounter(PerfCounter&& o) noexcept;
+  PerfCounter& operator=(PerfCounter&& o) noexcept;
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+
+  /// Opens a counter for this process (any CPU, user-space only, counting
+  /// from now). Returns false and records errno on failure.
+  bool open(std::uint32_t type, std::uint64_t config);
+
+  bool ok() const { return fd_ >= 0; }
+  int last_errno() const { return errno_; }
+  /// True when reads go through the userspace rdpmc path.
+  bool rdpmc() const;
+
+  /// Current count. rdpmc fast path when available, else read(2).
+  std::uint64_t read() const;
+
+ private:
+  void close_now();
+
+  int fd_ = -1;
+  int errno_ = 0;
+  void* page_ = nullptr;  // perf_event_mmap_page when mapped
+};
+
+/// Outcome of install_backend: what was asked for, what actually backs the
+/// registry, which PAPI names were installed, and why anything degraded.
+struct HwcInstallReport {
+  HwcBackend requested = HwcBackend::sim;
+  HwcBackend active = HwcBackend::sim;
+  std::vector<std::string> installed;  ///< PAPI names now in the registry
+  std::string detail;                  ///< degradation reason(s), "" if none
+
+  bool degraded() const { return active != requested; }
+};
+
+/// Installs the requested backend's counter sources into `reg`.
+///
+/// sim: no-op (the simulator probes publish their own sources); perf:
+/// opens PAPI_TOT_CYC / PAPI_TOT_INS / PAPI_L1_DCM / PAPI_L2_DCM against
+/// the PMU and registers them. If *no* event opens, falls back to sim and
+/// leaves the registry untouched. Call once per rank registry; the
+/// returned report owns the open fds for the registry's lifetime — keep it
+/// alive as long as the registry reads the sources.
+class PerfBackend {
+ public:
+  /// Reads CCAPERF_HWC and installs accordingly.
+  HwcInstallReport install(CounterRegistry& reg);
+  /// Explicit-backend variant (tests, embedders).
+  HwcInstallReport install(CounterRegistry& reg, HwcBackend requested);
+
+  /// True when this build can talk to perf_events at all (Linux, header
+  /// present at compile time). False means "perf" always degrades to sim.
+  static bool compiled_in();
+
+ private:
+  std::vector<PerfCounter> counters_;  // referenced by registered lambdas
+};
+
+}  // namespace hwc

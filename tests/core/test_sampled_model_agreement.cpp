@@ -1,0 +1,125 @@
+// Sampled-mode model agreement (DESIGN.md §11): a CacheAwareModel fitted
+// from work counts gathered in sampled CacheSim mode must agree with one
+// fitted from exact-mode counts to within a small relative error at every
+// tabulated Q — the fitted-model-level guarantee that makes the cheap
+// sampled counters usable for the Mastermind's cache-parameterized models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cache_model.hpp"
+#include "euler/kernels.hpp"
+#include "hwc/cache_sim.hpp"
+#include "hwc/probe.hpp"
+
+namespace {
+
+using amr::Box;
+using amr::PatchData;
+using core::Sample;
+using core::WorkCounts;
+using euler::Dir;
+using euler::GasModel;
+using euler::kNcomp;
+
+PatchData<double> wavy_patch(const Box& interior, const GasModel& gas) {
+  PatchData<double> p(interior, 2, kNcomp);
+  const Box g = p.grown_box();
+  for (int j = g.lo().j; j <= g.hi().j; ++j)
+    for (int i = g.lo().i; i <= g.hi().i; ++i) {
+      const euler::Prim w{1.0 + 0.3 * std::sin(0.4 * i) * std::cos(0.3 * j),
+                          0.2 * std::sin(0.2 * i + 0.1 * j),
+                          -0.15 * std::cos(0.25 * j + 0.05 * i),
+                          1.0 + 0.2 * std::cos(0.3 * i - 0.2 * j),
+                          0.5 + 0.5 * std::sin(0.15 * i * j)};
+      double U[kNcomp];
+      euler::prim_to_cons(w, gas, U);
+      for (int c = 0; c < kNcomp; ++c) p(i, j, c) = U[c];
+    }
+  return p;
+}
+
+/// Work counts of one States invocation (X+Y sweeps) at `interior`,
+/// either exact (stride 1) or sampled with scaled counters. Misses are
+/// the L1 level's — the one the sampling gate is calibrated for.
+WorkCounts count_work(const Box& interior, std::uint32_t stride) {
+  GasModel gas;
+  gas.gamma2 = 1.4;
+  hwc::XeonHierarchy mem;
+  if (stride > 1) mem.l1.set_sample_stride(stride, /*seed=*/0, /*burst_log2=*/11);
+  hwc::CacheProbe probe(&mem.l1);
+  const auto u = wavy_patch(interior, gas);
+  for (Dir dir : {Dir::x, Dir::y}) {
+    int nx = 0, ny = 0;
+    euler::face_dims(interior, dir, nx, ny);
+    euler::Array2 l(nx, ny, kNcomp), r(nx, ny, kNcomp);
+    euler::compute_states(u, interior, dir, gas, l, r, probe);
+  }
+  WorkCounts w;
+  w.q = static_cast<double>((interior.hi().i - interior.lo().i + 1) *
+                            (interior.hi().j - interior.lo().j + 1));
+  w.flops = static_cast<double>(probe.counts().flops);
+  w.accesses = static_cast<double>(probe.counts().loads + probe.counts().stores);
+  w.misses = static_cast<double>(mem.l1.scaled_counters().misses);
+  return w;
+}
+
+std::vector<WorkCounts> work_table(std::uint32_t stride) {
+  std::vector<WorkCounts> t;
+  for (const Box& interior :
+       {Box{0, 0, 95, 47}, Box{0, 0, 127, 63}, Box{0, 0, 191, 95},
+        Box{0, 0, 255, 127}})
+    t.push_back(count_work(interior, stride));
+  return t;
+}
+
+TEST(SampledModelAgreement, HelperMeasuresPredictionGap) {
+  std::vector<WorkCounts> table{{1000, 10'000, 4'000, 500},
+                                {2000, 20'000, 8'000, 1'000}};
+  core::CacheAwareModel ref(1.0, 0.0, 0.0, table);
+  core::CacheAwareModel same(1.0, 0.0, 0.0, table);
+  core::CacheAwareModel off(1.1, 0.0, 0.0, table);
+  EXPECT_DOUBLE_EQ(core::max_relative_prediction_error(same, ref), 0.0);
+  EXPECT_NEAR(core::max_relative_prediction_error(off, ref), 0.1, 1e-12);
+}
+
+TEST(SampledModelAgreement, SampledFitTracksExactFit) {
+  // Same synthetic machine timings for both fits (generated from the
+  // exact table with known coefficients — no timing noise, so the only
+  // difference between the two models is the sampling error in the miss
+  // column), stride 16 as the bench's sampled operating point.
+  const auto exact_table = work_table(1);
+  const auto sampled_table = work_table(16);
+
+  // Flops/accesses come from the probe, which never samples.
+  for (std::size_t i = 0; i < exact_table.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sampled_table[i].flops, exact_table[i].flops);
+    EXPECT_DOUBLE_EQ(sampled_table[i].accesses, exact_table[i].accesses);
+    ASSERT_GT(exact_table[i].misses, 0.0);
+    // Miss column within the calibrated sampling tolerance.
+    EXPECT_LE(std::abs(sampled_table[i].misses - exact_table[i].misses) /
+                  exact_table[i].misses,
+              0.10)
+        << "row " << i << " q=" << exact_table[i].q;
+  }
+
+  std::vector<Sample> timings;
+  for (const WorkCounts& w : exact_table) {
+    const double t = 2e-3 * w.flops + 5e-4 * w.accesses + 1e-2 * w.misses;
+    for (int rep = 0; rep < 3; ++rep) timings.push_back(Sample{w.q, t});
+  }
+
+  const auto exact_model = core::fit_cache_aware(timings, exact_table);
+  const auto sampled_model = core::fit_cache_aware(timings, sampled_table);
+  EXPECT_GT(exact_model->r2, 0.9999);
+
+  // The fitted-model agreement gate: predictions within 5% everywhere on
+  // the table (the sampling bias in one of three work columns dilutes
+  // into an even smaller prediction gap).
+  EXPECT_LE(core::max_relative_prediction_error(*sampled_model, *exact_model),
+            0.05);
+}
+
+}  // namespace

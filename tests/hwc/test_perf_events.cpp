@@ -1,0 +1,96 @@
+// perf_events backend (DESIGN.md §11): CCAPERF_HWC selects the counter
+// substrate at runtime; "perf" must either genuinely read the PMU (counts
+// monotone, PAPI names registered) or degrade to the simulator with an
+// explanation — never crash, never half-install. These tests pass on
+// machines with and without perf_event_open access, because container
+// sandboxes routinely wall the syscall off.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "hwc/perf_events.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+struct HwcEnvGuard {
+  ~HwcEnvGuard() { unsetenv("CCAPERF_HWC"); }
+  void set(const char* v) { ASSERT_EQ(setenv("CCAPERF_HWC", v, 1), 0); }
+};
+
+TEST(PerfEvents, EnvSelectsBackend) {
+  HwcEnvGuard env;
+  unsetenv("CCAPERF_HWC");
+  EXPECT_EQ(hwc::env_hwc_backend(), hwc::HwcBackend::sim);
+  env.set("");
+  EXPECT_EQ(hwc::env_hwc_backend(), hwc::HwcBackend::sim);
+  env.set("sim");
+  EXPECT_EQ(hwc::env_hwc_backend(), hwc::HwcBackend::sim);
+  env.set("perf");
+  EXPECT_EQ(hwc::env_hwc_backend(), hwc::HwcBackend::perf);
+  env.set("papi");
+  EXPECT_THROW(hwc::env_hwc_backend(), ccaperf::Error);
+}
+
+TEST(PerfEvents, SimRequestIsANoop) {
+  hwc::CounterRegistry reg;
+  hwc::PerfBackend backend;
+  const auto report = backend.install(reg, hwc::HwcBackend::sim);
+  EXPECT_EQ(report.active, hwc::HwcBackend::sim);
+  EXPECT_FALSE(report.degraded());
+  EXPECT_TRUE(report.installed.empty());
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(PerfEvents, PerfRequestInstallsOrDegradesGracefully) {
+  hwc::CounterRegistry reg;
+  hwc::PerfBackend backend;
+  const auto report = backend.install(reg, hwc::HwcBackend::perf);
+  ASSERT_EQ(report.requested, hwc::HwcBackend::perf);
+
+  if (report.active == hwc::HwcBackend::sim) {
+    // Degradation path: syscall walled off (seccomp / perf_event_paranoid)
+    // or backend compiled out. The registry must be untouched and the
+    // report must say why.
+    EXPECT_TRUE(report.degraded());
+    EXPECT_FALSE(report.detail.empty());
+    EXPECT_EQ(reg.size(), 0u);
+    return;
+  }
+
+  // Live path: every installed name must be readable through the registry
+  // and monotone non-decreasing — a busy loop strictly grows cycles and
+  // instructions.
+  ASSERT_FALSE(report.installed.empty());
+  EXPECT_EQ(reg.size(), report.installed.size());
+  std::vector<std::uint64_t> before, after;
+  reg.read_values(before);
+  volatile double sink = 1.0;
+  for (int i = 0; i < 200000; ++i) sink = sink * 1.000001 + 0.5;
+  reg.read_values(after);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_GE(after[i], before[i]) << report.installed[i];
+  if (reg.has("PAPI_TOT_INS")) {
+    const std::size_t i =
+        static_cast<std::size_t>(std::find(report.installed.begin(),
+                                           report.installed.end(),
+                                           "PAPI_TOT_INS") -
+                                 report.installed.begin());
+    EXPECT_GT(after[i], before[i]);
+  }
+}
+
+TEST(PerfEvents, ReinstallReplacesSourcesNotDuplicates) {
+  hwc::CounterRegistry reg;
+  hwc::PerfBackend a, b;
+  const auto ra = a.install(reg, hwc::HwcBackend::perf);
+  const auto rb = b.install(reg, hwc::HwcBackend::perf);
+  EXPECT_EQ(ra.installed.size(), rb.installed.size());
+  // add_source replaces by name, so the registry never grows past one
+  // entry per PAPI name no matter how many times a backend installs.
+  EXPECT_EQ(reg.size(), rb.installed.size());
+}
+
+}  // namespace
