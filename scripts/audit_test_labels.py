@@ -14,6 +14,13 @@ import re
 import sys
 
 ADD_TEST = re.compile(r'add_test\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?\]?')
+
+# Binaries that must stay in the tier-1 lane specifically: they carry the
+# overhead-governor contract suites (Governor*/ThreadedGovernor/OnlineRefit
+# in test_core, TraceTiers in test_tau, CacheSampling governor-stride tests
+# in test_hwc). A demotion to tier2 would silently drop the GOVERNOR_*
+# counter and budget-convergence checks from the gate in check_tier1.sh.
+REQUIRED_TIER1 = {"test_core", "test_tau", "test_hwc"}
 PROPS = re.compile(
     r'set_tests_properties\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?(?:\]=*\])?\s+'
     r"PROPERTIES\s+(.*?)\)\s*$",
@@ -57,7 +64,19 @@ def main():
         print(f"label audit FAILED: {len(bad)} test(s) without a tier1/tier2 "
               f"label: {', '.join(bad)}")
         return 1
-    print(f"label audit: OK ({len(tests)} tests, all tiered)")
+    demoted = sorted(t for t in REQUIRED_TIER1 & tests
+                     if "tier1" not in labels.get(t, set()))
+    if demoted:
+        print(f"label audit FAILED: governor contract suite(s) not tier1: "
+              f"{', '.join(demoted)}")
+        return 1
+    missing = sorted(REQUIRED_TIER1 - tests)
+    if missing:
+        print(f"label audit FAILED: required suite(s) not registered: "
+              f"{', '.join(missing)}")
+        return 1
+    print(f"label audit: OK ({len(tests)} tests, all tiered; "
+          f"governor suites pinned to tier1)")
     return 0
 
 

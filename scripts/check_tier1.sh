@@ -10,7 +10,7 @@
 #   STAGES="tier1 trace-smoke" scripts/check_tier1.sh
 #
 # STAGES is a space-separated subset of:
-#   tier1 trace-smoke chaos-soak ranks-scaling simd-matrix tsan asan
+#   tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix tsan asan
 # so the CI pipeline can fan the stages out across jobs while local runs
 # keep the single-command default.
 set -euo pipefail
@@ -20,7 +20,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${STAGES:-"tier1 trace-smoke chaos-soak ranks-scaling simd-matrix tsan asan"}
+STAGES=${STAGES:-"tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix tsan asan"}
 
 want() {
   case " ${STAGES} " in
@@ -124,6 +124,64 @@ PY
   echo "chaos soak: OK"
 fi
 
+if want governor-soak; then
+  echo "== governor soak (2-rank fig01 under a 2% overhead budget) =="
+  # The overhead governor (DESIGN.md §12) must keep realized measurement
+  # self-cost inside the budget on the full simulation without perturbing
+  # the physics: a governed run (CCAPERF_OVERHEAD_PCT=2, full tracing)
+  # writes density CSVs byte-identical to an ungoverned untraced run, its
+  # telemetry/trace still parse, every telemetry line carries the realized
+  # overhead_pct and the governor level, and the cumulative self-cost over
+  # the second half of the run stays under budget + hysteresis band (2.5%).
+  need_fig01
+  (cd "${SMOKE_DIR}" && mkdir -p gov-on gov-off &&
+   cd gov-off && CCAPERF_RANKS=2 CCAPERF_STEPS=6 "${FIG01}" >/dev/null &&
+   cd ../gov-on &&
+   CCAPERF_TRACE=trace.json CCAPERF_OVERHEAD_PCT=2 CCAPERF_RANKS=2 \
+   CCAPERF_STEPS=6 "${FIG01}" >/dev/null)
+  python3 -m json.tool "${SMOKE_DIR}/gov-on/trace.json" >/dev/null
+  python3 - "${SMOKE_DIR}" <<'PY'
+import filecmp, glob, json, os, sys
+
+smoke = sys.argv[1]
+on = sorted(glob.glob(os.path.join(smoke, "gov-on", "bench_out", "figs",
+                                   "fig01_density.rank*.csv")))
+off = sorted(glob.glob(os.path.join(smoke, "gov-off", "bench_out", "figs",
+                                    "fig01_density.rank*.csv")))
+assert len(on) == len(off) > 0, (len(on), len(off))
+for po, pf in zip(on, off):
+    assert os.path.basename(po) == os.path.basename(pf), (po, pf)
+    assert filecmp.cmp(po, pf, shallow=False), \
+        f"governed run perturbed the physics: {po}"
+
+tiers, worst_late = 0, 0.0
+for path in sorted(glob.glob(os.path.join(smoke, "gov-on",
+                                          "telemetry.rank*.jsonl"))):
+    lines = [json.loads(l) for l in open(path)]
+    assert lines, f"empty telemetry: {path}"
+    tiers += sum(1 for l in lines
+                 if l.get("governor", {}).get("event") == "tier")
+    samples = [l for l in lines if "overhead_pct" in l]
+    assert samples, f"no overhead_pct telemetry: {path}"
+    assert all("governor_level" in l for l in samples), \
+        f"telemetry missing governor_level: {path}"
+    # Cumulative realized overhead over the second half of the run: the
+    # controller gets the first half to walk the tier ladder down.
+    mid, last = samples[len(samples) // 2], samples[-1]
+    dt = last["t_us"] - mid["t_us"]
+    if dt > 0:
+        worst_late = max(worst_late,
+                         100.0 * (last["self_us"] - mid["self_us"]) / dt)
+# A fast host may never breach the budget (no tier transitions) — then the
+# realized overhead itself must prove throttling was unnecessary.
+assert tiers > 0 or worst_late <= 2.5, "no tier transitions yet over budget"
+assert worst_late <= 2.5, f"governed overhead {worst_late:.2f}% > 2.5%"
+print(f"governor soak: physics byte-identical, {tiers} tier transitions, "
+      f"late-half overhead {worst_late:.2f}% <= 2.5%")
+PY
+  echo "governor soak: OK"
+fi
+
 if want ranks-scaling; then
   echo "== rank-scaling smoke (64-rank fig01, tree collectives + sharded balance) =="
   # The tree collectives and the distributed load balancer (active at >= 16
@@ -210,7 +268,8 @@ if want tsan; then
   "${TSAN_DIR}/tests/amr/test_amr" \
     --gtest_filter='ExchangeFaults.*:*DistributedBalance*'
   "${TSAN_DIR}/tests/support/test_support" --gtest_filter='ThreadPool.*'
-  "${TSAN_DIR}/tests/core/test_core" --gtest_filter='ThreadedMonitor.*'
+  "${TSAN_DIR}/tests/core/test_core" \
+    --gtest_filter='ThreadedMonitor.*:ThreadedGovernor.*'
   "${TSAN_DIR}/tests/euler/test_euler" \
     --gtest_filter='KernelsMt.*:SimdDispatch.*:SimdKernels.*'
   "${TSAN_DIR}/tests/tau/test_tau" --gtest_filter='RegistryShards.*'

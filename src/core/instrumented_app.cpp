@@ -1,8 +1,12 @@
 #include "core/instrumented_app.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
 
 #include "core/trace_export.hpp"
+#include "hwc/cache_sim.hpp"
 
 namespace core {
 
@@ -54,11 +58,22 @@ InstrumentedApp assemble_instrumented_app(mpp::Comm& world,
 
   // CCAPERF_HWC=perf points the PAPI-named registry sources at the real
   // PMU; default (sim) keeps the deterministic simulator counters. A
-  // walled-off PMU degrades back to sim with a one-line notice.
+  // walled-off PMU degrades back to sim with a one-line notice — emitted
+  // once per process, not once per rank thread, so multi-rank runs don't
+  // repeat it.
   app.hwc_report = app.hwc_backend.install(app.registry().counters());
-  if (app.hwc_report.degraded())
-    std::fprintf(stderr, "ccaperf: CCAPERF_HWC=perf unavailable (%s); using sim\n",
-                 app.hwc_report.detail.c_str());
+  if (app.hwc_report.degraded()) {
+    static std::once_flag degrade_notice;
+    std::call_once(degrade_notice, [&] {
+      std::fprintf(stderr,
+                   "ccaperf: CCAPERF_HWC=perf unavailable (%s); using sim\n",
+                   app.hwc_report.detail.c_str());
+    });
+  }
+  // The active backend rides along in every telemetry line's metadata so
+  // downstream tooling knows which substrate produced the counter columns.
+  app.mastermind->set_telemetry_hwc(
+      app.hwc_report.active == hwc::HwcBackend::perf ? "perf" : "sim");
 
   // Measurement plumbing.
   fw.connect("mastermind", "measurement", "tau", "measurement");
@@ -78,6 +93,51 @@ InstrumentedApp assemble_instrumented_app(mpp::Comm& world,
   fw.connect("rk2", "invflux", "invflux", "invflux");
   fw.connect("invflux", "states", "sc_proxy", "states");
   fw.connect("invflux", "flux", "flux_proxy", "flux");
+
+  // CCAPERF_OVERHEAD_PCT arms the overhead governor: the Mastermind feeds
+  // it windows of (wall, self-cost, records) and applies the returned
+  // tier settings. The governor steers OBSERVABILITY only — a governed
+  // run's physics output is byte-identical to an ungoverned one (the
+  // governor-soak tier-1 stage pins this).
+  const GovernorConfig gov_cfg = GovernorConfig::from_env();
+  if (gov_cfg.enabled) {
+    GovernorConfig per_rank = gov_cfg;
+    // Decorrelate the 1-in-N sampling phases across ranks; the controller
+    // itself stays deterministic per rank.
+    per_rank.seed += static_cast<std::uint64_t>(world.rank());
+    app.governor = std::make_unique<OverheadGovernor>(per_rank);
+    app.mastermind->attach_governor(app.governor.get());
+    app.mastermind->set_counter_stride_actuator(
+        [](std::uint32_t stride) { hwc::set_governor_sample_stride(stride); });
+  }
+
+  // CCAPERF_REFIT=1 additionally arms the OnlineRefitter: at every regrid
+  // boundary it re-fits the flux streaming models from the (possibly
+  // sampled) records and hot-swaps the proxy's uses port when the
+  // AssemblyOptimizer prefers the alternative kernel. This CHANGES THE
+  // NUMERICS (EFM and Godunov fluxes differ), which is why the QoS
+  // trade-off needs its own opt-in and is never implied by the
+  // observability budget alone.
+  const char* refit_env = std::getenv("CCAPERF_REFIT");
+  if (refit_env != nullptr && *refit_env != '\0' &&
+      std::string(refit_env) != "0") {
+    const std::string flux_key = cfg.flux_impl == "EFMFlux"
+                                     ? "efm_proxy::compute()"
+                                     : "g_proxy::compute()";
+    const std::string alt_impl =
+        cfg.flux_impl == "EFMFlux" ? "GodunovFlux" : "EFMFlux";
+    std::vector<OnlineRefitter::Candidate> candidates;
+    candidates.push_back({"flux", cfg.flux_impl, 1.0});
+    // The alternative kernel is instantiated lazily, on its first explore
+    // swap; its lower accuracy score models the paper's §6 QoS trade-off.
+    candidates.push_back({"flux_alt", alt_impl, 0.7});
+    app.refitter = std::make_unique<OnlineRefitter>(
+        fw, *app.mastermind, "flux_proxy", "flux_real", flux_key,
+        std::move(candidates));
+    app.mastermind->set_boundary_hook(
+        "icc_proxy::regrid()",
+        [r = app.refitter.get()] { r->on_boundary(); });
+  }
 
   // CCAPERF_TRACE switches the rank's flight recorder on for the whole
   // assembled run; the caller collects and merges the buffers afterwards.

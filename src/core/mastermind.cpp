@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -328,10 +329,10 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
     start_on_lane(method, params, nullptr, lane);
     return;
   }
-  // Self-overhead clock reads only when telemetry wants the accounting:
-  // the bare monitoring fast path must not pay for them.
-  const bool telem = telem_sink_ != nullptr;
-  const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
+  // Self-overhead clock reads only when telemetry or the governor wants
+  // the accounting: the bare monitoring fast path must not pay for them.
+  const bool acct = telem_sink_ != nullptr || gov_ != nullptr;
+  const tau::Clock::time_point t0 = acct ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   CCAPERF_REQUIRE(method < methods_count_.load(std::memory_order_acquire),
                   "Mastermind::start: bad method handle");
@@ -342,12 +343,6 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
   Open& o = push_open(L, method);
   o.n_params = static_cast<std::uint32_t>(params.size);
   for (std::size_t i = 0; i < params.size; ++i) o.param_vals[i] = params.data[i];
-  // Parameter capture and snapshots happen OUTSIDE the method timer, so
-  // "these timings do not include the cost of the work done in the
-  // proxies" (§5).
-  o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
-  reg.counters().read_values(o.counters_start);
-  o.gen_start = reg.generation();
   // Call-path detection: the enclosing monitored method (if any) is the
   // caller of this invocation.
   const MethodHandle caller =
@@ -355,8 +350,19 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
   if (threaded_) {
     std::lock_guard<std::mutex> lk(mu_);
     count_edge(caller, method);
+    o.sampled = sample_decision(++m.calls_seen);
   } else {
     count_edge(caller, method);
+    o.sampled = sample_decision(++m.calls_seen);
+  }
+  // Parameter capture and snapshots happen OUTSIDE the method timer, so
+  // "these timings do not include the cost of the work done in the
+  // proxies" (§5). Unsampled activations skip the snapshots entirely —
+  // that's most of what monitor sampling saves.
+  if (o.sampled) {
+    o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
+    reg.counters().read_values(o.counters_start);
+    o.gen_start = reg.generation();
   }
   if (!m.timer_resolved) {
     m.timer = reg.timer(m.key, "PROXY");
@@ -372,7 +378,7 @@ void MastermindComponent::start(MethodHandle method, ParamSpan params) {
     }
     reg.trace_arg(m.arg_string, params.data[0]);
   }
-  if (telem) telem_self_us_ += us_between(t0, tau::Clock::now());
+  if (acct) telem_self_us_ += us_between(t0, tau::Clock::now());
 }
 
 void MastermindComponent::stop(MethodHandle method) {
@@ -381,8 +387,8 @@ void MastermindComponent::stop(MethodHandle method) {
     stop_on_lane(method, lane);
     return;
   }
-  const bool telem = telem_sink_ != nullptr;
-  const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
+  const bool acct = telem_sink_ != nullptr || gov_ != nullptr;
+  const tau::Clock::time_point t0 = acct ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   CCAPERF_REQUIRE(method < methods_count_.load(std::memory_order_acquire),
                   "Mastermind::stop: bad method handle");
@@ -400,35 +406,57 @@ void MastermindComponent::stop(MethodHandle method) {
   // (and lock-free when single-threaded).
   std::unique_lock<std::mutex> lk;
   if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
-  Record& rec = *m.record;
-  const double mpi_us = reg.group_inclusive_us(mpi_group_) - o.mpi_us_start;
-  rec.add_times(wall_us, mpi_us, wall_us - mpi_us);
-  for (std::size_t i = 0; i < o.n_params; ++i)
-    rec.set_param(m.param_cols[i], o.param_vals[i]);
-  for (const auto& [col, v] : o.extra_params) rec.set_param(col, v);
-  if (threaded_) rec.set_param(m.thread_col, 0.0);
+  if (o.sampled) {
+    Record& rec = *m.record;
+    const double mpi_us = reg.group_inclusive_us(mpi_group_) - o.mpi_us_start;
+    rec.add_times(wall_us, mpi_us, wall_us - mpi_us);
+    for (std::size_t i = 0; i < o.n_params; ++i)
+      rec.set_param(m.param_cols[i], o.param_vals[i]);
+    for (const auto& [col, v] : o.extra_params) rec.set_param(col, v);
+    if (threaded_) rec.set_param(m.thread_col, 0.0);
 
-  reg.counters().read_values(counters_scratch_);
-  if (counters_scratch_.size() != m.counter_cols.size()) refresh_counter_columns(m);
-  for (std::size_t i = 0; i < counters_scratch_.size(); ++i) {
-    // A counter registered mid-invocation has no before-value: treat as 0.
-    const double before =
-        i < o.counters_start.size() ? static_cast<double>(o.counters_start[i]) : 0.0;
-    rec.set_counter(m.counter_cols[i], static_cast<double>(counters_scratch_[i]) - before);
+    reg.counters().read_values(counters_scratch_);
+    if (counters_scratch_.size() != m.counter_cols.size()) refresh_counter_columns(m);
+    for (std::size_t i = 0; i < counters_scratch_.size(); ++i) {
+      // A counter registered mid-invocation has no before-value: treat as 0.
+      const double before =
+          i < o.counters_start.size() ? static_cast<double>(o.counters_start[i]) : 0.0;
+      rec.set_counter(m.counter_cols[i], static_cast<double>(counters_scratch_[i]) - before);
+    }
+    rec.finish_row();
+    ++m.calls_recorded;
   }
-  rec.finish_row();
 
   // Outermost window closed: nothing differences older generations any
   // more, so the registry's change log can be compacted — but no further
   // than the telemetry low-water mark, whose next snapshot_delta still
   // needs the entries since its last line.
   if (L.depth == 0)
-    reg.retire_generations_before(
-        telem ? std::min(reg.generation(), telem_gen_) : reg.generation());
-  if (telem) {
-    ++telem_records_;
+    reg.retire_generations_before(telem_sink_ != nullptr
+                                      ? std::min(reg.generation(), telem_gen_)
+                                      : reg.generation());
+  if (acct) {
+    if (o.sampled) ++telem_records_;
     telem_self_us_ += us_between(t0, tau::Clock::now());
-    if (L.depth == 0) maybe_emit_telemetry();
+    if (L.depth == 0) {
+      if (gov_ != nullptr) {
+        ++gov_calls_;
+        governor_window_unlocked(reg);
+      }
+      if (telem_sink_ != nullptr) maybe_emit_telemetry();
+    }
+  }
+  // The regrid-boundary hook (OnlineRefitter) runs outside the lock: it
+  // reads the records and may reconnect framework ports and emit its own
+  // governor events, all of which would self-deadlock under mu_.
+  const bool fire_boundary =
+      L.depth == 0 && boundary_hook_ && method == boundary_method_;
+  if (lk.owns_lock()) lk.unlock();
+  if (fire_boundary) {
+    const tau::Clock::time_point h0 =
+        acct ? tau::Clock::now() : tau::Clock::time_point{};
+    boundary_hook_();
+    if (acct) telem_self_us_ += us_between(h0, tau::Clock::now());
   }
 }
 
@@ -498,6 +526,11 @@ void MastermindComponent::stop_on_lane(MethodHandle method, int lane) {
   // Hardware counters are rank-level state read on the rank thread only;
   // worker rows leave the counter columns NaN.
   rec.finish_row();
+  // Worker lanes are never monitor-sampled (their rows are the parallel
+  // region's ground truth), but they still tally into the realized
+  // fraction so it stays a true recorded/seen ratio for the method.
+  ++m.calls_seen;
+  ++m.calls_recorded;
   // Telemetry emission and generation retirement stay on lane 0; worker
   // rows still count toward the emission interval.
   if (telem_sink_ != nullptr) ++telem_records_;
@@ -509,36 +542,40 @@ void MastermindComponent::start(const std::string& method_key, const ParamMap& p
     start_on_lane(intern_method(method_key), ParamSpan{}, &params, lane);
     return;
   }
-  const bool telem = telem_sink_ != nullptr;
-  const tau::Clock::time_point t0 = telem ? tau::Clock::now() : tau::Clock::time_point{};
+  const bool acct = telem_sink_ != nullptr || gov_ != nullptr;
+  const tau::Clock::time_point t0 = acct ? tau::Clock::now() : tau::Clock::time_point{};
   tau::Registry& reg = registry();
   const MethodHandle h = intern_method(method_key);
   Method& m = method_ref(h);
   LaneState& L = lanes_[0];
   Open& o = push_open(L, h);
-  {
-    std::unique_lock<std::mutex> lk;
-    if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
-    for (const auto& [name, v] : params)
-      o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
-  }
-  o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
-  reg.counters().read_values(o.counters_start);
-  o.gen_start = reg.generation();
   const MethodHandle caller =
       L.depth >= 2 ? L.open[L.depth - 2].method : kInvalidMethodHandle;
   if (threaded_) {
     std::lock_guard<std::mutex> lk(mu_);
     count_edge(caller, h);
+    o.sampled = sample_decision(++m.calls_seen);
+    if (o.sampled)
+      for (const auto& [name, v] : params)
+        o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
   } else {
     count_edge(caller, h);
+    o.sampled = sample_decision(++m.calls_seen);
+    if (o.sampled)
+      for (const auto& [name, v] : params)
+        o.extra_params.emplace_back(m.record->ensure_param_column(name), v);
+  }
+  if (o.sampled) {
+    o.mpi_us_start = reg.group_inclusive_us(mpi_group_);
+    reg.counters().read_values(o.counters_start);
+    o.gen_start = reg.generation();
   }
   if (!m.timer_resolved) {
     m.timer = reg.timer(m.key, "PROXY");
     m.timer_resolved = true;
   }
   reg.start(m.timer);
-  if (telem) telem_self_us_ += us_between(t0, tau::Clock::now());
+  if (acct) telem_self_us_ += us_between(t0, tau::Clock::now());
 }
 
 void MastermindComponent::stop(const std::string& method_key) {
@@ -553,12 +590,23 @@ void MastermindComponent::start_telemetry(std::ostream& sink,
   std::unique_lock<std::mutex> lk;
   if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
   telem_sink_ = &sink;
-  telem_interval_ = interval_records < 1 ? 1 : interval_records;
+  telem_interval_base_ = interval_records < 1 ? 1 : interval_records;
+  telem_interval_ = telem_interval_base_;
+  if (gov_ != nullptr)
+    telem_interval_ = telem_interval_base_ * gov_->settings().telem_interval_mult;
   telem_gen_ = reg.generation();
   telem_records_ = 0;
   telem_records_last_ = 0;
   telem_self_us_ = 0.0;
+  telem_self_last_ = 0.0;
   telem_start_ = telem_last_ = tau::Clock::now();
+  if (gov_ != nullptr) {
+    // Re-anchor the governor's cumulative self-cost marker: the telemetry
+    // component of self_total just reset to zero.
+    gov_self_last_ = self_total_unlocked();
+    gov_calls_last_ = gov_calls_;
+    gov_last_ = telem_start_;
+  }
   reg.counters().read_values(telem_counters_last_);
   telem_group_last_.assign(reg.num_groups(), 0.0);
   for (std::size_t g = 0; g < telem_group_last_.size(); ++g)
@@ -637,11 +685,201 @@ void MastermindComponent::emit_telemetry_unlocked() {
   os << ",\"trace\":{\"retained\":" << tb.size() << ",\"total\":" << tb.total()
      << ",\"dropped\":" << tb.dropped() << "}";
 
+  // Optional metadata: the resolved hardware-counter backend and, when the
+  // governor is attached, its current throttle level.
+  if (!hwc_backend_.empty())
+    os << ",\"hwc\":\"" << ccaperf::json_escape(hwc_backend_) << "\"";
+  if (gov_ != nullptr) os << ",\"governor_level\":" << gov_->level();
+
   ++telem_lines_;
   telem_records_last_ = telem_records_;
+  const tau::Clock::time_point prev_line = telem_last_;
   telem_last_ = tau::Clock::now();
   telem_self_us_ += us_between(t0, telem_last_);
-  os << ",\"self_us\":" << ccaperf::json_number(telem_self_us_, 3) << "}\n";
+  // Realized measurement overhead over the interval this line closes:
+  // self-cost delta (including this emission) against wall-clock delta.
+  const double interval_wall = us_between(prev_line, telem_last_);
+  const double interval_self = telem_self_us_ - telem_self_last_;
+  telem_self_last_ = telem_self_us_;
+  os << ",\"overhead_pct\":"
+     << ccaperf::json_number(
+            interval_wall > 0.0
+                ? 100.0 * std::max(0.0, interval_self) / interval_wall
+                : 0.0,
+            3)
+     << ",\"self_us\":" << ccaperf::json_number(telem_self_us_, 3) << "}\n";
+}
+
+// --- overhead governor (DESIGN.md §12) ---------------------------------------
+
+void MastermindComponent::attach_governor(OverheadGovernor* gov) {
+  CCAPERF_REQUIRE(gov != nullptr, "Mastermind::attach_governor: null governor");
+  tau::Registry& reg = registry();
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  gov_ = gov;
+  gov_seed_ = gov->config().seed;
+  gov_monitor_stride_ = gov->settings().monitor_stride;
+  gov_calls_last_ = gov_calls_;
+  gov_self_last_ = self_total_unlocked();
+  gov_last_ = tau::Clock::now();
+  // The controller's own decisions become observable state: a GOVERNOR_*
+  // counter group sampled into telemetry deltas and the Perfetto counter
+  // track like any hardware counter. Registered only on attach, so
+  // ungoverned runs keep their exact counter layout.
+  hwc::CounterRegistry& cr = reg.counters();
+  cr.add_source("GOVERNOR_LEVEL",
+                [gov] { return static_cast<std::uint64_t>(gov->level()); });
+  cr.add_source("GOVERNOR_DECISIONS", [gov] { return gov->decisions(); });
+  cr.add_source("GOVERNOR_THROTTLES", [gov] { return gov->throttles(); });
+  cr.add_source("GOVERNOR_UNTHROTTLES", [gov] { return gov->unthrottles(); });
+  cr.add_source("GOVERNOR_OVERHEAD_BP", [gov] { return gov->last_overhead_bp(); });
+}
+
+void MastermindComponent::add_cost_source(std::string name,
+                                          std::function<double()> cumulative_us) {
+  CCAPERF_REQUIRE(cumulative_us != nullptr, "Mastermind: null cost source");
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  cost_sources_.emplace_back(std::move(name), std::move(cumulative_us));
+}
+
+void MastermindComponent::set_counter_stride_actuator(
+    std::function<void(std::uint32_t)> fn) {
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  counter_stride_actuator_ = std::move(fn);
+}
+
+void MastermindComponent::set_boundary_hook(const std::string& method_key,
+                                            std::function<void()> fn) {
+  const MethodHandle h = intern_method(method_key);
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  boundary_method_ = h;
+  boundary_hook_ = std::move(fn);
+}
+
+void MastermindComponent::set_telemetry_hwc(std::string backend) {
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  hwc_backend_ = std::move(backend);
+}
+
+double MastermindComponent::realized_fraction(const std::string& method_key) const {
+  const std::size_t n = methods_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Method& m = methods_[i];
+    if (m.key != method_key) continue;
+    if (m.calls_seen == 0) return 1.0;
+    return static_cast<double>(m.calls_recorded) /
+           static_cast<double>(m.calls_seen);
+  }
+  return 1.0;
+}
+
+double MastermindComponent::self_total_unlocked() const {
+  double total = telem_self_us_;
+  for (const auto& [name, fn] : cost_sources_) total += fn();
+  return total;
+}
+
+std::uint32_t MastermindComponent::governor_instant_string(tau::Registry& reg,
+                                                           bool throttle,
+                                                           int level) {
+  // Bounded label set (2 directions x kMaxLevel+1 levels), interned lazily
+  // so the trace-string table never grows with decision count.
+  const std::size_t count =
+      2 * static_cast<std::size_t>(OverheadGovernor::kMaxLevel + 1);
+  const std::size_t idx = (throttle ? 1u : 0u) *
+                              static_cast<std::size_t>(OverheadGovernor::kMaxLevel + 1) +
+                          static_cast<std::size_t>(level);
+  if (gov_instant_ids_.size() < count) {
+    gov_instant_ids_.assign(count, 0);
+    gov_instant_ok_.assign(count, 0);
+  }
+  if (!gov_instant_ok_[idx]) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "governor: %s to L%d",
+                  throttle ? "throttle" : "relax", level);
+    gov_instant_ids_[idx] = reg.trace_string(buf);
+    gov_instant_ok_[idx] = 1;
+  }
+  return gov_instant_ids_[idx];
+}
+
+// Called with mu_ held on threaded ranks (from the lane-0 stop path).
+void MastermindComponent::governor_window_unlocked(tau::Registry& reg) {
+  const GovernorConfig& cfg = gov_->config();
+  if (gov_calls_ - gov_calls_last_ < cfg.window_records) return;
+  const tau::Clock::time_point now = tau::Clock::now();
+  OverheadGovernor::Window w;
+  w.wall_us = us_between(gov_last_, now);
+  const double self = self_total_unlocked();
+  w.self_us = self - gov_self_last_;
+  w.records = gov_calls_ - gov_calls_last_;
+  const OverheadGovernor::Decision d = gov_->observe(w);
+  if (!d.evaluated) return;  // degenerate window: keep accumulating
+  gov_last_ = now;
+  gov_self_last_ = self;
+  gov_calls_last_ = gov_calls_;
+  if (d.changed) {
+    // Audit trail: sample the counter track (GOVERNOR_LEVEL already holds
+    // the new level) under the *outgoing* verbosity, actuate, then drop an
+    // instant marker — instants survive every tier.
+    reg.trace_counter_samples();
+    apply_governor_settings_unlocked(reg, d);
+    reg.trace_instant(
+        governor_instant_string(reg, d.level > d.prev_level, d.level));
+    emit_governor_line_unlocked(d);
+  }
+}
+
+void MastermindComponent::apply_governor_settings_unlocked(
+    tau::Registry& reg, const OverheadGovernor::Decision& d) {
+  (void)d;
+  const OverheadGovernor::Settings s = gov_->settings();
+  reg.set_trace_tier(s.trace_tier);
+  telem_interval_ = telem_interval_base_ * s.telem_interval_mult;
+  if (telem_interval_ < 1) telem_interval_ = 1;
+  gov_monitor_stride_ = s.monitor_stride;
+  if (counter_stride_actuator_) counter_stride_actuator_(s.cachesim_stride);
+}
+
+void MastermindComponent::emit_governor_line_unlocked(
+    const OverheadGovernor::Decision& d) {
+  if (telem_sink_ == nullptr) return;
+  const OverheadGovernor::Settings s = gov_->settings();
+  std::ostream& os = *telem_sink_;
+  os << "{\"t_us\":"
+     << ccaperf::json_number(us_between(telem_start_, tau::Clock::now()), 3)
+     << ",\"governor\":{\"event\":\"tier\",\"level\":" << d.level
+     << ",\"prev\":" << d.prev_level
+     << ",\"overhead_pct\":" << ccaperf::json_number(d.overhead_pct, 3)
+     << ",\"budget_pct\":" << ccaperf::json_number(gov_->config().budget_pct, 3)
+     << ",\"headroom_pct\":" << ccaperf::json_number(d.headroom_pct, 3)
+     << ",\"trace_tier\":\"" << tau::trace_tier_name(s.trace_tier)
+     << "\",\"monitor_stride\":" << s.monitor_stride
+     << ",\"telem_interval\":" << telem_interval_
+     << ",\"cachesim_stride\":" << s.cachesim_stride << "}}\n";
+  ++telem_lines_;
+}
+
+void MastermindComponent::emit_governor_event(const char* kind,
+                                              const std::string& fields_json) {
+  tau::Registry& reg = registry();
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  if (telem_sink_ != nullptr) {
+    *telem_sink_ << "{\"t_us\":"
+                 << ccaperf::json_number(us_between(telem_start_, tau::Clock::now()), 3)
+                 << ",\"governor\":{\"event\":\"" << kind << "\""
+                 << (fields_json.empty() ? "" : ",") << fields_json << "}}\n";
+    ++telem_lines_;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "governor: %s", kind);
+  reg.trace_instant(reg.trace_string(buf));
 }
 
 void MastermindComponent::refresh_counter_columns(Method& m) {

@@ -21,6 +21,7 @@
 #include <cmath>
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/governor.hpp"
 #include "core/modeling.hpp"
 #include "core/ports.hpp"
 #include "tau/shards.hpp"
@@ -201,6 +203,53 @@ class MastermindComponent final : public cca::Component,
   const Record* record(const std::string& method_key) const;
   std::vector<std::string> method_keys() const;
 
+  // --- overhead governor (DESIGN.md §12) -------------------------------------
+  // The Mastermind is the governor's plumbing: it accounts measurement
+  // self-cost (clock brackets around its own monitoring work plus any
+  // registered cost sources), feeds (wall, self, records) windows to the
+  // controller at outermost-stop boundaries, and applies the returned
+  // Settings — telemetry interval, registry trace tier, monitor record
+  // sampling, and the cache-sim stride via the actuator callback. Nothing
+  // here runs unless a governor is attached, so ungoverned runs stay
+  // byte-identical.
+
+  /// Attaches the controller (borrowed; must outlive the component) and
+  /// registers the GOVERNOR_* counter sources with the registry. Requires
+  /// the measurement port to be connected.
+  void attach_governor(OverheadGovernor* gov);
+  OverheadGovernor* governor() const { return gov_; }
+
+  /// Registers a cumulative measurement-cost source (monotone microsecond
+  /// total, e.g. the priced cache-sim access count) folded into every
+  /// governor window's self-cost.
+  void add_cost_source(std::string name, std::function<double()> cumulative_us);
+
+  /// Called with the governor-chosen cache-sim sampling stride whenever a
+  /// tier transition changes it (CacheSim::adjust_sample_stride plumbing).
+  void set_counter_stride_actuator(std::function<void(std::uint32_t)> fn);
+
+  /// Fires `fn` after every outermost (depth-0) stop of `method_key`, once
+  /// the monitoring bookkeeping and locks are released — the regrid-boundary
+  /// seam the OnlineRefitter hangs off.
+  void set_boundary_hook(const std::string& method_key, std::function<void()> fn);
+
+  /// Surfaces the chosen hardware-counter backend ("sim", "perf", ...) as
+  /// an `hwc` metadata field on every telemetry line.
+  void set_telemetry_hwc(std::string backend);
+
+  /// Monitored-call recording fraction for one method: rows recorded /
+  /// invocations seen (1.0 while unsampled). Streaming-fit consumers
+  /// rescale workload *counts* by its inverse (PR 7 discipline).
+  double realized_fraction(const std::string& method_key) const;
+
+  /// Current governor-applied monitor sampling stride (1 = record all).
+  std::uint32_t monitor_stride() const { return gov_monitor_stride_; }
+
+  /// Appends a governor event line (`{"t_us":...,"governor":{"event":kind,
+  /// ...fields}}`) to the telemetry sink when active, plus a trace instant.
+  /// `fields_json` is a comma-joined list of pre-escaped JSON members.
+  void emit_governor_event(const char* kind, const std::string& fields_json);
+
   /// Caller->callee invocation counts among *monitored* methods, detected
   /// from monitoring nesting (paper §6: "a call trace (detected and
   /// recorded by the performance infrastructure)" feeds the composite
@@ -250,6 +299,11 @@ class MastermindComponent final : public cca::Component,
     std::vector<std::uint32_t> lane_arg_string;
     std::vector<char> lane_arg_ok;
     std::size_t thread_col = 0;  ///< "thread" param column (threaded only)
+    // Monitor-sampling tallies (governor actuation): every invocation is
+    // seen; only sampled ones append a row. Their ratio is the realized
+    // recording fraction that keeps downstream fits unbiased.
+    std::uint64_t calls_seen = 0;
+    std::uint64_t calls_recorded = 0;
   };
 
   /// In-flight monitored call. Pooled: popped entries keep their buffers,
@@ -263,6 +317,9 @@ class MastermindComponent final : public cca::Component,
     double mpi_us_start = 0.0;
     tau::Generation gen_start = 0;
     std::vector<std::uint64_t> counters_start;
+    /// False when monitor sampling elides this activation's row (the timer
+    /// still runs; snapshots and the record append are skipped).
+    bool sampled = true;
   };
 
   /// Per-lane LIFO of in-flight calls. Lane 0 is the rank thread; worker
@@ -286,6 +343,18 @@ class MastermindComponent final : public cca::Component,
                      int lane);
   void stop_on_lane(MethodHandle method, int lane);
   void emit_telemetry_unlocked();
+  /// Deterministic 1-in-N monitor sampling decision for the n-th seen call.
+  bool sample_decision(std::uint64_t nth_call) const {
+    return gov_monitor_stride_ <= 1 ||
+           (nth_call - 1 + gov_seed_) % gov_monitor_stride_ == 0;
+  }
+  double self_total_unlocked() const;
+  void governor_window_unlocked(tau::Registry& reg);
+  void apply_governor_settings_unlocked(tau::Registry& reg,
+                                        const OverheadGovernor::Decision& d);
+  void emit_governor_line_unlocked(const OverheadGovernor::Decision& d);
+  std::uint32_t governor_instant_string(tau::Registry& reg, bool throttle,
+                                        int level);
 
   cca::Services* svc_ = nullptr;
   tau::Registry* reg_ = nullptr;          // resolved once through the port
@@ -316,8 +385,30 @@ class MastermindComponent final : public cca::Component,
   tau::Clock::time_point telem_start_{};
   tau::Clock::time_point telem_last_{};
   double telem_self_us_ = 0.0;
+  double telem_self_last_ = 0.0;             // at the previous line (overhead_pct)
+  std::uint64_t telem_interval_base_ = 1;    // before the governor multiplier
+  std::string hwc_backend_;                  // "" = omit the metadata field
   std::vector<std::uint64_t> telem_counters_last_;
   std::vector<double> telem_group_last_;     // per-GroupId inclusive_us
+
+  // Governor state (all inert while gov_ == nullptr). Windows are counted
+  // in monitored invocations (sampled or not) so a heavily-thinned monitor
+  // still reaches decision points; self-cost markers are cumulative so a
+  // window's cost is a difference of two monotone totals.
+  OverheadGovernor* gov_ = nullptr;
+  std::uint64_t gov_seed_ = 0;
+  std::uint32_t gov_monitor_stride_ = 1;
+  std::uint64_t gov_calls_ = 0;              // lane-0 outermost stops
+  std::uint64_t gov_calls_last_ = 0;
+  double gov_self_last_ = 0.0;
+  tau::Clock::time_point gov_last_{};
+  std::vector<std::pair<std::string, std::function<double()>>> cost_sources_;
+  std::function<void(std::uint32_t)> counter_stride_actuator_;
+  std::function<void()> boundary_hook_;
+  MethodHandle boundary_method_ = kInvalidMethodHandle;
+  // Interned instant labels per (direction, level), resolved lazily.
+  std::vector<std::uint32_t> gov_instant_ids_;
+  std::vector<char> gov_instant_ok_;
 };
 
 }  // namespace core

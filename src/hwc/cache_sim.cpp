@@ -1,6 +1,7 @@
 #include "hwc/cache_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 namespace hwc {
@@ -208,11 +209,23 @@ void CacheSim::set_sample_stride(std::uint32_t stride, std::uint64_t seed,
   sample_tick_ = 0;
   sample_seen_ = 0;
   sample_phase_ = stride > 1 ? seed % stride : 0;
+  sample_seed_ = seed;
   sample_burst_log2_ = burst_log2;
   sample_window_mask_ = (std::uint64_t{1} << burst_log2) - 1;
   sample_window_active_ = false;  // recomputed at tick 0 (a window boundary)
   // Lower levels only ever see the sampled fraction of the traffic, so
   // their counters carry this level's scale even though they don't gate.
+  for (CacheSim* c = this; c != nullptr; c = c->lower_) c->sampler_ = this;
+}
+
+void CacheSim::adjust_sample_stride(std::uint32_t stride) {
+  CCAPERF_REQUIRE(stride >= 1, "CacheSim: sample stride must be >= 1");
+  sample_stride_ = stride;
+  sample_phase_ = stride > 1 ? sample_seed_ % stride : 0;
+  // Cumulative sample_tick_/sample_seen_ survive on purpose: see the
+  // header contract. The cached window verdict is kept until the next
+  // window boundary recomputes it against the new stride/phase, so the
+  // switch point is deterministic in batch count.
   for (CacheSim* c = this; c != nullptr; c = c->lower_) c->sampler_ = this;
 }
 
@@ -230,14 +243,29 @@ CacheCounters CacheSim::scaled_counters() const {
   return s;
 }
 
+namespace {
+std::atomic<std::uint32_t> g_governor_stride{1};
+}
+
+void set_governor_sample_stride(std::uint32_t stride) {
+  g_governor_stride.store(stride < 1 ? 1 : stride, std::memory_order_relaxed);
+}
+
+std::uint32_t governor_sample_stride() {
+  return g_governor_stride.load(std::memory_order_relaxed);
+}
+
 std::uint32_t env_sample_stride() {
+  std::uint32_t stride = 1;
   const char* env = std::getenv("CCAPERF_CACHESIM_SAMPLE");
-  if (env == nullptr || *env == '\0') return 1;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  CCAPERF_REQUIRE(end != nullptr && *end == '\0' && v >= 1 && v <= (1 << 20),
-                  "CCAPERF_CACHESIM_SAMPLE: want an integer stride in [1, 2^20]");
-  return static_cast<std::uint32_t>(v);
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    CCAPERF_REQUIRE(end != nullptr && *end == '\0' && v >= 1 && v <= (1 << 20),
+                    "CCAPERF_CACHESIM_SAMPLE: want an integer stride in [1, 2^20]");
+    stride = static_cast<std::uint32_t>(v);
+  }
+  return std::max(stride, governor_sample_stride());
 }
 
 // --- StackDistSim ------------------------------------------------------------

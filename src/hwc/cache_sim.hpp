@@ -133,13 +133,25 @@ class CacheSim {
                          unsigned burst_log2 = kDefaultSampleBurstLog2);
   std::uint32_t sample_stride() const { return sample_stride_; }
 
+  /// Governor actuation (DESIGN.md §12): changes the stride *mid-run*
+  /// without resetting the cumulative seen/simulated tallies, so
+  /// sample_factor() stays the realized simulated fraction of the whole
+  /// stream across any stride schedule (including excursions through
+  /// exact mode, which tallies every batch as simulated). The window
+  /// burst size and seed are kept from the last set_sample_stride (or
+  /// their defaults); the new verdict takes effect at the next window
+  /// boundary. Note the factor is then an aggregate over mixed-stride
+  /// phases — unbiased for cumulative counters, which is what the
+  /// Mastermind differences.
+  void adjust_sample_stride(std::uint32_t stride);
+
   /// Scale-up factor for sampled counters: the MEASURED fraction of
   /// batches simulated (total seen / simulated), not the nominal stride —
   /// the window grid rarely divides the stream evenly, and using the
   /// realized fraction removes that granularity error entirely. 1.0 in
   /// exact mode; the nominal stride if sampling skipped every batch.
   double sample_factor() const {
-    if (sample_stride_ <= 1) return 1.0;
+    if (sample_tick_ == sample_seen_) return 1.0;  // nothing ever skipped
     if (sample_seen_ == 0) return static_cast<double>(sample_stride_);
     return static_cast<double>(sample_tick_) /
            static_cast<double>(sample_seen_);
@@ -250,6 +262,7 @@ class CacheSim {
   std::uint64_t sample_tick_ = 0;      // access_run batches seen
   std::uint64_t sample_seen_ = 0;      // access_run batches simulated
   std::uint64_t sample_phase_ = 0;     // window residue that gets simulated
+  std::uint64_t sample_seed_ = 0;      // kept for adjust_sample_stride()
   unsigned sample_burst_log2_ = kDefaultSampleBurstLog2;
   std::uint64_t sample_window_mask_ = (1ull << kDefaultSampleBurstLog2) - 1;
   bool sample_window_active_ = false;  // cached verdict for current window
@@ -277,6 +290,11 @@ inline std::uint64_t CacheSim::access_run(std::uintptr_t addr,
           sample_phase_;
     ++sample_tick_;
     if (!sample_window_active_) return 0;
+    ++sample_seen_;
+  } else {
+    // Exact mode tallies every batch as simulated so the realized fraction
+    // stays meaningful across mid-run adjust_sample_stride() transitions.
+    ++sample_tick_;
     ++sample_seen_;
   }
   std::uint64_t misses = 0;
@@ -463,8 +481,20 @@ struct XeonHierarchy {
 };
 
 /// Parses CCAPERF_CACHESIM_SAMPLE (the counted sweeps' sampling stride;
-/// unset/empty/1 = exact mode). Raises on malformed values.
+/// unset/empty/1 = exact mode). Raises on malformed values. The returned
+/// stride is max(env, governor_sample_stride()) — the overhead governor's
+/// actuator can coarsen counted sweeps process-wide without touching the
+/// environment.
 std::uint32_t env_sample_stride();
+
+/// Process-wide stride floor installed by the overhead governor's actuator.
+/// Counted sweeps build their CacheSims cold per slab, so a persistent
+/// override (rather than per-instance adjust_sample_stride) is the only
+/// surface that reaches them. 0/1 = no floor. SCMD ranks share the process;
+/// the last-writing rank wins, which only affects counter sampling error
+/// bars, never simulation results.
+void set_governor_sample_stride(std::uint32_t stride);
+std::uint32_t governor_sample_stride();
 
 /// Mattson reuse-distance (stack-distance) profiler: a capacity-agnostic
 /// alternative to full set/way simulation for miss-RATE estimation. Every

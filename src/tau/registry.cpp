@@ -76,7 +76,13 @@ GroupId Registry::intern_group(std::string_view group) {
   // Handful of groups only (TAU_DEFAULT, MPI, PROXY, ...): linear scan.
   for (GroupId g = 0; g < groups_.size(); ++g)
     if (groups_[g].name == group) return g;
-  groups_.push_back(Group{std::string(group), true, 0.0});
+  Group g;
+  g.name = std::string(group);
+  // Groups interned after a registry-wide tier change inherit it, so a
+  // throttled run cannot leak full-verbosity slices through late timers.
+  g.tier = trace_tier_;
+  g.slices_ok = trace_tier_ <= TraceTier::slices;
+  groups_.push_back(std::move(g));
   return groups_.size() - 1;
 }
 
@@ -187,10 +193,12 @@ void Registry::start(TimerId id) {
   CCAPERF_REQUIRE(id < timers_.size(), "Registry::start: bad timer id");
   Frame f;
   f.id = id;
-  f.enabled = groups_[timer_group_[id]].enabled;
+  const Group& g = groups_[timer_group_[id]];
+  f.enabled = g.enabled;
   touch(id);
   f.start = Clock::now();
-  if (tracing_ && f.enabled) {
+  f.traced = tracing_ && f.enabled && g.slices_ok;
+  if (f.traced) {
     TraceRecord r;
     r.t_us = us_between(trace_epoch_, f.start);
     r.id = static_cast<std::uint32_t>(id);
@@ -210,7 +218,7 @@ double Registry::stop(TimerId id) {
   const Frame frame = stack_.back();
   stack_.pop_back();
   const Clock::time_point now = Clock::now();
-  if (tracing_ && frame.enabled) {
+  if (tracing_ && frame.traced) {
     TraceRecord r;
     r.t_us = us_between(trace_epoch_, now);
     r.id = static_cast<std::uint32_t>(id);
@@ -319,12 +327,20 @@ double Registry::group_inclusive_us(std::string_view group) const {
 void Registry::trace_push_open_frames(bool as_exit) {
   // Synthetic balance events for activations currently on the stack:
   // enters (at the epoch, outermost first) when tracing starts mid-run,
-  // exits (at now, innermost first) when it stops mid-activation.
+  // exits (at now, innermost first) when it stops mid-activation. The
+  // per-frame `traced` flag tracks which open activations currently have
+  // an unmatched enter in the buffer.
   const double t = as_exit ? us_between(trace_epoch_, Clock::now()) : 0.0;
   const std::size_t n = stack_.size();
   for (std::size_t k = 0; k < n; ++k) {
-    const Frame& f = stack_[as_exit ? n - 1 - k : k];
-    if (!f.enabled) continue;
+    Frame& f = stack_[as_exit ? n - 1 - k : k];
+    if (as_exit) {
+      if (!f.traced) continue;
+      f.traced = false;
+    } else {
+      f.traced = f.enabled && groups_[timer_group_[f.id]].slices_ok;
+      if (!f.traced) continue;
+    }
     TraceRecord r;
     r.t_us = t;
     r.id = static_cast<std::uint32_t>(f.id);
@@ -332,6 +348,64 @@ void Registry::trace_push_open_frames(bool as_exit) {
     r.flags = TraceRecord::kSynthetic;
     trace_.push(r);
   }
+}
+
+void Registry::trace_rebalance_group(GroupId gid, bool enable) {
+  const double t = us_between(trace_epoch_, Clock::now());
+  const std::size_t n = stack_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Disable closes innermost-first, enable re-opens outermost-first, so
+    // the event stream stays properly nested either way.
+    Frame& f = stack_[enable ? k : n - 1 - k];
+    if (timer_group_[f.id] != gid) continue;
+    if (enable) {
+      if (f.traced || !f.enabled) continue;
+      f.traced = true;
+    } else {
+      if (!f.traced) continue;
+      f.traced = false;
+    }
+    TraceRecord r;
+    r.t_us = t;
+    r.id = static_cast<std::uint32_t>(f.id);
+    r.kind = enable ? TraceKind::enter : TraceKind::exit;
+    r.flags = TraceRecord::kSynthetic;
+    trace_.push(r);
+  }
+}
+
+void Registry::set_group_trace_tier(GroupId gid, TraceTier t) {
+  CCAPERF_REQUIRE(gid < groups_.size(), "Registry: bad group id");
+  Group& g = groups_[gid];
+  const bool want = t <= TraceTier::slices;
+  if (tracing_ && want != g.slices_ok) {
+    // Flip the cached gate before rebalancing so catch-up enters see the
+    // new state; exits only consult per-frame `traced` flags.
+    g.slices_ok = want;
+    trace_rebalance_group(gid, want);
+  }
+  g.tier = t;
+  g.slices_ok = want;
+}
+
+void Registry::set_trace_tier(TraceTier t) {
+  trace_tier_ = t;
+  for (GroupId gid = 0; gid < groups_.size(); ++gid)
+    set_group_trace_tier(gid, t);
+}
+
+const char* trace_tier_name(TraceTier t) {
+  switch (t) {
+    case TraceTier::full:
+      return "full";
+    case TraceTier::slices:
+      return "slices";
+    case TraceTier::counters:
+      return "counters";
+    case TraceTier::off:
+      return "off";
+  }
+  return "?";
 }
 
 void Registry::set_tracing(bool enabled) {
@@ -361,7 +435,7 @@ void Registry::set_trace_capacity(std::size_t events) {
 
 void Registry::trace_message(bool send, int peer, int tag, std::uint64_t bytes,
                              std::uint64_t seq) {
-  if (!tracing_) return;
+  if (!tracing_ || trace_tier_ != TraceTier::full) return;
   TraceRecord r;
   r.t_us = us_between(trace_epoch_, Clock::now());
   r.kind = send ? TraceKind::msg_send : TraceKind::msg_recv;
@@ -373,7 +447,7 @@ void Registry::trace_message(bool send, int peer, int tag, std::uint64_t bytes,
 }
 
 void Registry::trace_counter_samples() {
-  if (!tracing_) return;
+  if (!tracing_ || trace_tier_ > TraceTier::counters) return;
   const double t = us_between(trace_epoch_, Clock::now());
   counters_.read_values(counters_scratch_);
   for (std::size_t i = 0; i < counters_scratch_.size(); ++i) {
@@ -394,6 +468,7 @@ std::uint32_t Registry::trace_string(std::string_view s) {
 }
 
 void Registry::trace_arg(std::uint32_t name_string, double value) {
+  if (trace_tier_ != TraceTier::full) return;
   TraceRecord* last = trace_.back();
   if (last == nullptr || last->kind != TraceKind::enter) return;
   last->tag = static_cast<std::int32_t>(name_string);
@@ -417,7 +492,7 @@ std::vector<TraceRecord> Registry::snapshot_trace() const {
   if (tracing_) {
     const double t = us_between(trace_epoch_, Clock::now());
     for (std::size_t k = stack_.size(); k-- > 0;) {
-      if (!stack_[k].enabled) continue;
+      if (!stack_[k].traced) continue;
       TraceRecord r;
       r.t_us = t;
       r.id = static_cast<std::uint32_t>(stack_[k].id);

@@ -63,6 +63,19 @@ struct TimerStats {
 /// Atomic event: TAU records min/max/mean/stddev/count per event name.
 using AtomicEvent = ccaperf::RunningStats;
 
+/// Trace verbosity ladder (DESIGN.md §12). Ordered: every tier emits a
+/// subset of the tier above it, so the OverheadGovernor can walk down the
+/// ladder monotonically. `full` is the historical behavior and the default.
+///  * full     — enter/exit slices + slice args + message endpoints +
+///               counter samples + instants
+///  * slices   — enter/exit only (args and messages dropped)
+///  * counters — counter samples only (no slices)
+///  * off      — instants only (the governor's own audit marks survive)
+enum class TraceTier : int { full = 0, slices = 1, counters = 2, off = 3 };
+
+/// Stable lowercase name for telemetry/JSON output.
+const char* trace_tier_name(TraceTier t);
+
 class Registry {
  public:
   Registry() = default;
@@ -201,12 +214,15 @@ class Registry {
     Clock::time_point start;
     double child_us = 0.0;  ///< time of enabled instrumented callees
     bool enabled = true;
+    bool traced = false;  ///< an enter event is open for this frame
   };
 
   struct Group {
     std::string name;
     bool enabled = true;
     double inclusive_us = 0.0;  ///< completed outermost activations
+    TraceTier tier = TraceTier::full;
+    bool slices_ok = true;  ///< cached `tier <= slices` for the hot path
   };
 
   double now_partial_inclusive(TimerId id) const;
@@ -269,6 +285,25 @@ class Registry {
   /// Resets the trace.
   void set_trace_capacity(std::size_t events);
 
+  // --- trace tiers (governor actuation, DESIGN.md §12) -----------------------
+  // Verbosity can be throttled without toggling tracing itself: slices are
+  // gated per timer group (a mid-frame transition emits balanced synthetic
+  // exit/enter events so the stream never unbalances), while slice args,
+  // messages and counter samples are gated on the registry-wide tier.
+  // Instants always record while tracing — the governor's own audit marks
+  // must survive `off`. Defaults (`full`) reproduce historical behavior
+  // exactly.
+
+  /// Sets the registry-wide trace tier and every group's tier.
+  void set_trace_tier(TraceTier t);
+  /// Sets one group's slice tier (registry-wide gates are unaffected).
+  void set_group_trace_tier(GroupId gid, TraceTier t);
+  TraceTier trace_tier() const { return trace_tier_; }
+  TraceTier group_trace_tier(GroupId gid) const {
+    CCAPERF_REQUIRE(gid < groups_.size(), "Registry: bad group id");
+    return groups_[gid].tier;
+  }
+
   const TraceBuffer& trace() const { return trace_; }
   /// Steady-clock instant of trace time 0 (cross-rank merge alignment).
   Clock::time_point trace_epoch() const { return trace_epoch_; }
@@ -307,8 +342,13 @@ class Registry {
 
  private:
   void trace_push_open_frames(bool as_exit);
+  /// Emits balanced synthetic events when a group's slice gating flips
+  /// mid-frame: closing exits (innermost first) on disable, catch-up enters
+  /// (outermost first, at the current trace time) on enable.
+  void trace_rebalance_group(GroupId gid, bool enable);
 
   bool tracing_ = false;
+  TraceTier trace_tier_ = TraceTier::full;
   Clock::time_point trace_epoch_{};
   TraceBuffer trace_;
   std::vector<std::string> trace_strings_;

@@ -89,7 +89,8 @@ TEST(Telemetry, LinesAreSelfContainedJsonObjects) {
     // The contract fields every consumer relies on.
     for (const char* key :
          {"t_us", "records", "records_per_s", "timers_changed", "group_us",
-          "group_delta_us", "counter_delta", "trace", "self_us"})
+          "group_delta_us", "counter_delta", "trace", "overhead_pct",
+          "self_us"})
       EXPECT_NE(line.find("\"" + std::string(key) + "\":"), std::string::npos)
           << key << " missing in: " << line;
   }

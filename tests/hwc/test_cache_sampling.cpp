@@ -105,6 +105,63 @@ TEST(CacheSampling, EnvStrideParses) {
   EXPECT_EQ(hwc::env_sample_stride(), 1u);
 }
 
+TEST(CacheSampling, GovernorStrideFloorsEnvStride) {
+  ASSERT_EQ(unsetenv("CCAPERF_CACHESIM_SAMPLE"), 0);
+  hwc::set_governor_sample_stride(8);
+  EXPECT_EQ(hwc::env_sample_stride(), 8u);
+  // The floor composes with the env knob: the coarser of the two wins.
+  ASSERT_EQ(setenv("CCAPERF_CACHESIM_SAMPLE", "16", 1), 0);
+  EXPECT_EQ(hwc::env_sample_stride(), 16u);
+  hwc::set_governor_sample_stride(64);
+  EXPECT_EQ(hwc::env_sample_stride(), 64u);
+  hwc::set_governor_sample_stride(1);
+  EXPECT_EQ(hwc::env_sample_stride(), 16u);
+  ASSERT_EQ(unsetenv("CCAPERF_CACHESIM_SAMPLE"), 0);
+}
+
+TEST(CacheSampling, AdjustStrideKeepsRealizedFraction) {
+  // Mid-run re-striding (the governor's cache-sim actuator): cumulative
+  // sampled/seen tallies survive the switch, so sample_factor() stays the
+  // realized fraction of the whole run rather than the current stride.
+  constexpr unsigned kBurstLog2 = 6;
+  hwc::XeonHierarchy mem;
+  mem.l1.set_sample_stride(1, /*seed=*/3, kBurstLog2);
+  run_workload(mem.l1, 1 << 20, 64, 64, 256, 8);
+  EXPECT_DOUBLE_EQ(mem.l1.sample_factor(), 1.0);  // exact phase: all seen
+
+  mem.l1.adjust_sample_stride(16);
+  run_workload(mem.l1, 1 << 20, 64, 64, 256, 8);
+  const double f = mem.l1.sample_factor();
+  // Half the batches ran exact, half at 1-in-16: the aggregate scale-up
+  // factor lands strictly between the two regimes (1 and 16).
+  EXPECT_GT(f, 1.0);
+  EXPECT_LT(f, 16.0);
+  EXPECT_GE(mem.l1.scaled_counters().accesses, mem.l1.counters().accesses);
+
+  // Relaxing back to exact keeps history too: the factor decays toward 1
+  // as exact batches accumulate but never forgets the sampled stretch.
+  mem.l1.adjust_sample_stride(1);
+  run_workload(mem.l1, 1 << 20, 64, 64, 256, 8);
+  EXPECT_LT(mem.l1.sample_factor(), f);
+  EXPECT_GT(mem.l1.sample_factor(), 1.0);
+}
+
+TEST(CacheSampling, AdjustStrideMatchesSetStrideForFreshSim) {
+  // On a fresh simulator adjust_sample_stride(N) after set_sample_stride(N)
+  // priming must sample the same batches as configuring N directly: the
+  // verdict schedule is a pure function of (stride, seed, batch ordinal).
+  constexpr unsigned kBurstLog2 = 4;
+  hwc::XeonHierarchy direct, adjusted;
+  direct.l1.set_sample_stride(8, /*seed=*/5, kBurstLog2);
+  adjusted.l1.set_sample_stride(8, /*seed=*/5, kBurstLog2);
+  adjusted.l1.adjust_sample_stride(8);  // no-op re-statement of the stride
+  run_workload(direct.l1, 1 << 20, 32, 16, 256, 8);
+  run_workload(adjusted.l1, 1 << 20, 32, 16, 256, 8);
+  EXPECT_EQ(direct.l1.counters().accesses, adjusted.l1.counters().accesses);
+  EXPECT_EQ(direct.l1.counters().misses, adjusted.l1.counters().misses);
+  EXPECT_DOUBLE_EQ(direct.l1.sample_factor(), adjusted.l1.sample_factor());
+}
+
 TEST(StackDist, MatchesFullyAssociativeLruExactly) {
   // A fully-associative LRU cache of C lines misses exactly the touches
   // with reuse distance >= C (plus colds) — so for EVERY capacity, the
