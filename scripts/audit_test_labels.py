@@ -20,7 +20,7 @@ ADD_TEST = re.compile(r'add_test\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?\]?')
 # in test_core, TraceTiers in test_tau, CacheSampling governor-stride tests
 # in test_hwc). A demotion to tier2 would silently drop the GOVERNOR_*
 # counter and budget-convergence checks from the gate in check_tier1.sh.
-REQUIRED_TIER1 = {"test_core", "test_tau", "test_hwc"}
+REQUIRED_TIER1 = {"test_core", "test_tau", "test_hwc", "test_pattern"}
 PROPS = re.compile(
     r'set_tests_properties\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?(?:\]=*\])?\s+'
     r"PROPERTIES\s+(.*?)\)\s*$",

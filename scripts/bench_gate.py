@@ -18,6 +18,11 @@ a machine-readable report (default BENCH_tier1.json) for the CI artifact.
 Usage:
     scripts/bench_gate.py [--bench-dir bench_out] [--baseline-dir bench/baselines]
                           [--out BENCH_tier1.json] [--tolerance 0.25]
+                          [--only <name> ...]
+
+--only restricts the gate to the named baseline(s) (repeatable), so a CI
+stage can gate just the bench it ran without requiring every other
+bench's output to exist.
 """
 
 import argparse
@@ -49,9 +54,20 @@ def main():
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--out", default="BENCH_tier1.json")
     ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--only", action="append", default=None, metavar="NAME",
+                    help="gate only this baseline (repeatable)")
     args = ap.parse_args()
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "*.json")))
+    if args.only:
+        wanted = set(args.only)
+        baselines = [b for b in baselines
+                     if os.path.splitext(os.path.basename(b))[0] in wanted]
+        found = {os.path.splitext(os.path.basename(b))[0] for b in baselines}
+        for name in sorted(wanted - found):
+            print(f"bench_gate: no baseline named {name!r} under "
+                  f"{args.baseline_dir}", file=sys.stderr)
+            return 2
     if not baselines:
         print(f"bench_gate: no baselines under {args.baseline_dir}", file=sys.stderr)
         return 2

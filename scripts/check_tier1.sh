@@ -10,7 +10,8 @@
 #   STAGES="tier1 trace-smoke" scripts/check_tier1.sh
 #
 # STAGES is a space-separated subset of:
-#   tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix tsan asan
+#   tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix
+#   prediction-gate tsan asan
 # so the CI pipeline can fan the stages out across jobs while local runs
 # keep the single-command default.
 set -euo pipefail
@@ -20,7 +21,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${STAGES:-"tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix tsan asan"}
+STAGES=${STAGES:-"tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix prediction-gate tsan asan"}
 
 want() {
   case " ${STAGES} " in
@@ -251,6 +252,24 @@ print(f"simd matrix: {len(ref)} density CSVs byte-identical across "
       "scalar/avx2/native dispatch")
 PY
   echo "simd matrix: OK"
+fi
+
+if want prediction-gate; then
+  echo "== prediction gate (pattern-model train/predict/validate, DESIGN.md §13) =="
+  # Closes the predict/validate loop for real: calibrate the fig01 pattern
+  # tree on the small training grid, predict held-out (ranks, threads, Q)
+  # points, run them, and gate the relative errors against
+  # bench/baselines/prediction.json (<= 25% per point, <= 10% median).
+  # The bench also self-gates, so a bare local run fails loudly too.
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_ablation_prediction
+  PRED_BIN="$(cd "${BUILD_DIR}/bench" && pwd)/bench_ablation_prediction"
+  PRED_DIR=$(mktemp -d "${TMPDIR:-/tmp}/ccaperf-pred-gate.XXXXXX")
+  (cd "${PRED_DIR}" && "${PRED_BIN}")
+  python3 scripts/bench_gate.py --bench-dir "${PRED_DIR}/bench_out" \
+    --only prediction --out "${PRED_DIR}/BENCH_prediction.json"
+  rm -rf "${PRED_DIR}"
+  echo "prediction gate: OK"
 fi
 
 if want tsan; then

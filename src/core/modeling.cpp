@@ -230,6 +230,22 @@ void StreamingPolyFit::add(double q, double t) {
 }
 
 std::unique_ptr<PolynomialModel> StreamingPolyFit::fit() const {
+  return fit_with_residual(nullptr);
+}
+
+double StreamingPolyFit::residual_sum() const {
+  double ss_res = 0.0;
+  (void)fit_with_residual(&ss_res);
+  return ss_res;
+}
+
+double StreamingPolyFit::mean_sq_residual() const {
+  CCAPERF_REQUIRE(n_ > 0, "StreamingPolyFit: no points");
+  return residual_sum() / static_cast<double>(n_);
+}
+
+std::unique_ptr<PolynomialModel> StreamingPolyFit::fit_with_residual(
+    double* ss_res_out) const {
   const auto nc = static_cast<std::size_t>(degree_) + 1;
   CCAPERF_REQUIRE(n_ >= nc, "StreamingPolyFit: not enough points");
 
@@ -258,6 +274,7 @@ std::unique_ptr<PolynomialModel> StreamingPolyFit::fit() const {
     for (std::size_t l = 0; l < nc; ++l) ct_xtx_c += c[k] * c[l] * sum_pow_[k + l];
   }
   const double ss_res = std::max(0.0, sum_t2_ - 2.0 * ct_xty + ct_xtx_c);
+  if (ss_res_out != nullptr) *ss_res_out = ss_res;
   const double mean_t = sum_pow_t_[0] / static_cast<double>(n_);
   const double ss_tot = std::max(0.0, sum_t2_ - static_cast<double>(n_) * mean_t * mean_t);
   model->r2 = ss_tot > 0.0 ? std::clamp(1.0 - ss_res / ss_tot, 0.0, 1.0)

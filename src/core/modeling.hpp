@@ -137,7 +137,17 @@ class StreamingPolyFit {
   /// [0, 1] against rounding).
   std::unique_ptr<PolynomialModel> fit() const;
 
+  /// Residual sum of squares of the current least-squares fit, from the
+  /// same sufficient statistics (matches a batch re-fit's SS_res to 1e-9
+  /// relative — the property test pins it). O(degree^2), no sample re-scan.
+  double residual_sum() const;
+  /// residual_sum() / n: the per-sample residual variance a PatternModel
+  /// leaf uses to weight uncertain fits (predict_interval).
+  double mean_sq_residual() const;
+
  private:
+  std::unique_ptr<PolynomialModel> fit_with_residual(double* ss_res_out) const;
+
   int degree_;
   std::size_t n_ = 0;
   std::vector<double> sum_pow_;    ///< sum q^k, k = 0..2d
@@ -158,6 +168,12 @@ class StreamingPowerLawFit {
   std::size_t count() const { return line_.count(); }
   std::unique_ptr<PowerLawModel> fit() const;
 
+  /// Residual sum of squares in the fit's own (log-log) space, so leaves
+  /// can weight fit confidence; matches a batch line fit through the same
+  /// (ln Q, ln T) points to 1e-9 relative.
+  double log_residual_sum() const { return line_.residual_sum(); }
+  double mean_sq_log_residual() const { return line_.mean_sq_residual(); }
+
  private:
   StreamingPolyFit line_;
 };
@@ -170,6 +186,10 @@ class StreamingExpFit {
   void add(double q, double t);
   std::size_t count() const { return line_.count(); }
   std::unique_ptr<ExponentialModel> fit() const;
+
+  /// Residual sum of squares in semi-log space (see StreamingPowerLawFit).
+  double log_residual_sum() const { return line_.residual_sum(); }
+  double mean_sq_log_residual() const { return line_.mean_sq_residual(); }
 
  private:
   StreamingPolyFit line_;

@@ -176,4 +176,188 @@ AssemblyChoice AssemblyOptimizer::best(double accuracy_weight,
   return make_choice(best_pick, accuracy_weight);
 }
 
+// ---------------------------------------------------------------------------
+// Joint assembly x ranks x threads search
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-configuration candidate values: values[slot][cand] is what the
+/// tree charges slot leaf `slot` under that candidate's model at cfg.
+std::vector<std::vector<double>> slot_candidate_values(
+    const PatternModel& tree, const PatternConfig& cfg,
+    const std::vector<Slot>& slots) {
+  std::vector<std::vector<double>> values(slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    values[s].reserve(slots[s].candidates.size());
+    for (const Candidate& c : slots[s].candidates)
+      values[s].push_back(tree.slot_value(s, cfg, *c.time_model));
+  }
+  return values;
+}
+
+}  // namespace
+
+AssemblyOptimizer::JointChoice AssemblyOptimizer::best_joint_exhaustive(
+    const PatternModel& tree, const PatternConfig& base,
+    const std::vector<int>& ranks_grid, const std::vector<int>& threads_grid,
+    double accuracy_weight) const {
+  CCAPERF_REQUIRE(!ranks_grid.empty() && !threads_grid.empty(),
+                  "best_joint: empty configuration grid");
+  CCAPERF_REQUIRE(tree.slot_count() == slots_.size(),
+                  "best_joint: tree slot leaves != optimizer slots");
+
+  JointChoice best;
+  bool have_best = false;
+  std::vector<double> values(slots_.size(), 0.0);
+  for (int ranks : ranks_grid) {
+    for (int threads : threads_grid) {
+      PatternConfig cfg = base;
+      cfg.ranks = ranks;
+      cfg.threads = threads;
+      const auto cand_values = slot_candidate_values(tree, cfg, slots_);
+
+      std::vector<std::size_t> pick(slots_.size(), 0);
+      for (;;) {
+        double min_acc = 1.0;
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+          values[s] = cand_values[s][pick[s]];
+          min_acc = std::min(min_acc, slots_[s].candidates[pick[s]].accuracy);
+        }
+        const double predicted = tree.predict_with_slot_values(cfg, values);
+        const double cost =
+            predicted * (1.0 + accuracy_weight * (1.0 - min_acc));
+        // Grid-major, pick-lex enumeration: strict improvement keeps the
+        // earliest minimum, which IS the tie-break winner.
+        if (!have_best || cost < best.cost) {
+          have_best = true;
+          best.ranks = ranks;
+          best.threads = threads;
+          best.predicted_us = predicted;
+          best.min_accuracy = min_acc;
+          best.cost = cost;
+          best.selection.clear();
+          for (std::size_t s = 0; s < slots_.size(); ++s)
+            best.selection[slots_[s].functionality] =
+                slots_[s].candidates[pick[s]].class_name;
+        }
+        if (slots_.empty()) break;
+        std::size_t s = slots_.size();
+        while (s-- > 0) {
+          if (++pick[s] < slots_[s].candidates.size()) break;
+          pick[s] = 0;
+        }
+        if (s == static_cast<std::size_t>(-1)) break;
+      }
+    }
+  }
+  return best;
+}
+
+AssemblyOptimizer::JointChoice AssemblyOptimizer::best_joint(
+    const PatternModel& tree, const PatternConfig& base,
+    const std::vector<int>& ranks_grid, const std::vector<int>& threads_grid,
+    double accuracy_weight, SearchStats* stats) const {
+  CCAPERF_REQUIRE(!ranks_grid.empty() && !threads_grid.empty(),
+                  "best_joint: empty configuration grid");
+  CCAPERF_REQUIRE(tree.slot_count() == slots_.size(),
+                  "best_joint: tree slot leaves != optimizer slots");
+  const std::size_t n = slots_.size();
+
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+  st = SearchStats{};
+
+  JointChoice best;
+  bool have_best = false;
+  std::vector<std::size_t> pick(n, 0), best_pick(n, 0);
+  std::vector<double> values(n, 0.0);
+
+  for (int ranks : ranks_grid) {
+    for (int threads : threads_grid) {
+      PatternConfig cfg = base;
+      cfg.ranks = ranks;
+      cfg.threads = threads;
+      const auto cand_values = slot_candidate_values(tree, cfg, slots_);
+      // Cheapest completion per slot: predict() is monotone non-decreasing
+      // in each slot value, so substituting the per-slot minimum bounds
+      // every completion of a partial assignment from below.
+      std::vector<double> min_value(n, 0.0);
+      for (std::size_t s = 0; s < n; ++s)
+        min_value[s] =
+            *std::min_element(cand_values[s].begin(), cand_values[s].end());
+
+      if (n == 0) {
+        ++st.leaves_evaluated;
+        const double predicted = tree.predict_with_slot_values(cfg, values);
+        if (!have_best || predicted < best.cost) {
+          have_best = true;
+          best.ranks = ranks;
+          best.threads = threads;
+          best.predicted_us = predicted;
+          best.min_accuracy = 1.0;
+          best.cost = predicted;
+        }
+        continue;
+      }
+
+      struct Node {
+        std::size_t slot;
+        std::size_t cand;
+        double min_acc;
+      };
+      std::vector<Node> dfs;
+      dfs.reserve(n * 4);
+      for (std::size_t c = slots_[0].candidates.size(); c-- > 0;)
+        dfs.push_back(Node{0, c, 1.0});
+
+      while (!dfs.empty()) {
+        const Node node = dfs.back();
+        dfs.pop_back();
+        ++st.nodes_visited;
+
+        const double min_acc = std::min(
+            node.min_acc, slots_[node.slot].candidates[node.cand].accuracy);
+        pick[node.slot] = node.cand;
+        values[node.slot] = cand_values[node.slot][node.cand];
+        for (std::size_t s = node.slot + 1; s < n; ++s) values[s] = min_value[s];
+
+        // The QoS factor only grows as further slots bind, so bounding
+        // with the factor-so-far stays admissible (as in best()).
+        const double factor = 1.0 + accuracy_weight * (1.0 - min_acc);
+        const double partial = tree.predict_with_slot_values(cfg, values);
+        const double bound = partial * factor;
+        if (have_best && bound >= best.cost) {
+          ++st.subtrees_pruned;
+          continue;
+        }
+
+        if (node.slot + 1 == n) {
+          ++st.leaves_evaluated;
+          // All slots assigned: partial is the exact prediction and the
+          // bound the exact cost.
+          if (!have_best || bound < best.cost) {
+            have_best = true;
+            best.ranks = ranks;
+            best.threads = threads;
+            best.predicted_us = partial;
+            best.min_accuracy = min_acc;
+            best.cost = bound;
+            best_pick = pick;
+          }
+          continue;
+        }
+        for (std::size_t c = slots_[node.slot + 1].candidates.size(); c-- > 0;)
+          dfs.push_back(Node{node.slot + 1, c, min_acc});
+      }
+    }
+  }
+
+  best.selection.clear();
+  for (std::size_t s = 0; s < n; ++s)
+    best.selection[slots_[s].functionality] =
+        slots_[s].candidates[best_pick[s]].class_name;
+  return best;
+}
+
 }  // namespace core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/modeling.hpp"
+#include "core/pattern_model.hpp"
 
 namespace core {
 
@@ -84,6 +85,47 @@ class AssemblyOptimizer {
   AssemblyChoice best_exhaustive(double accuracy_weight = 0.0) const;
 
   std::size_t assembly_count() const;
+
+  // --- joint assembly x ranks x threads search (DESIGN.md §13) ---------------
+  // The per-slot time sum above cannot rank *configurations*: a rank or
+  // lane count changes every term at once. The joint search evaluates
+  // candidates through a composed PatternModel instead — slot i of the
+  // optimizer binds to slot leaf i of the tree (creation order on both
+  // sides), and a candidate substitutes its time model into that leaf.
+  // `fixed_time_us` is ignored here: the tree models the whole app.
+
+  /// One fully specified (assembly, ranks, threads) point.
+  struct JointChoice {
+    std::map<std::string, std::string> selection;  ///< slot -> class name
+    int ranks = 1;
+    int threads = 1;
+    double predicted_us = 0.0;  ///< tree.predict at the chosen point
+    double min_accuracy = 1.0;
+    double cost = 0.0;  ///< predicted_us * (1 + w * (1 - min_accuracy))
+  };
+
+  /// Best (assembly, ranks, threads) by branch-and-bound: configurations
+  /// enumerate in grid order (ranks major, threads minor); within each, a
+  /// DFS over slots bounds partial assignments by completing unassigned
+  /// slot leaves with their cheapest candidate's value — a valid lower
+  /// bound because predict() is monotone non-decreasing in every slot
+  /// value. Exact: identical to best_joint_exhaustive, including the
+  /// tie-break (earliest grid point, then lowest candidate indices).
+  /// `base.q` supplies the problem size; base.ranks/threads are ignored.
+  /// Requires tree.slot_count() == the number of added slots.
+  JointChoice best_joint(const PatternModel& tree, const PatternConfig& base,
+                         const std::vector<int>& ranks_grid,
+                         const std::vector<int>& threads_grid,
+                         double accuracy_weight = 0.0,
+                         SearchStats* stats = nullptr) const;
+
+  /// Reference: full enumeration over the same grid with the same
+  /// deterministic tie-break. Kept for tests and ablations.
+  JointChoice best_joint_exhaustive(const PatternModel& tree,
+                                    const PatternConfig& base,
+                                    const std::vector<int>& ranks_grid,
+                                    const std::vector<int>& threads_grid,
+                                    double accuracy_weight = 0.0) const;
 
  private:
   double slot_time(const Slot& slot, const Candidate& c) const;

@@ -281,6 +281,89 @@ TEST(StreamingFits, ExponentialCoefficientsMatchBatchTo1e9) {
   EXPECT_LT(rel_err(batch->b(), online->b()), 1e-9);
 }
 
+TEST(StreamingFits, PolyResidualSumMatchesBatchTo1e9) {
+  std::mt19937 rng(46);
+  std::uniform_real_distribution<double> qd(1.0, 200.0);
+  std::normal_distribution<double> noise(0.0, 2.0);
+  for (int degree = 1; degree <= 2; ++degree) {
+    std::vector<core::Sample> pts;
+    core::StreamingPolyFit stream(degree);
+    for (int i = 0; i < 250; ++i) {
+      const double q = qd(rng);
+      const double t = 5.0 + 0.3 * q + 0.002 * q * q + noise(rng);
+      pts.push_back(core::Sample{q, t});
+      stream.add(q, t);
+    }
+    const auto batch = core::fit_polynomial(pts, degree);
+    double ss_batch = 0.0;
+    for (const core::Sample& s : pts) {
+      const double e = s.t - batch->predict(s.q);
+      ss_batch += e * e;
+    }
+    EXPECT_LT(rel_err(stream.residual_sum(), ss_batch), 1e-9)
+        << "degree " << degree;
+    EXPECT_LT(rel_err(stream.mean_sq_residual(),
+                      ss_batch / static_cast<double>(pts.size())),
+              1e-9);
+  }
+}
+
+TEST(StreamingFits, PolyResidualSumIsZeroOnExactData) {
+  core::StreamingPolyFit stream(1);
+  for (double q : {1.0, 2.0, 5.0, 9.0, 20.0}) stream.add(q, 3.0 + 2.0 * q);
+  EXPECT_NEAR(stream.residual_sum(), 0.0, 1e-9);
+  EXPECT_NEAR(stream.mean_sq_residual(), 0.0, 1e-9);
+}
+
+TEST(StreamingFits, PowerLawAndExpLogResidualsMatchBatchTo1e9) {
+  // The residual accessors report *log-space* residuals — verify against
+  // the batch fit's log-space sum of squares.
+  std::mt19937 rng(47);
+  std::uniform_real_distribution<double> qd(2.0, 500.0);
+  std::normal_distribution<double> lnoise(0.0, 0.08);
+
+  std::vector<core::Sample> pts;
+  core::StreamingPowerLawFit pstream;
+  for (int i = 0; i < 200; ++i) {
+    const double q = qd(rng);
+    const double t = 0.9 * std::pow(q, 1.1) * std::exp(lnoise(rng));
+    pts.push_back(core::Sample{q, t});
+    pstream.add(q, t);
+  }
+  const auto pbatch = core::fit_power_law(pts);
+  double ss_p = 0.0;
+  for (const core::Sample& s : pts) {
+    const double e =
+        std::log(s.t) - (pbatch->log_coeff() + pbatch->exponent() * std::log(s.q));
+    ss_p += e * e;
+  }
+  EXPECT_LT(rel_err(pstream.log_residual_sum(), ss_p), 1e-9);
+  EXPECT_LT(rel_err(pstream.mean_sq_log_residual(),
+                    ss_p / static_cast<double>(pts.size())),
+            1e-9);
+
+  pts.clear();
+  core::StreamingExpFit estream;
+  std::uniform_real_distribution<double> qd2(0.0, 40.0);
+  for (int i = 0; i < 200; ++i) {
+    const double q = qd2(rng);
+    const double t = std::exp(0.8 + 0.05 * q + lnoise(rng));
+    pts.push_back(core::Sample{q, t});
+    estream.add(q, t);
+  }
+  const auto ebatch = core::fit_exponential(pts);
+  double ss_e = 0.0;
+  for (const core::Sample& s : pts) {
+    // ExponentialModel is T = exp(a + b q): `a` is the log-space intercept.
+    const double e = std::log(s.t) - (ebatch->a() + ebatch->b() * s.q);
+    ss_e += e * e;
+  }
+  EXPECT_LT(rel_err(estream.log_residual_sum(), ss_e), 1e-9);
+  EXPECT_LT(rel_err(estream.mean_sq_log_residual(),
+                    ss_e / static_cast<double>(pts.size())),
+            1e-9);
+}
+
 TEST(StreamingFits, FitSetPicksSameFamilyAsBatchFitBest) {
   // Clean quadratic data: both selectors should settle on a polynomial
   // with matching coefficients.

@@ -246,6 +246,134 @@ TEST(Optimizer, BnBPrunesDominatedSubtrees) {
   EXPECT_LT(stats.leaves_evaluated, opt.assembly_count());
 }
 
+// --- joint assembly x ranks x threads search ---------------------------------
+
+using core::PatternConfig;
+using core::PatternModel;
+
+/// A tree with `nslots` slot leaves under the fig01 shape
+/// (RankReplicated(Serial(MapParallel(Scale(Serial(slots..., fixed)),
+/// alpha), Const))), plus the optimizer wired with matching slots whose
+/// candidate models come from `make_model(slot, cand)`.
+struct JointFixture {
+  PatternModel tree;
+  AssemblyOptimizer opt;
+  std::vector<std::unique_ptr<core::PolynomialModel>> models;
+
+  JointFixture(int nslots, int ncands, std::mt19937& rng) {
+    std::uniform_real_distribution<double> coeff(0.5, 20.0);
+    std::uniform_real_distribution<double> acc(0.6, 1.0);
+    std::vector<PatternModel::NodeId> leaves;
+    core::LeafScaling s;
+    s.ref_q = 100.0;
+    s.count_q_exp = 1.0;
+    s.count_ranks_exp = 1.0;
+    for (int i = 0; i < nslots; ++i) {
+      const PatternModel::Workload work = {{100.0, 3.0}, {220.0, 1.0}};
+      Slot slot;
+      slot.functionality = "F" + std::to_string(i);
+      slot.workload = work;
+      for (int c = 0; c < ncands; ++c) {
+        models.push_back(std::make_unique<core::PolynomialModel>(
+            std::vector<double>{coeff(rng), coeff(rng) / 100.0}));
+        slot.candidates.push_back(Candidate{
+            "c" + std::to_string(c), models.back().get(), acc(rng)});
+      }
+      leaves.push_back(
+          tree.slot_leaf(slot.candidates[0].time_model, work, s));
+      opt.add_slot(std::move(slot));
+    }
+    models.push_back(std::make_unique<core::PolynomialModel>(
+        std::vector<double>{4.0, 0.02}));
+    leaves.push_back(tree.leaf(models.back().get(), {{100.0, 2.0}}, s));
+    const auto inner = tree.scale(tree.serial(std::move(leaves)), 1.3);
+    const auto lanes = tree.map_parallel(inner, 0.35, 1.5);
+    const auto per_rank = tree.serial({lanes, tree.constant(25.0)});
+    tree.set_root(tree.rank_replicated(per_rank, 8.0));
+  }
+};
+
+TEST(JointOptimizer, MatchesExhaustiveAcrossRandomInstances) {
+  std::mt19937 rng(0xc0ffee);
+  const std::vector<int> ranks_grid = {1, 2, 4, 8};
+  const std::vector<int> threads_grid = {1, 2, 4};
+  for (int trial = 0; trial < 12; ++trial) {
+    std::uniform_int_distribution<int> ns(1, 3), nc(1, 4);
+    JointFixture f(ns(rng), nc(rng), rng);
+    for (double w : {0.0, 0.5, 3.0}) {
+      AssemblyOptimizer::SearchStats stats;
+      const auto bb = f.opt.best_joint(f.tree, PatternConfig{150.0}, ranks_grid,
+                                       threads_grid, w, &stats);
+      const auto ex = f.opt.best_joint_exhaustive(f.tree, PatternConfig{150.0},
+                                                  ranks_grid, threads_grid, w);
+      EXPECT_EQ(bb.selection, ex.selection);
+      EXPECT_EQ(bb.ranks, ex.ranks);
+      EXPECT_EQ(bb.threads, ex.threads);
+      EXPECT_DOUBLE_EQ(bb.predicted_us, ex.predicted_us);
+      EXPECT_DOUBLE_EQ(bb.cost, ex.cost);
+      EXPECT_DOUBLE_EQ(bb.min_accuracy, ex.min_accuracy);
+      // Stats sanity: every configuration's DFS reaches at least one leaf,
+      // and pruning never exceeds visited nodes.
+      EXPECT_GE(stats.leaves_evaluated, 1u);
+      EXPECT_LE(stats.subtrees_pruned, stats.nodes_visited);
+    }
+  }
+}
+
+TEST(JointOptimizer, PrefersMoreRanksWhenCollectivesAreFree) {
+  // With beta = gamma = 0 the per-rank time strictly shrinks with P, so
+  // the largest rank count (and lane count) must win.
+  std::mt19937 rng(7);
+  JointFixture f(2, 2, rng);
+  f.tree.set_coefficient(f.tree.root(), 0.0);  // beta
+  const auto best = f.opt.best_joint(f.tree, PatternConfig{100.0}, {1, 2, 4},
+                                     {1, 2}, 0.0);
+  EXPECT_EQ(best.ranks, 4);
+  EXPECT_EQ(best.threads, 2);
+}
+
+TEST(JointOptimizer, TieBreaksToEarliestGridPoint) {
+  // A tree that ignores ranks and threads entirely: every grid point
+  // predicts the same time, so the first (ranks-major) point must win.
+  PatternModel t;
+  core::PolynomialModel flat{{10.0, 0.0}};
+  const auto leaf = t.slot_leaf(&flat, {{100.0, 1.0}});
+  t.set_root(leaf);
+  AssemblyOptimizer opt;
+  Slot s;
+  s.functionality = "F";
+  s.candidates = {Candidate{"a", &flat, 1.0}, Candidate{"b", &flat, 1.0}};
+  s.workload = {{100.0, 1.0}};
+  opt.add_slot(std::move(s));
+  const auto best = opt.best_joint(t, PatternConfig{100.0}, {4, 2}, {2, 1});
+  EXPECT_EQ(best.ranks, 4);  // grid order, not numeric order
+  EXPECT_EQ(best.threads, 2);
+  EXPECT_EQ(best.selection.at("F"), "a");
+  const auto ex =
+      opt.best_joint_exhaustive(t, PatternConfig{100.0}, {4, 2}, {2, 1});
+  EXPECT_EQ(ex.ranks, 4);
+  EXPECT_EQ(ex.threads, 2);
+  EXPECT_EQ(ex.selection.at("F"), "a");
+}
+
+TEST(JointOptimizer, SlotCountMismatchIsRejected) {
+  PatternModel t;
+  core::PolynomialModel flat{{10.0, 0.0}};
+  t.set_root(t.leaf(&flat, {{100.0, 1.0}}));  // zero slot leaves
+  AssemblyOptimizer opt;
+  Slot s;
+  s.functionality = "F";
+  s.candidates = {Candidate{"a", &flat, 1.0}};
+  s.workload = {{100.0, 1.0}};
+  opt.add_slot(std::move(s));
+  EXPECT_THROW(
+      (void)opt.best_joint(t, PatternConfig{100.0}, {1}, {1}),
+      ccaperf::Error);
+  EXPECT_THROW(
+      (void)opt.best_joint_exhaustive(t, PatternConfig{100.0}, {1}, {1}),
+      ccaperf::Error);
+}
+
 TEST(Optimizer, NegativeModelPredictionsClampToZero) {
   // Linear fits can go negative at small Q (the paper's -963 + 0.315 Q);
   // the composite cost must not reward that.
