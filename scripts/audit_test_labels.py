@@ -18,9 +18,13 @@ ADD_TEST = re.compile(r'add_test\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?\]?')
 # Binaries that must stay in the tier-1 lane specifically: they carry the
 # overhead-governor contract suites (Governor*/ThreadedGovernor/OnlineRefit
 # in test_core, TraceTiers in test_tau, CacheSampling governor-stride tests
-# in test_hwc). A demotion to tier2 would silently drop the GOVERNOR_*
-# counter and budget-convergence checks from the gate in check_tier1.sh.
-REQUIRED_TIER1 = {"test_core", "test_tau", "test_hwc", "test_pattern"}
+# in test_hwc), the multi-tenant hub contract (session isolation, drop
+# accounting, and the HubProperty stream-identity tests in
+# test_telemetry_hub), and the LU session workload's correctness suite
+# (test_lu_workload). A demotion to tier2 would silently drop those
+# checks from the gate in check_tier1.sh.
+REQUIRED_TIER1 = {"test_core", "test_tau", "test_hwc", "test_pattern",
+                  "test_telemetry_hub", "test_lu_workload"}
 PROPS = re.compile(
     r'set_tests_properties\(\s*(?:\[=*\[)?"?([A-Za-z0-9_.-]+)"?(?:\]=*\])?\s+'
     r"PROPERTIES\s+(.*?)\)\s*$",

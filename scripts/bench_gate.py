@@ -11,7 +11,11 @@ Each baseline file bench/baselines/<name>.json holds a list of
 
     {"metric": "...", "value": <number>, "higher_is_better": true|false}
 
-and is compared against bench_out/<name>.json (the bench's
+with an optional per-metric "tolerance" overriding the global one —
+invariant metrics (e.g. the hub soak's identity_ok flag, or its memory
+bound, which the bench already caps) gate at 0.0 while throughput
+metrics keep the wide shared-runner default. Each file is compared
+against bench_out/<name>.json (the bench's
 [{"name", "metric", "value"}, ...] output). The verdicts are written to
 a machine-readable report (default BENCH_tier1.json) for the CI artifact.
 
@@ -96,12 +100,14 @@ def main():
                                 "higher_is_better": g["higher_is_better"],
                                 "ratio": None, "ok": False})
                 continue
+            tol = g.get("tolerance", args.tolerance)
             ok, ratio = check_metric(series[metric], g["value"],
-                                     g["higher_is_better"], args.tolerance)
+                                     g["higher_is_better"], tol)
             results.append({"bench": name, "metric": metric,
                             "status": "ok" if ok else "regressed",
                             "baseline": g["value"], "measured": series[metric],
                             "higher_is_better": g["higher_is_better"],
+                            "tolerance": tol,
                             "ratio": ratio, "ok": ok})
 
     all_ok = all(r["ok"] for r in results)

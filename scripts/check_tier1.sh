@@ -9,19 +9,36 @@
 #   STAGES="tsan" scripts/check_tier1.sh          # one stage
 #   STAGES="tier1 trace-smoke" scripts/check_tier1.sh
 #
-# STAGES is a space-separated subset of:
-#   tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix
-#   prediction-gate tsan asan
-# so the CI pipeline can fan the stages out across jobs while local runs
-# keep the single-command default.
+# STAGES is a space-separated subset of the ALL_STAGES array below (the
+# array is the single source of truth — the default run, this usage text,
+# and stage-name validation all derive from it), so the CI pipeline can
+# fan the stages out across jobs while local runs keep the
+# single-command default. Unknown stage names fail fast with the valid
+# list instead of silently running nothing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Every stage this script knows, in default execution order. Adding a
+# stage = add it here + add its `if want <name>` block; nothing else to
+# keep in sync.
+ALL_STAGES=(tier1 trace-smoke chaos-soak governor-soak ranks-scaling
+            simd-matrix prediction-gate hub-soak tsan asan)
 
 BUILD_DIR=${BUILD_DIR:-build}
 ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${STAGES:-"tier1 trace-smoke chaos-soak governor-soak ranks-scaling simd-matrix prediction-gate tsan asan"}
+STAGES=${STAGES:-${ALL_STAGES[*]}}
+
+for stage in ${STAGES}; do
+  case " ${ALL_STAGES[*]} " in
+    *" ${stage} "*) ;;
+    *)
+      echo "check_tier1.sh: unknown stage '${stage}'" >&2
+      echo "valid stages: ${ALL_STAGES[*]}" >&2
+      exit 2 ;;
+  esac
+done
 
 want() {
   case " ${STAGES} " in
@@ -272,23 +289,68 @@ if want prediction-gate; then
   echo "prediction gate: OK"
 fi
 
+if want hub-soak; then
+  echo "== hub soak (64 concurrent mixed sessions through the TelemetryHub) =="
+  # The multi-tenant telemetry service (DESIGN.md §14) under load: ramp to
+  # 64 concurrent AMR + LU sessions (mixed ranks/threads/fault plans), gate
+  # zero cross-session row leakage (every retained line carries its own
+  # session marker), per-session physics byte-identical to solo runs,
+  # bounded hub memory with exact drop accounting, and a parseable live
+  # aggregate stream; then gate the soak's throughput/identity series
+  # against bench/baselines/hub.json.
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_ablation_hub
+  HUB_BIN="$(cd "${BUILD_DIR}/bench" && pwd)/bench_ablation_hub"
+  HUB_DIR=$(mktemp -d "${TMPDIR:-/tmp}/ccaperf-hub-soak.XXXXXX")
+  (cd "${HUB_DIR}" && "${HUB_BIN}" | tee hub_soak.out)
+  grep -q "hub soak: OK" "${HUB_DIR}/hub_soak.out"
+  python3 - "${HUB_DIR}" <<'PY'
+import json, os, sys
+
+hub = sys.argv[1]
+path = os.path.join(hub, "bench_out", "hub_aggregate.jsonl")
+lines = [json.loads(l) for l in open(path)]
+assert lines, "hub aggregate stream is empty"
+for l in lines:
+    for key in ("t_us", "sessions_open", "drained", "dropped_ring",
+                "bytes_retained", "bytes_peak", "scenarios"):
+        assert key in l, f"aggregate line missing {key}: {l}"
+last = lines[-1]
+assert last["drained"] >= last["dropped_evicted"], last
+scen = [l["scenarios"] for l in lines if l["scenarios"]]
+assert any("amr" in s for s in scen), "no amr sessions in aggregate stream"
+assert any("lu" in s for s in scen), "no lu sessions in aggregate stream"
+print(f"hub aggregate: {len(lines)} lines parse; final drained "
+      f"{last['drained']}, peak {last['bytes_peak']} bytes")
+PY
+  python3 scripts/bench_gate.py --bench-dir "${HUB_DIR}/bench_out" \
+    --only hub --out "${HUB_DIR}/BENCH_hub.json"
+  rm -rf "${HUB_DIR}"
+  echo "hub soak: OK"
+fi
+
 if want tsan; then
   echo "== thread-sanitized concurrency suites (${TSAN_DIR}) =="
   # Lock-ordering-sensitive paths: the mpp fault layer (indexed fault
   # queues, dedupe windows under the mailbox lock), the tree collectives
-  # (per-rank hop slots at 64/129 ranks), the sharded load balancer, and
-  # the threaded-rank layer (work-stealing pool, sharded registries,
-  # lane-dispatched monitor, multi-threaded kernels).
+  # (per-rank hop slots at 64/129 ranks), the sharded load balancer, the
+  # threaded-rank layer (work-stealing pool, sharded registries,
+  # lane-dispatched monitor, multi-threaded kernels), and the telemetry
+  # hub (shard rings under concurrent publishers racing the drainer
+  # ServiceThread).
   cmake -B "${TSAN_DIR}" -S . -DCCAPERF_SANITIZE=thread >/dev/null
   cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-    --target test_mpp test_amr test_support test_core test_euler test_tau
+    --target test_mpp test_amr test_support test_core test_euler test_tau \
+             test_telemetry_hub
   "${TSAN_DIR}/tests/mpp/test_mpp" \
     --gtest_filter='FaultInjection.*:Recovery.*:*TreeCollectivesAtScale.*:DedupeAtScale.*'
   "${TSAN_DIR}/tests/amr/test_amr" \
     --gtest_filter='ExchangeFaults.*:*DistributedBalance*'
-  "${TSAN_DIR}/tests/support/test_support" --gtest_filter='ThreadPool.*'
+  "${TSAN_DIR}/tests/support/test_support" \
+    --gtest_filter='ThreadPool.*:ServiceThread.*'
   "${TSAN_DIR}/tests/core/test_core" \
     --gtest_filter='ThreadedMonitor.*:ThreadedGovernor.*'
+  "${TSAN_DIR}/tests/core/test_telemetry_hub"
   "${TSAN_DIR}/tests/euler/test_euler" \
     --gtest_filter='KernelsMt.*:SimdDispatch.*:SimdKernels.*'
   "${TSAN_DIR}/tests/tau/test_tau" --gtest_filter='RegistryShards.*'

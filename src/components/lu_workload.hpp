@@ -1,0 +1,66 @@
+#pragma once
+// components::LuFactorComponent — a minimal HPL-style dense-LU workload.
+//
+// The TelemetryHub's soak harness needs scenario diversity beyond the
+// fig01 AMR pipeline: a second, structurally different component driven
+// through the same proxy/MonitorPort stack, so the hub is exercised by
+// heterogeneous sessions (AMR's many small monitored kernels vs LU's few
+// large ones — the HPL end of the paper's "component applications"
+// spectrum). The component is deliberately self-contained: it fabricates
+// a seeded fully-random matrix (HPL-style — stability comes from the
+// pivoting, not from diagonal dominance), runs blocked right-looking LU
+// with partial pivoting, and reports
+//
+//  * digest       — FNV-1a over the factored matrix's raw double bits, a
+//                   deterministic physics fingerprint (the soak harness
+//                   compares solo vs concurrent-session digests byte for
+//                   byte);
+//  * residual_max — max |(PA − LU)[i][j]| over sampled rows, recomputing
+//                   A from the seed (correctness, not just determinism);
+//  * row_swaps    — pivoting actually happened;
+//  * flops        — the classic 2n³/3 count, for sessions/sec context.
+//
+// core::LuProxy (src/core/proxies.hpp) interposes on LuPort exactly like
+// sc_proxy/g_proxy do on theirs, reporting "lu_proxy::factor()" with
+// parameters {N, block}.
+
+#include <cstdint>
+#include <vector>
+
+#include "cca/framework.hpp"
+
+namespace components {
+
+struct LuResult {
+  std::uint64_t digest = 0;
+  double residual_max = 0.0;
+  std::uint64_t row_swaps = 0;
+  std::uint64_t flops = 0;
+};
+
+class LuPort : public cca::Port {
+ public:
+  /// Factors the seeded n×n matrix with panel width `block`.
+  virtual LuResult factor(int n, int block, std::uint64_t seed) = 0;
+};
+
+class LuFactorComponent final : public cca::Component, public LuPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc.add_provides_port(cca::non_owning(static_cast<LuPort*>(this)), "lu",
+                          "hpl.LuPort");
+  }
+
+  LuResult factor(int n, int block, std::uint64_t seed) override;
+};
+
+/// The seeded test matrix, row-major: A[i][j] ∈ [-1, 1) from a counter
+/// hash of (seed, i, j) — fully random, so partial pivoting is
+/// load-bearing (HPL's matrix class). Exposed so tests and the residual
+/// check regenerate the exact original entries.
+double lu_matrix_entry(std::uint64_t seed, int n, int i, int j);
+
+/// FNV-1a over a double array's raw bit patterns.
+std::uint64_t lu_digest(const std::vector<double>& a);
+
+}  // namespace components

@@ -689,6 +689,8 @@ void MastermindComponent::emit_telemetry_unlocked() {
   // governor is attached, its current throttle level.
   if (!hwc_backend_.empty())
     os << ",\"hwc\":\"" << ccaperf::json_escape(hwc_backend_) << "\"";
+  if (!session_label_.empty())
+    os << ",\"session\":\"" << ccaperf::json_escape(session_label_) << "\"";
   if (gov_ != nullptr) os << ",\"governor_level\":" << gov_->level();
 
   ++telem_lines_;
@@ -764,6 +766,12 @@ void MastermindComponent::set_telemetry_hwc(std::string backend) {
   std::unique_lock<std::mutex> lk;
   if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
   hwc_backend_ = std::move(backend);
+}
+
+void MastermindComponent::set_telemetry_session(std::string name) {
+  std::unique_lock<std::mutex> lk;
+  if (threaded_) lk = std::unique_lock<std::mutex>(mu_);
+  session_label_ = std::move(name);
 }
 
 double MastermindComponent::realized_fraction(const std::string& method_key) const {

@@ -237,6 +237,12 @@ class MastermindComponent final : public cca::Component,
   /// an `hwc` metadata field on every telemetry line.
   void set_telemetry_hwc(std::string backend);
 
+  /// Tags every telemetry line with a `session` metadata field — the
+  /// TelemetryHub sets this to the owning session's name so cross-session
+  /// leakage is detectable from the lines themselves (a retained line in
+  /// session S must carry S's marker). Empty = omit the field.
+  void set_telemetry_session(std::string name);
+
   /// Monitored-call recording fraction for one method: rows recorded /
   /// invocations seen (1.0 while unsampled). Streaming-fit consumers
   /// rescale workload *counts* by its inverse (PR 7 discipline).
@@ -388,6 +394,7 @@ class MastermindComponent final : public cca::Component,
   double telem_self_last_ = 0.0;             // at the previous line (overhead_pct)
   std::uint64_t telem_interval_base_ = 1;    // before the governor multiplier
   std::string hwc_backend_;                  // "" = omit the metadata field
+  std::string session_label_;                // "" = omit the metadata field
   std::vector<std::uint64_t> telem_counters_last_;
   std::vector<double> telem_group_last_;     // per-GroupId inclusive_us
 

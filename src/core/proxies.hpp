@@ -23,6 +23,7 @@
 
 #include <mutex>
 
+#include "components/lu_workload.hpp"
 #include "components/ports.hpp"
 #include "core/ports.hpp"
 
@@ -226,6 +227,37 @@ class AMRMeshProxy final : public cca::Component, public components::MeshPort {
   MethodHandle h_prolong_ = kInvalidMethodHandle;
   MethodHandle h_restrict_ = kInvalidMethodHandle;
   MethodHandle h_regrid_ = kInvalidMethodHandle;
+};
+
+/// Proxy for the dense-LU workload ("lu_proxy") — the HPL-style scenario
+/// the TelemetryHub soaks alongside AMR sessions. Performance parameters:
+/// N (matrix order) and the panel block width.
+class LuProxy final : public cca::Component, public components::LuPort {
+ public:
+  void setServices(cca::Services& svc) override {
+    svc_ = &svc;
+    svc.add_provides_port(cca::non_owning(static_cast<LuPort*>(this)), "lu",
+                          "hpl.LuPort");
+    svc.register_uses_port("lu_real", "hpl.LuPort");
+    svc.register_uses_port("monitor", "pmm.MonitorPort");
+  }
+
+  components::LuResult factor(int n, int block, std::uint64_t seed) override {
+    std::call_once(once_, [this] {
+      monitor_ = svc_->get_port_as<MonitorPort>("monitor");
+      method_ = monitor_->register_method("lu_proxy::factor()", {"N", "block"});
+    });
+    auto* real = svc_->get_port_as<components::LuPort>("lu_real");
+    const double params[2] = {static_cast<double>(n), static_cast<double>(block)};
+    MonitoredHandleScope scope(*monitor_, method_, ParamSpan(params, 2));
+    return real->factor(n, block, seed);
+  }
+
+ private:
+  cca::Services* svc_ = nullptr;
+  std::once_flag once_;
+  MonitorPort* monitor_ = nullptr;
+  MethodHandle method_ = kInvalidMethodHandle;
 };
 
 }  // namespace core

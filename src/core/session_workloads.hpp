@@ -1,0 +1,61 @@
+#pragma once
+// core::run_session — scenario drivers for TelemetryHub sessions.
+//
+// A "session" is one complete instrumented application run publishing its
+// telemetry through a SessionHandle instead of a private file: either the
+// fig01 AMR shock/interface pipeline at some (ranks, threads, fault plan),
+// or the minimal HPL-style dense-LU workload, both driven through the
+// same proxy/MonitorPort/Mastermind stack. The drivers are deliberately
+// env-free — rank thread counts come from set_rank_pool_threads(), fault
+// plans from mpp::RunOptions, tracing from Registry::set_tracing() — so
+// any number of sessions can run concurrently in one process without
+// racing on process-global environment variables.
+//
+// Determinism contract: SessionResult::physics_digest is a pure function
+// of the scenario (grid, steps, ranks, threads, fault plan, seed). The
+// soak harness runs every scenario solo first, then concurrently under
+// load, and requires the digests to match bit for bit — the hub and its
+// neighbors must not perturb the physics.
+
+#include <cstdint>
+#include <string>
+
+#include "core/telemetry_hub.hpp"
+
+namespace core {
+
+struct SessionScenario {
+  std::string kind = "amr";  ///< "amr" or "lu"
+  int ranks = 2;             ///< SCMD rank threads (amr)
+  int threads = 1;           ///< worker lanes per rank (amr)
+  std::string fault_plan;    ///< mpp::FaultSpec::parse syntax; "" = off
+  std::uint64_t seed = 1;    ///< fault seed (amr) / matrix seed (lu)
+  // AMR shape: tiny fig01 grids keep a 64-session soak tractable.
+  int nx = 24, ny = 12;
+  int steps = 3;
+  // LU shape.
+  int lu_n = 96;
+  int lu_block = 24;
+  int lu_reps = 2;
+  // Telemetry/trace plumbing.
+  std::uint64_t telemetry_interval = 8;  ///< records per JSONL line
+  bool trace = false;                    ///< collect RankTraces into the handle
+  std::size_t trace_events = 4096;
+
+  /// Stable one-line description (test/bench labels).
+  std::string describe() const;
+};
+
+struct SessionResult {
+  std::uint64_t physics_digest = 0;  ///< deterministic per scenario
+  std::uint64_t telemetry_lines = 0; ///< JSONL lines the masterminds emitted
+  double wall_us = 0.0;
+};
+
+/// Runs the scenario, publishing telemetry through `handle` (one sink per
+/// rank; lines tagged with the session name via set_telemetry_session).
+/// Does not close the handle. Traces are registered on the handle when
+/// `sc.trace` is set.
+SessionResult run_session(SessionHandle& handle, const SessionScenario& sc);
+
+}  // namespace core

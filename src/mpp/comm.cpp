@@ -576,7 +576,10 @@ Request Comm::irecv_bytes(void* buffer, std::size_t capacity, int src, int tag) 
     sender->matched.store(true, std::memory_order_release);
     sender->signal->notify();
   }
-  if (st->matched.load(std::memory_order_relaxed)) {
+  // Acquire: once the recv is posted into the mailbox, a peer's deliver()
+  // may write st->status and release-store `matched` concurrently, and the
+  // status read below must synchronize with that store.
+  if (st->matched.load(std::memory_order_acquire)) {
     fabric_->note_activity();
     hook.set_bytes(st->status.bytes);
   }

@@ -1,0 +1,68 @@
+#include "support/service_thread.hpp"
+
+#include "support/error.hpp"
+
+namespace ccaperf {
+
+ServiceThread::ServiceThread(std::string name, std::chrono::microseconds interval,
+                             std::function<void()> tick)
+    : name_(std::move(name)), interval_(interval), tick_(std::move(tick)) {
+  CCAPERF_REQUIRE(tick_ != nullptr, "ServiceThread: null tick callback");
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+ServiceThread::~ServiceThread() { stop(); }
+
+void ServiceThread::worker_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    // Wait out the cadence, or less if someone wakes us. Spurious wakeups
+    // just run an early tick, which is harmless.
+    cv_.wait_for(lk, interval_,
+                 [this] { return wake_requested_ || stop_requested_; });
+    if (stop_requested_) break;
+    wake_requested_ = false;
+    ++ticks_;
+    lk.unlock();
+    tick_();  // never under mu_: publishers must be able to wake() meanwhile
+    lk.lock();
+  }
+}
+
+void ServiceThread::wake() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_requested_) return;
+    wake_requested_ = true;
+  }
+  cv_.notify_one();
+}
+
+void ServiceThread::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (joined_) return;
+    stop_requested_ = true;
+    joined_ = true;
+  }
+  cv_.notify_one();
+  worker_.join();
+  // Final flush on the caller — exclusive, because the worker has exited.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++ticks_;
+  }
+  tick_();
+}
+
+bool ServiceThread::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !joined_;
+}
+
+std::uint64_t ServiceThread::ticks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ticks_;
+}
+
+}  // namespace ccaperf

@@ -1,0 +1,71 @@
+#pragma once
+// ccaperf::ServiceThread — a small persistent background worker for
+// long-running in-process services (DESIGN.md §14).
+//
+// The ThreadPool (thread_pool.hpp) models *regions*: lanes exist only
+// while a parallel_for is in flight, which is exactly wrong for a service
+// like the TelemetryHub's drainer that must keep consuming concurrently
+// with the rank threads producing. ServiceThread is the complementary
+// primitive: one named thread running `tick()` on a fixed cadence, with
+//
+//  - wake(): run a tick as soon as possible (publishers nudge the drainer
+//    when a shard ring crosses its high-water mark, so bursts don't have
+//    to ride out the full interval under backpressure);
+//  - stop(): run one final tick, then join — so whatever the service was
+//    accumulating is flushed exactly once before the thread dies;
+//  - ticks(): monotone tick count, for tests and telemetry.
+//
+// The tick callback runs only on the service thread, never concurrently
+// with itself; stop() (and the destructor) may run it once more on the
+// caller after the join, which is still exclusive because the worker has
+// already exited.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ccaperf {
+
+class ServiceThread {
+ public:
+  /// Starts the worker immediately. `tick` must not throw (a service has
+  /// nowhere to rethrow to); `interval` is the idle cadence between ticks.
+  ServiceThread(std::string name, std::chrono::microseconds interval,
+                std::function<void()> tick);
+  ~ServiceThread();
+  ServiceThread(const ServiceThread&) = delete;
+  ServiceThread& operator=(const ServiceThread&) = delete;
+
+  /// Requests an immediate tick (coalesces with a pending request).
+  void wake();
+
+  /// Stops the worker: wakes it, joins, then runs one final tick on the
+  /// calling thread so nothing published before stop() is lost.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  bool running() const;
+  std::uint64_t ticks() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  void worker_main();
+
+  const std::string name_;
+  const std::chrono::microseconds interval_;
+  const std::function<void()> tick_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool wake_requested_ = false;
+  bool stop_requested_ = false;
+  bool joined_ = false;
+  std::uint64_t ticks_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace ccaperf

@@ -460,13 +460,6 @@ void Registry::trace_counter_samples() {
   }
 }
 
-std::uint32_t Registry::trace_string(std::string_view s) {
-  for (std::size_t i = 0; i < trace_strings_.size(); ++i)
-    if (trace_strings_[i] == s) return static_cast<std::uint32_t>(i);
-  trace_strings_.emplace_back(s);
-  return static_cast<std::uint32_t>(trace_strings_.size() - 1);
-}
-
 void Registry::trace_arg(std::uint32_t name_string, double value) {
   if (trace_tier_ != TraceTier::full) return;
   TraceRecord* last = trace_.back();
@@ -514,7 +507,7 @@ void Registry::dump_trace(std::ostream& os) const {
         break;
       case TraceKind::instant:
         os << "instant\t"
-           << (e.id < trace_strings_.size() ? trace_strings_[e.id] : "?");
+           << (e.id < trace_strings_.size() ? trace_strings_.name(e.id) : "?");
         break;
       case TraceKind::counter: {
         const auto names = counters_.names();

@@ -37,6 +37,7 @@
 #include "hwc/counters.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "tau/interner.hpp"
 #include "tau/trace_buffer.hpp"
 
 namespace tau {
@@ -320,8 +321,12 @@ class Registry {
 
   /// Interns an auxiliary trace string (slice-argument names, instant
   /// labels); returns its stable index. Safe to call when not tracing.
-  std::uint32_t trace_string(std::string_view s);
-  const std::vector<std::string>& trace_strings() const { return trace_strings_; }
+  /// Hashed through the shared tau::NameInterner, so a label can be
+  /// re-resolved every emission without an O(strings) scan.
+  std::uint32_t trace_string(std::string_view s) { return trace_strings_.intern(s); }
+  const std::vector<std::string>& trace_strings() const {
+    return trace_strings_.names();
+  }
 
   /// Attaches (name, value) as the slice argument of the most recent enter
   /// event (e.g. the monitored method's Q). No-op unless that event is
@@ -351,7 +356,7 @@ class Registry {
   TraceTier trace_tier_ = TraceTier::full;
   Clock::time_point trace_epoch_{};
   TraceBuffer trace_;
-  std::vector<std::string> trace_strings_;
+  NameInterner trace_strings_;
 };
 
 /// RAII start/stop.

@@ -1,0 +1,81 @@
+// ccaperf::ServiceThread: cadence ticks, prompt wake, exactly-once final
+// flush on stop, and the no-concurrent-ticks guarantee the TelemetryHub
+// drainer relies on.
+
+#include "support/service_thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ServiceThread, TicksOnCadence) {
+  std::atomic<int> ticks{0};
+  {
+    ccaperf::ServiceThread st("cadence", 1ms, [&] { ticks.fetch_add(1); });
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (ticks.load() < 5 && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(ticks.load(), 5);
+}
+
+TEST(ServiceThread, WakeTriggersPromptTick) {
+  std::atomic<int> ticks{0};
+  // Idle cadence far beyond the test: any tick must come from wake().
+  ccaperf::ServiceThread st("wake", 10s, [&] { ticks.fetch_add(1); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(ticks.load(), 0);
+  st.wake();
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (ticks.load() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_GE(ticks.load(), 1);
+  st.stop();
+}
+
+TEST(ServiceThread, StopRunsFinalTickAndIsIdempotent) {
+  std::atomic<int> ticks{0};
+  ccaperf::ServiceThread st("stop", 10s, [&] { ticks.fetch_add(1); });
+  EXPECT_TRUE(st.running());
+  st.stop();
+  EXPECT_FALSE(st.running());
+  const int after_stop = ticks.load();
+  EXPECT_GE(after_stop, 1);  // the final flush
+  EXPECT_EQ(st.ticks(), static_cast<std::uint64_t>(after_stop));
+  st.stop();  // no-op
+  EXPECT_EQ(ticks.load(), after_stop);
+}
+
+TEST(ServiceThread, TicksNeverOverlap) {
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<int> ticks{0};
+  {
+    ccaperf::ServiceThread st("exclusive", 500us, [&] {
+      if (inside.fetch_add(1) != 0) overlapped.store(true);
+      std::this_thread::sleep_for(1ms);
+      inside.fetch_sub(1);
+      ticks.fetch_add(1);
+    });
+    // Hammer wake() from several threads while the cadence also fires.
+    std::vector<std::thread> wakers;
+    for (int w = 0; w < 4; ++w)
+      wakers.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          st.wake();
+          std::this_thread::sleep_for(200us);
+        }
+      });
+    for (std::thread& t : wakers) t.join();
+  }
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_GE(ticks.load(), 1);
+}
+
+}  // namespace
